@@ -1,0 +1,46 @@
+//! Bench: the exact computations behind Theorems 1, 9, and 13 — the
+//! fundamental-matrix hitting-time solve, the single-target solve, and
+//! exact mixing-time evolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrw_graph::generators;
+use mrw_spectral::{hitting_times_all, hitting_times_to, mixing_time, MixingConfig};
+
+fn bench_hitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_hitting_times");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let g = generators::torus_2d((n as f64).sqrt() as usize);
+        group.bench_with_input(
+            BenchmarkId::new("fundamental_matrix_all_pairs", g.n()),
+            &g,
+            |b, g| b.iter(|| hitting_times_all(g)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("single_target_solve", g.n()),
+            &g,
+            |b, g| b.iter(|| hitting_times_to(g, 0)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_mixing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_mixing_time");
+    group.sample_size(10);
+    let graphs = vec![
+        generators::hypercube(8),
+        generators::torus_2d(16),
+        generators::complete(256),
+    ];
+    for g in graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(g.name().to_string()), &g, |b, g| {
+            let cfg = MixingConfig::lazy().with_starts(vec![0]).with_max_steps(2_000_000);
+            b.iter(|| mixing_time(g, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hitting, bench_mixing);
+criterion_main!(benches);

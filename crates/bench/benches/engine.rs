@@ -1,0 +1,72 @@
+//! Bench: raw engine throughput — walk steps per second on graphs with
+//! different degree profiles, and thread-pool scaling of the trial fan-out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrw_core::{walk_rng, CoverTimeEstimator, EstimatorConfig};
+use mrw_graph::generators;
+use mrw_par::ThreadPool;
+
+fn bench_step_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_step_throughput");
+    const STEPS: u64 = 100_000;
+    group.throughput(Throughput::Elements(STEPS));
+    let graphs = vec![
+        generators::cycle(1 << 14),                     // degree 2
+        generators::torus_2d(128),                      // degree 4 (pow2 fast path)
+        generators::hypercube(14),                      // degree 14
+        generators::complete(4096),                     // degree 4095
+    ];
+    for g in graphs {
+        group.bench_with_input(BenchmarkId::from_parameter(g.name().to_string()), &g, |b, g| {
+            b.iter(|| {
+                let mut rng = walk_rng(1);
+                let mut pos = 0u32;
+                for _ in 0..STEPS {
+                    pos = mrw_core::walk::step(g, pos, &mut rng);
+                }
+                pos
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trial_scaling(c: &mut Criterion) {
+    let g = generators::torus_2d(24);
+    let mut group = c.benchmark_group("trial_fanout_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let cfg = EstimatorConfig::new(32).with_seed(7).with_threads(t);
+            b.iter(|| CoverTimeEstimator::new(&g, 2, cfg.clone()).run_from(0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_dispatch_overhead");
+    group.sample_size(10);
+    const JOBS: usize = 10_000;
+    group.throughput(Throughput::Elements(JOBS as u64));
+    group.bench_function("work_stealing_pool", |b| {
+        let pool = ThreadPool::new(4);
+        b.iter(|| {
+            for _ in 0..JOBS {
+                pool.execute(|| {
+                    std::hint::black_box(3u64.wrapping_mul(5));
+                });
+            }
+            pool.join();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_throughput,
+    bench_trial_scaling,
+    bench_pool_dispatch
+);
+criterion_main!(benches);

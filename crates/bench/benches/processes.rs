@@ -1,0 +1,113 @@
+//! Bench: walk-process ablation (simple vs lazy vs Metropolis), partial
+//! coverage, and visit-count tallying.
+//!
+//! Ablation #5 of DESIGN.md §4: the process abstraction
+//! ([`WalkProcess`](mrw_core::process::WalkProcess)) wraps the raw
+//! stepping loop in a `match` — this group verifies the simple-process
+//! path costs the same as the direct engine, and prices the lazy RNG draw
+//! and the Metropolis acceptance test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrw_core::partial::kwalk_partial_cover_rounds;
+use mrw_core::process::WalkProcess;
+use mrw_core::visits::kwalk_visit_counts;
+use mrw_core::{kwalk_cover_rounds_same_start, walk_rng, KWalkMode};
+use mrw_graph::generators;
+
+fn bench_process_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("process_step_throughput");
+    const STEPS: u64 = 100_000;
+    group.throughput(Throughput::Elements(STEPS));
+    let g = generators::torus_2d(64);
+    let processes = [
+        ("raw_engine", None),
+        ("simple", Some(WalkProcess::Simple)),
+        ("lazy_0.5", Some(WalkProcess::Lazy(0.5))),
+        ("metropolis", Some(WalkProcess::Metropolis)),
+    ];
+    for (label, process) in processes {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &process, |b, p| {
+            b.iter(|| {
+                let mut rng = walk_rng(1);
+                let mut pos = 0u32;
+                for _ in 0..STEPS {
+                    pos = match p {
+                        None => mrw_core::walk::step(&g, pos, &mut rng),
+                        Some(proc_) => proc_.step(&g, pos, &mut rng),
+                    };
+                }
+                pos
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_partial_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_cover");
+    group.sample_size(20);
+    let g = generators::torus_2d(24);
+    let starts = vec![0u32; 4];
+    for pct in [50usize, 90, 100] {
+        let target = g.n() * pct / 100;
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &target, |b, &t| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                kwalk_partial_cover_rounds(&g, &starts, t, &mut walk_rng(seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_visit_tally(c: &mut Criterion) {
+    let mut group = c.benchmark_group("visit_count_tally");
+    group.sample_size(20);
+    const ROUNDS: u64 = 10_000;
+    group.throughput(Throughput::Elements(ROUNDS * 8));
+    let g = generators::torus_2d(32);
+    let starts = vec![0u32; 8];
+    group.bench_function("torus_8walks", |b| {
+        b.iter(|| kwalk_visit_counts(&g, &starts, ROUNDS, WalkProcess::Simple, &mut walk_rng(3)))
+    });
+    group.finish();
+}
+
+fn bench_process_vs_engine_cover(c: &mut Criterion) {
+    // Same process, two code paths: the direct kwalk engine and the
+    // WalkProcess indirection — the measured C^k must match (tests) and
+    // the runtime overhead should be within noise (this bench).
+    let mut group = c.benchmark_group("cover_engine_vs_process");
+    group.sample_size(20);
+    let g = generators::torus_2d(16);
+    group.bench_function("kwalk_engine", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            kwalk_cover_rounds_same_start(&g, 0, 4, KWalkMode::RoundSynchronous, &mut walk_rng(seed))
+        })
+    });
+    group.bench_function("process_simple", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mrw_core::process::kwalk_cover_rounds_process(
+                &g,
+                &[0, 0, 0, 0],
+                WalkProcess::Simple,
+                &mut walk_rng(seed),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_process_step,
+    bench_partial_cover,
+    bench_visit_tally,
+    bench_process_vs_engine_cover
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Bench: the spectral toolbox — dense-LU vs Gauss–Seidel hitting times,
+//! CG effective resistance, Jacobi spectrum vs power iteration, and exact
+//! mixing-time evolution.
+//!
+//! The point of the comparison is the scaling wall documented in
+//! DESIGN.md: the dense fundamental-matrix route costs `O(n³)`, the
+//! sparse iterative routes cost `O(m)` per sweep — the crossover decides
+//! which backend each experiment uses at its `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrw_graph::generators;
+use mrw_spectral::{
+    effective_resistance_cg, hitting_times_all, hitting_times_to, hitting_times_to_gs,
+    jacobi_eigen, mixing_time, second_eigenvalue_regular, walk_spectrum, MixingConfig,
+};
+
+fn bench_hitting_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hitting_times_backends");
+    group.sample_size(10);
+    for side in [8usize, 16, 24] {
+        let g = generators::torus_2d(side);
+        group.bench_with_input(BenchmarkId::new("dense_lu_all_pairs", side), &g, |b, g| {
+            b.iter(|| hitting_times_all(g))
+        });
+        group.bench_with_input(BenchmarkId::new("dense_lu_one_target", side), &g, |b, g| {
+            b.iter(|| hitting_times_to(g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_seidel_one_target", side), &g, |b, g| {
+            b.iter(|| hitting_times_to_gs(g, 0, 1e-10, 1_000_000).expect("converges"))
+        });
+    }
+    // The regime the dense backend cannot reach at all.
+    let big = generators::torus_2d(64);
+    group.bench_function("gauss_seidel_one_target/64", |b| {
+        b.iter(|| hitting_times_to_gs(&big, 0, 1e-8, 1_000_000).expect("converges"))
+    });
+    group.finish();
+}
+
+fn bench_resistance_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effective_resistance_cg");
+    group.sample_size(10);
+    for side in [16usize, 32, 64] {
+        let g = generators::torus_2d(side);
+        let target = (g.n() / 2) as u32;
+        group.bench_with_input(BenchmarkId::from_parameter(side), &g, |b, g| {
+            b.iter(|| effective_resistance_cg(g, 0, target, 1e-10, 200_000).expect("cg"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolvers");
+    group.sample_size(10);
+    let mut rng = mrw_core::walk_rng(5);
+    let g = generators::random_regular(128, 8, &mut rng).expect("regular");
+    group.bench_function("jacobi_full_spectrum/128", |b| b.iter(|| walk_spectrum(&g)));
+    group.bench_function("power_iteration_lambda/128", |b| {
+        b.iter(|| second_eigenvalue_regular(&g, 2000))
+    });
+    let dense = mrw_spectral::TransitionOp::new(&g).to_dense();
+    // Symmetrize P for Jacobi timing on the raw operator (regular graph:
+    // P is already symmetric).
+    group.bench_function("jacobi_eigen_raw/128", |b| b.iter(|| jacobi_eigen(&dense)));
+    group.finish();
+}
+
+fn bench_mixing_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixing_time_exact");
+    group.sample_size(10);
+    for side in [8usize, 16] {
+        let g = generators::torus_2d(side);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &g, |b, g| {
+            b.iter(|| mixing_time(g, &MixingConfig::lazy()).expect("mixes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hitting_backends,
+    bench_resistance_cg,
+    bench_eigensolvers,
+    bench_mixing_evolution
+);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark harness crate (benches live in `benches/`).

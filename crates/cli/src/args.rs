@@ -1,0 +1,160 @@
+//! Hand-rolled argument parsing for the `mrw` binary — small enough that a
+//! dependency would be heavier than the code.
+
+/// Usage text printed on `help` or a parse error.
+pub const USAGE: &str = "usage: mrw <experiment> [options]
+
+experiments:
+  table1          Table 1: all seven graph families
+  clique          Lemma 12: coupon-collector linear speed-up
+  cycle           Theorem 6: S^k = Theta(log k) on the ring
+  barbell         Theorems 7/26: exponential speed-up from the center
+  torus           Theorems 8/24: speed-up spectrum on the 2-d torus
+  expander        Theorems 3/18: linear speed-up up to k ~ n
+  matthews        Theorem 1: the h*H_n sandwich
+  baby-matthews   Theorem 13: C^k <= (e/k)*h_max*H_n
+  mixing          Theorem 9: S^k vs k/(t_m ln n)
+  gap             Theorem 5: speed-up from the gap g = C/h_max
+  concentration   Theorem 17 (Aldous): cover-time concentration
+  stationary      Sec 1.1: k walks from stationary starts vs Broder et al.
+  conjectures     Sec 8: Conjecture 10/11 scan over a graph zoo
+  lemma16         Lemma 16: compositional coverage bound on a (k, l) grid
+  lemma19         Lemma 19 / Corollary 20: expander hit probabilities
+  prop23          Proposition 23: exact binomial tail sandwich
+  barbell-events  Theorem 26: proof events E1/E2/E3 on the barbell
+  exact           exact DP vs Monte-Carlo validation zoo
+  projection      Theorem 24: projection coupling on the torus
+  hunting         Sec 1: k hunters vs prey - catch-time vs cover-time speed-up
+  smallworld      Sec 8: Watts-Strogatz beta-sweep, Theorem 6 -> Theorem 18
+  figure1         Figure 1: DOT rendering of the barbell B_13
+  all             run everything
+
+options:
+  --quick         CI-scale sizes and trial counts (default: paper scale)
+  --trials N      override Monte-Carlo trials per estimate
+  --seed S        override the master seed
+  --threads T     override worker-thread count
+  --format F      output format: ascii (default) | markdown | csv";
+
+/// Output format for tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Plain ASCII columns.
+    Ascii,
+    /// GitHub-flavoured Markdown.
+    Markdown,
+    /// RFC-4180-ish CSV.
+    Csv,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// The experiment name (first positional argument).
+    pub command: String,
+    /// `--quick` flag.
+    pub quick: bool,
+    /// `--trials N`.
+    pub trials: Option<usize>,
+    /// `--seed S`.
+    pub seed: Option<u64>,
+    /// `--threads T`.
+    pub threads: Option<usize>,
+    /// `--format F`.
+    pub format: Format,
+}
+
+impl Options {
+    /// Parses an argument iterator (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or("missing experiment name")?;
+        let mut opts = Options {
+            command,
+            quick: false,
+            trials: None,
+            seed: None,
+            threads: None,
+            format: Format::Ascii,
+        };
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--trials" => {
+                    let v = it.next().ok_or("--trials needs a value")?;
+                    opts.trials = Some(v.parse().map_err(|_| format!("bad --trials '{v}'"))?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    opts.seed = Some(v.parse().map_err(|_| format!("bad --seed '{v}'"))?);
+                }
+                "--threads" => {
+                    let v = it.next().ok_or("--threads needs a value")?;
+                    let t: usize = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
+                    if t == 0 {
+                        return Err("--threads must be >= 1".into());
+                    }
+                    opts.threads = Some(t);
+                }
+                "--format" => {
+                    let v = it.next().ok_or("--format needs a value")?;
+                    opts.format = match v.as_str() {
+                        "ascii" => Format::Ascii,
+                        "markdown" | "md" => Format::Markdown,
+                        "csv" => Format::Csv,
+                        other => return Err(format!("unknown format '{other}'")),
+                    };
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn minimal() {
+        let o = parse(&["cycle"]).unwrap();
+        assert_eq!(o.command, "cycle");
+        assert!(!o.quick);
+        assert_eq!(o.format, Format::Ascii);
+        assert_eq!(o.trials, None);
+    }
+
+    #[test]
+    fn all_options() {
+        let o = parse(&[
+            "table1", "--quick", "--trials", "17", "--seed", "99", "--threads", "3", "--format",
+            "csv",
+        ])
+        .unwrap();
+        assert!(o.quick);
+        assert_eq!(o.trials, Some(17));
+        assert_eq!(o.seed, Some(99));
+        assert_eq!(o.threads, Some(3));
+        assert_eq!(o.format, Format::Csv);
+    }
+
+    #[test]
+    fn markdown_alias() {
+        assert_eq!(parse(&["x", "--format", "md"]).unwrap().format, Format::Markdown);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["x", "--trials"]).is_err());
+        assert!(parse(&["x", "--trials", "abc"]).is_err());
+        assert!(parse(&["x", "--threads", "0"]).is_err());
+        assert!(parse(&["x", "--format", "xml"]).is_err());
+        assert!(parse(&["x", "--bogus"]).is_err());
+    }
+}

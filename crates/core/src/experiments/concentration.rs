@@ -1,0 +1,188 @@
+//! Theorem 17 (Aldous) — concentration of the cover time.
+//!
+//! The engine behind Theorem 14's proof: if `C_i/h_max → ∞` then
+//! `τ_i/C_i → 1` in probability — the cover time concentrates around its
+//! mean, so "one long walk of length (1+o(1))C covers w.h.p." is sound.
+//! The experiment measures the coefficient of variation (cv = σ/μ) of the
+//! cover time across a size ladder:
+//!
+//! * complete graph / torus (`C/h_max ≈ H_n → ∞`): cv must *shrink* with
+//!   n;
+//! * path (`C = h_max`): Aldous' hypothesis fails and cv stays Θ(1) — the
+//!   walk's final excursion dominates and never averages out.
+
+use mrw_stats::Table;
+
+use crate::estimator::CoverTimeEstimator;
+use crate::experiments::Budget;
+
+/// Which family to ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Complete graph `K_n` (concentrating).
+    Complete,
+    /// 2-d torus (concentrating).
+    Torus,
+    /// Path (non-concentrating: `C = h_max`).
+    Path,
+}
+
+impl Family {
+    fn name(self) -> &'static str {
+        match self {
+            Family::Complete => "complete",
+            Family::Torus => "torus2d",
+            Family::Path => "path",
+        }
+    }
+
+    fn build(self, n: usize) -> mrw_graph::Graph {
+        use mrw_graph::generators as gen;
+        match self {
+            Family::Complete => gen::complete(n),
+            Family::Torus => gen::torus_2d((n as f64).sqrt().round() as usize),
+            Family::Path => gen::path(n),
+        }
+    }
+}
+
+/// One (family, n) measurement.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Family.
+    pub family: Family,
+    /// Vertex count.
+    pub n: usize,
+    /// Mean cover time.
+    pub mean: f64,
+    /// Coefficient of variation `σ/μ`.
+    pub cv: f64,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Sizes per family.
+    pub sizes: Vec<usize>,
+    /// Trial budget.
+    pub budget: Budget,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sizes: vec![64, 144, 324, 729],
+            budget: Budget {
+                trials: 128,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale configuration.
+    pub fn quick() -> Self {
+        Config {
+            sizes: vec![36, 100, 256],
+            budget: Budget {
+                trials: 96,
+                ..Budget::quick()
+            },
+        }
+    }
+}
+
+/// Results.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All (family, n) rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// The cv ladder for one family, ordered by n.
+    pub fn cv_series(&self, family: Family) -> Vec<f64> {
+        let mut rows: Vec<&Row> = self.rows.iter().filter(|r| r.family == family).collect();
+        rows.sort_by_key(|r| r.n);
+        rows.iter().map(|r| r.cv).collect()
+    }
+
+    /// Renders the table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["family", "n", "mean C", "cv = σ/μ"])
+            .with_title("Theorem 17 (Aldous) — cover-time concentration: cv → 0 iff C/h_max → ∞");
+        for r in &self.rows {
+            t.push_row(vec![
+                r.family.name().to_string(),
+                r.n.to_string(),
+                format!("{:.0}", r.mean),
+                format!("{:.3}", r.cv),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> Report {
+    assert!(cfg.sizes.len() >= 2, "need a size ladder");
+    let mut rows = Vec::new();
+    for family in [Family::Complete, Family::Torus, Family::Path] {
+        for &n in &cfg.sizes {
+            let g = family.build(n);
+            let est = CoverTimeEstimator::new(&g, 1, cfg.budget.estimator()).run_from(0);
+            rows.push(Row {
+                family,
+                n: g.n(),
+                mean: est.cover_time.mean(),
+                cv: est.cover_time.coeff_of_variation(),
+            });
+        }
+    }
+    Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        let mut cfg = Config::quick();
+        cfg.budget.seed = 29;
+        run(&cfg)
+    }
+
+    #[test]
+    fn concentrating_families_cv_shrinks() {
+        let r = report();
+        for family in [Family::Complete, Family::Torus] {
+            let cvs = r.cv_series(family);
+            assert!(
+                cvs.last().unwrap() < cvs.first().unwrap(),
+                "{}: cv did not shrink: {cvs:?}",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn path_cv_stays_order_one() {
+        let r = report();
+        let cvs = r.cv_series(Family::Path);
+        for (i, &cv) in cvs.iter().enumerate() {
+            assert!(
+                cv > 0.25,
+                "path cv[{i}] = {cv} — should stay Θ(1), Aldous' hypothesis fails here"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_cv_smaller_than_path_at_equal_n() {
+        let r = report();
+        let c = r.cv_series(Family::Complete);
+        let p = r.cv_series(Family::Path);
+        assert!(c.last().unwrap() < p.last().unwrap());
+    }
+}

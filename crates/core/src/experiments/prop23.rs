@@ -1,0 +1,265 @@
+//! Proposition 23 — the binomial tail sandwich behind Lemma 22.
+//!
+//! The appendix proposition: for a constant `c ≥ 2` and every even
+//! `n ≥ 16c²`,
+//!
+//! ```text
+//! e^{−3c²−4}  ≤  Pr[(c−1)√n ≤ X − n/2 ≤ c√n]  ≤  e^{−2(c−1)²}
+//! ```
+//!
+//! where `X ~ Binomial(n, 1/2)`. The lower bound is what powers the
+//! cycle upper bound `C^k ≤ 2n²/ln k` (Lemma 22): it prices the chance
+//! that one of `k` walks drifts a full half-ring to the right.
+//!
+//! Unlike the walk experiments this one needs no sampling at all — the
+//! probability is a finite binomial sum we evaluate *exactly* (in
+//! log-space, to survive `2⁻ⁿ`), so the check is a theorem-verification
+//! at each finite size rather than an estimate.
+
+use mrw_stats::Table;
+
+/// Configuration: which `(c, n)` pairs to tabulate.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Values of the drift constant `c ≥ 2`.
+    pub cs: Vec<f64>,
+    /// Multipliers `γ`: each row uses `n = γ·16c²` rounded up to even.
+    pub n_multipliers: Vec<f64>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cs: vec![2.0, 2.5, 3.0, 4.0],
+            n_multipliers: vec![1.0, 4.0, 16.0],
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale configuration.
+    pub fn quick() -> Self {
+        Config {
+            cs: vec![2.0, 3.0],
+            n_multipliers: vec![1.0, 4.0],
+        }
+    }
+}
+
+/// One `(c, n)` row of the sandwich check.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Drift constant.
+    pub c: f64,
+    /// Number of coin flips (even, ≥ 16c²).
+    pub n: u64,
+    /// Exact `Pr[(c−1)√n ≤ X − n/2 ≤ c√n]`.
+    pub exact: f64,
+    /// Lower bound `e^{−3c²−4}`.
+    pub lower: f64,
+    /// Upper bound `e^{−2(c−1)²}`.
+    pub upper: f64,
+}
+
+impl Row {
+    /// Does the sandwich hold?
+    pub fn holds(&self) -> bool {
+        self.lower <= self.exact && self.exact <= self.upper
+    }
+}
+
+/// Report of all rows.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All `(c, n)` rows.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Renders the sandwich table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "c",
+            "n",
+            "e^(-3c²-4)",
+            "exact Pr",
+            "e^(-2(c-1)²)",
+            "holds",
+        ])
+        .with_title("Proposition 23 — binomial tail sandwich (exact)");
+        for r in &self.rows {
+            t.push_row(vec![
+                format!("{:.1}", r.c),
+                r.n.to_string(),
+                format!("{:.3e}", r.lower),
+                format!("{:.3e}", r.exact),
+                format!("{:.3e}", r.upper),
+                if r.holds() { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// True iff every row satisfies the sandwich.
+    pub fn all_hold(&self) -> bool {
+        self.rows.iter().all(Row::holds)
+    }
+}
+
+/// Exact `Pr[lo ≤ X ≤ hi]` for `X ~ Binomial(n, 1/2)`, via log-space
+/// summation of `C(n,k)·2⁻ⁿ`.
+///
+/// # Panics
+/// If `hi < lo` (empty ranges should be handled by the caller) or
+/// `hi > n`.
+pub fn binomial_half_range_prob(n: u64, lo: u64, hi: u64) -> f64 {
+    assert!(lo <= hi, "empty range [{lo}, {hi}]");
+    assert!(hi <= n, "hi {hi} exceeds n {n}");
+    // ln C(n,k) built incrementally from k = lo.
+    let ln_choose_lo = ln_binomial(n, lo);
+    let ln2 = std::f64::consts::LN_2;
+    let mut ln_term = ln_choose_lo - n as f64 * ln2;
+    let mut total = ln_term.exp();
+    let mut k = lo;
+    while k < hi {
+        // C(n,k+1) = C(n,k)·(n−k)/(k+1)
+        ln_term += ((n - k) as f64).ln() - ((k + 1) as f64).ln();
+        total += ln_term.exp();
+        k += 1;
+    }
+    total
+}
+
+/// `ln C(n, k)` by summing logs — exact enough (`n ≤ 10⁷`) and
+/// dependency-free.
+fn ln_binomial(n: u64, k: u64) -> f64 {
+    assert!(k <= n);
+    let k = k.min(n - k);
+    let mut acc = 0.0f64;
+    for i in 0..k {
+        acc += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    acc
+}
+
+/// The exact probability of Proposition 23's event for given `c` and `n`.
+///
+/// The event is `(c−1)√n ≤ X − n/2 ≤ c√n`; endpoints are rounded
+/// conservatively inward (`⌈(c−1)√n⌉` to `⌊c√n⌋`) matching how Lemma 22
+/// consumes the bound.
+pub fn prop23_exact(n: u64, c: f64) -> f64 {
+    assert!(n.is_multiple_of(2), "Proposition 23 needs even n, got {n}");
+    let half = n / 2;
+    let sqrt_n = (n as f64).sqrt();
+    let lo = half + ((c - 1.0) * sqrt_n).ceil() as u64;
+    let hi = half + (c * sqrt_n).floor() as u64;
+    if lo > hi || lo > n {
+        return 0.0;
+    }
+    binomial_half_range_prob(n, lo, hi.min(n))
+}
+
+/// Runs the sandwich check over the configured `(c, n)` grid.
+pub fn run(cfg: &Config) -> Report {
+    let mut rows = Vec::new();
+    for &c in &cfg.cs {
+        assert!(c >= 2.0, "Proposition 23 requires c ≥ 2, got {c}");
+        for &mult in &cfg.n_multipliers {
+            let base = (mult * 16.0 * c * c).ceil() as u64;
+            let n = base + base % 2; // round up to even
+            rows.push(Row {
+                c,
+                n,
+                exact: prop23_exact(n, c),
+                lower: (-3.0 * c * c - 4.0).exp(),
+                upper: (-2.0 * (c - 1.0) * (c - 1.0)).exp(),
+            });
+        }
+    }
+    Report { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_range_prob_small_cases_exact() {
+        // n = 4: P(X = 2) = 6/16, P(2 ≤ X ≤ 3) = 10/16, P(0 ≤ X ≤ 4) = 1.
+        assert!((binomial_half_range_prob(4, 2, 2) - 6.0 / 16.0).abs() < 1e-12);
+        assert!((binomial_half_range_prob(4, 2, 3) - 10.0 / 16.0).abs() < 1e-12);
+        assert!((binomial_half_range_prob(4, 0, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact_values() {
+        assert!((ln_binomial(10, 5) - (252.0f64).ln()).abs() < 1e-10);
+        assert!((ln_binomial(52, 5) - (2_598_960.0f64).ln()).abs() < 1e-9);
+        assert_eq!(ln_binomial(7, 0), 0.0);
+    }
+
+    #[test]
+    fn total_mass_is_one_for_moderate_n() {
+        for n in [10u64, 100, 1000] {
+            let p = binomial_half_range_prob(n, 0, n);
+            assert!((p - 1.0).abs() < 1e-9, "n={n}: total {p}");
+        }
+    }
+
+    #[test]
+    fn sandwich_holds_on_default_grid() {
+        let report = run(&Config::default());
+        assert!(
+            report.all_hold(),
+            "sandwich violated:\n{}",
+            report.table().render_ascii()
+        );
+        assert_eq!(report.rows.len(), 12);
+    }
+
+    #[test]
+    fn sandwich_holds_at_large_n() {
+        // The bounds are uniform in n; spot-check far beyond the minimum.
+        for c in [2.0, 3.0] {
+            let n = 100_000u64;
+            let r = Row {
+                c,
+                n,
+                exact: prop23_exact(n, c),
+                lower: (-3.0 * c * c - 4.0).exp(),
+                upper: (-2.0 * (c - 1.0) * (c - 1.0)).exp(),
+            };
+            assert!(r.holds(), "c={c}, n={n}: exact {}", r.exact);
+        }
+    }
+
+    #[test]
+    fn exact_prob_decreases_in_c() {
+        let n = 4096u64;
+        let p2 = prop23_exact(n, 2.0);
+        let p3 = prop23_exact(n, 3.0);
+        let p4 = prop23_exact(n, 4.0);
+        assert!(p2 > p3 && p3 > p4, "{p2} {p3} {p4}");
+    }
+
+    #[test]
+    fn clt_limit_sanity() {
+        // As n → ∞ the probability tends to Φ(2c) − Φ(2(c−1)) (X−n/2 has
+        // std √n/2). For c = 2: Φ(4) − Φ(2) ≈ 0.02272.
+        let p = prop23_exact(1_000_000, 2.0);
+        assert!((p - 0.02272).abs() < 0.002, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_n_rejected() {
+        prop23_exact(101, 2.0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = run(&Config::quick()).table();
+        assert_eq!(t.len(), 4);
+        assert!(t.render_ascii().contains("Proposition 23"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Small-world interpolation: watching the speed-up walk from Theorem 6
+//! to Theorem 18.
+//!
+//! The paper's two extremes are the cycle (`S^k = Θ(log k)`, Theorem 6)
+//! and the expander (`S^k = Ω(k)` for `k ≤ n`, Theorem 18). The
+//! Watts–Strogatz model connects them with one knob: at rewiring
+//! probability `β = 0` it *is* a circulant ring (cycle-like, cover time
+//! `Θ(n²/d²)`); at `β = 1` it is essentially a sparse random graph
+//! (expander-like). Sweeping `β` therefore traces how much random
+//! long-range structure a graph needs before `k` walks stop being
+//! redundant — a question the paper's §8 ("what property of a graph
+//! determines the speed-up?") leaves open, answered here empirically:
+//! the efficiency `S^k/k` tracks the (inverse) mixing time through the
+//! whole transition, consistent with Theorem 9 being the operative
+//! mechanism.
+
+use mrw_stats::Table;
+
+use crate::experiments::Budget;
+use crate::speedup::speedup_sweep;
+
+/// Configuration for the small-world sweep.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Graph size.
+    pub n: usize,
+    /// Ring base degree (even).
+    pub base_degree: usize,
+    /// Rewiring probabilities to sweep.
+    pub betas: Vec<f64>,
+    /// Walk count probed at each β.
+    pub k: usize,
+    /// Trial budget.
+    pub budget: Budget,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            n: 1024,
+            base_degree: 4,
+            betas: vec![0.0, 0.01, 0.03, 0.1, 0.3, 1.0],
+            k: 16,
+            budget: Budget::default(),
+        }
+    }
+}
+
+impl Config {
+    /// CI-scale configuration.
+    pub fn quick() -> Self {
+        Config {
+            n: 192,
+            base_degree: 4,
+            betas: vec![0.0, 0.1, 1.0],
+            k: 8,
+            budget: Budget::quick(),
+        }
+    }
+}
+
+/// One β row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Rewiring probability.
+    pub beta: f64,
+    /// Measured single-walk cover time.
+    pub c1: f64,
+    /// Measured k-walk cover time.
+    pub ck: f64,
+    /// Speed-up `S^k`.
+    pub speedup: f64,
+    /// Lazy mixing time of the instance (exact TV evolution), if it fit
+    /// the budgeted horizon.
+    pub mixing: Option<usize>,
+}
+
+impl Row {
+    /// Efficiency `S^k/k`.
+    pub fn efficiency(&self, k: usize) -> f64 {
+        self.speedup / k as f64
+    }
+}
+
+/// Report over the β ladder.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Size, degree, k for rendering.
+    pub n: usize,
+    /// Base degree of the ring lattice.
+    pub base_degree: usize,
+    /// Probed walk count.
+    pub k: usize,
+    /// One row per β.
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["beta", "C", "C^k", "S^k", "S^k/k", "t_m (lazy)"])
+            .with_title(format!(
+                "Watts–Strogatz sweep — n = {}, d = {}, k = {} (cycle → expander)",
+                self.n, self.base_degree, self.k
+            ));
+        for r in &self.rows {
+            t.push_row(vec![
+                format!("{:.2}", r.beta),
+                format!("{:.0}", r.c1),
+                format!("{:.0}", r.ck),
+                format!("{:.2}", r.speedup),
+                format!("{:.3}", r.efficiency(self.k)),
+                r.mixing.map_or_else(|| ">cap".into(), |m| m.to_string()),
+            ]);
+        }
+        t
+    }
+
+    /// Efficiency at the lattice end (`β = 0`).
+    pub fn lattice_efficiency(&self) -> f64 {
+        self.rows.first().expect("nonempty").efficiency(self.k)
+    }
+
+    /// Efficiency at the random end (largest β).
+    pub fn random_efficiency(&self) -> f64 {
+        self.rows.last().expect("nonempty").efficiency(self.k)
+    }
+}
+
+/// Runs the sweep. Rows are produced in the order of `cfg.betas`
+/// (callers should pass an increasing ladder starting at 0).
+pub fn run(cfg: &Config) -> Report {
+    assert!(cfg.k >= 2, "need k ≥ 2 to measure a speed-up");
+    assert!(!cfg.betas.is_empty(), "need at least one beta");
+    let mut rows = Vec::new();
+    for (bi, &beta) in cfg.betas.iter().enumerate() {
+        let mut rng = crate::walk_rng(cfg.budget.seed ^ ((bi as u64) << 24));
+        let g = mrw_graph::generators::watts_strogatz(cfg.n, cfg.base_degree, beta, &mut rng);
+        assert!(
+            mrw_graph::algo::is_connected(&g),
+            "rewired instance disconnected at beta = {beta}; reseed"
+        );
+        let sweep = speedup_sweep(&g, 0, &[cfg.k], &cfg.budget.estimator());
+        let point = &sweep.points[0];
+        let mixing = mrw_spectral::mixing_time(
+            &g,
+            &mrw_spectral::MixingConfig::lazy().with_max_steps(200 * cfg.n),
+        );
+        rows.push(Row {
+            beta,
+            c1: sweep.baseline.mean(),
+            ck: point.cover.mean(),
+            speedup: point.speedup.point,
+            mixing,
+        });
+    }
+    Report {
+        n: cfg.n,
+        base_degree: cfg.base_degree,
+        k: cfg.k,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_rises_from_lattice_to_random() {
+        // At quick scale (n = 192, k = 8) the regimes are separated but
+        // not dramatic: the log regime at k = 8 is ≈ 2.6·ln 8 ≈ 5.6 vs
+        // the linear ideal 8 — a ~1.5× gap. Paper scale (n = 1024,
+        // k = 16) widens it; see EXPERIMENTS.md.
+        let report = run(&Config::quick());
+        let lattice = report.lattice_efficiency();
+        let random = report.random_efficiency();
+        assert!(
+            random > 1.25 * lattice,
+            "no interpolation: lattice {lattice} vs random {random}"
+        );
+    }
+
+    #[test]
+    fn lattice_end_is_log_regime() {
+        // At β = 0 the ±2 ring lattice behaves like a cycle: S^8 near the
+        // measured cycle constant 2.6·ln k ≈ 5.6, clearly below k = 8.
+        let report = run(&Config::quick());
+        let s = report.rows.first().unwrap().speedup;
+        assert!(s < 6.8, "lattice S^8 = {s} too close to linear");
+        assert!(s > 2.5, "lattice S^8 = {s} below the log-regime band");
+    }
+
+    #[test]
+    fn random_end_is_near_linear() {
+        let report = run(&Config::quick());
+        let eff = report.random_efficiency();
+        assert!(eff > 0.6, "β=1 efficiency {eff} not near-linear");
+    }
+
+    #[test]
+    fn mixing_time_decreases_along_the_sweep() {
+        let report = run(&Config::quick());
+        let first = report.rows.first().unwrap().mixing;
+        let last = report.rows.last().unwrap().mixing.expect("β=1 mixes fast");
+        if let Some(f) = first {
+            assert!(last < f, "mixing did not shrink: {f} → {last}");
+        }
+        // If the lattice's t_m exceeded the cap, that itself is the
+        // expected slow-mixing signal.
+    }
+
+    #[test]
+    fn cover_time_shrinks_monotonically_in_beta() {
+        let report = run(&Config::quick());
+        let c: Vec<f64> = report.rows.iter().map(|r| r.c1).collect();
+        for w in c.windows(2) {
+            assert!(
+                w[1] < w[0] * 1.1,
+                "cover time rose along the sweep: {} → {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let report = run(&Config::quick());
+        assert!(report.table().render_ascii().contains("Watts–Strogatz"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Monte-Carlo hitting times and `h_max` estimation for graphs too large
+//! for the `O(n³)` exact solver.
+//!
+//! Strategy for `h_max = max_{u,v} h(u,v)`:
+//!
+//! * **small graphs** — delegate to `mrw_spectral::hitting_times_all`
+//!   (exact; the experiments use this up to ~800 vertices);
+//! * **large graphs** — Monte-Carlo over candidate pairs. Scanning all
+//!   `n(n−1)` pairs is hopeless, but on every family in the paper the
+//!   maximizing pair is (or is tied with) a BFS-diametral pair, so we take
+//!   the two-sweep endpoints plus a deterministic sample of far pairs and
+//!   estimate each by simulation. The result is a lower bound on `h_max`
+//!   that is tight on the paper's families — and the experiments that
+//!   *depend* on `h_max` (Matthews sandwich, Baby-Matthews) also run the
+//!   exact path on sizes where both are available to validate the MC one.
+
+use mrw_graph::{algo, Graph};
+use mrw_par::{par_map, SeedSequence};
+use mrw_stats::Summary;
+
+use crate::walk::{steps_to_hit, walk_rng};
+
+/// Monte-Carlo estimate of `h(u,v)` from `trials` independent walks.
+///
+/// `cap` bounds each walk; capped trials are *discarded* (reported via
+/// `capped`), so on slow graphs choose `cap ≫` the expected hitting time
+/// or the estimate will be biased low.
+#[derive(Debug, Clone)]
+pub struct HitEstimate {
+    /// Source vertex.
+    pub from: u32,
+    /// Target vertex.
+    pub to: u32,
+    /// Summary over un-capped trials.
+    pub steps: Summary,
+    /// Number of trials that hit the cap and were discarded.
+    pub capped: usize,
+}
+
+/// Estimates `h(from, to)` by simulation.
+pub fn hitting_time_mc(
+    g: &Graph,
+    from: u32,
+    to: u32,
+    trials: usize,
+    cap: u64,
+    seed: u64,
+    threads: usize,
+) -> HitEstimate {
+    assert!(trials >= 1, "need at least one trial");
+    assert!(
+        algo::is_connected(g),
+        "hitting times are infinite on a disconnected graph"
+    );
+    let seq = SeedSequence::new(seed).child(0x48495421);
+    let results: Vec<Option<u64>> = par_map(trials, threads, |t| {
+        let mut rng = walk_rng(seq.seed_for(t as u64));
+        steps_to_hit(g, from, to, cap, &mut rng)
+    });
+    let mut steps = Summary::new();
+    let mut capped = 0usize;
+    for r in results {
+        match r {
+            Some(s) => steps.push(s as f64),
+            None => capped += 1,
+        }
+    }
+    HitEstimate {
+        from,
+        to,
+        steps,
+        capped,
+    }
+}
+
+/// Result of an `h_max` search.
+#[derive(Debug, Clone)]
+pub struct HmaxEstimate {
+    /// The estimated maximum hitting time.
+    pub hmax: f64,
+    /// The pair attaining it.
+    pub pair: (u32, u32),
+    /// Whether the value is exact (spectral solve) or a Monte-Carlo lower
+    /// bound over candidate pairs.
+    pub exact: bool,
+}
+
+/// Vertex-count threshold below which [`hmax_estimate`] uses the exact
+/// `O(n³)` fundamental-matrix solver.
+pub const EXACT_HMAX_LIMIT: usize = 800;
+
+/// Estimates `h_max(G)` (and the attaining pair).
+///
+/// Exact below [`EXACT_HMAX_LIMIT`]; otherwise Monte-Carlo over
+/// diametral and sampled candidate pairs as described in the module docs.
+pub fn hmax_estimate(g: &Graph, trials: usize, seed: u64, threads: usize) -> HmaxEstimate {
+    assert!(
+        algo::is_connected(g),
+        "h_max is infinite on a disconnected graph"
+    );
+    if g.n() <= EXACT_HMAX_LIMIT {
+        let ht = mrw_spectral::hitting_times_all(g);
+        let pair = ht.argmax();
+        return HmaxEstimate {
+            hmax: ht.hmax(),
+            pair,
+            exact: true,
+        };
+    }
+
+    // Candidate pairs: two-sweep diametral endpoints in both orientations,
+    // plus evenly spaced far pairs.
+    let d0 = algo::bfs_distances(g, 0);
+    let far1 = d0
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as u32)
+        .expect("non-empty graph");
+    let d1 = algo::bfs_distances(g, far1);
+    let far2 = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &d)| d)
+        .map(|(i, _)| i as u32)
+        .expect("non-empty graph");
+
+    let mut candidates = vec![(far1, far2), (far2, far1)];
+    let stride = (g.n() / 4).max(1);
+    for i in 0..4 {
+        let u = ((i * stride) % g.n()) as u32;
+        if u != far2 {
+            candidates.push((u, far2));
+        }
+        if u != far1 {
+            candidates.push((far1, u));
+        }
+    }
+
+    // Cap: generous multiple of a cheap upper-scale proxy (m·n covers
+    // h_max ≤ 2m·n from the standard commute-time bound... use 4mn).
+    let cap = 4u64
+        .saturating_mul(g.m() as u64)
+        .saturating_mul(g.n() as u64)
+        .max(1_000_000);
+
+    let mut best = HmaxEstimate {
+        hmax: 0.0,
+        pair: (0, 0),
+        exact: false,
+    };
+    for (i, &(u, v)) in candidates.iter().enumerate() {
+        let est = hitting_time_mc(g, u, v, trials, cap, seed ^ (i as u64) << 32, threads);
+        if est.steps.count() > 0 && est.steps.mean() > best.hmax {
+            best.hmax = est.steps.mean();
+            best.pair = (u, v);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrw_graph::generators;
+
+    #[test]
+    fn mc_matches_exact_on_cycle() {
+        let n = 16;
+        let g = generators::cycle(n);
+        // h(0, 8) = 8 · 8 = 64 exactly.
+        let est = hitting_time_mc(&g, 0, 8, 3000, 10_000_000, 77, 4);
+        assert_eq!(est.capped, 0);
+        let mean = est.steps.mean();
+        assert!((mean - 64.0).abs() < 4.0, "mean {mean}");
+    }
+
+    #[test]
+    fn small_graph_hmax_is_exact() {
+        let g = generators::path(10);
+        let e = hmax_estimate(&g, 10, 1, 2);
+        assert!(e.exact);
+        assert!((e.hmax - 81.0).abs() < 1e-6); // (n−1)² = 81
+    }
+
+    #[test]
+    fn capped_trials_reported() {
+        let g = generators::cycle(64);
+        let est = hitting_time_mc(&g, 0, 32, 50, 3, 5, 2);
+        assert_eq!(est.capped, 50);
+        assert_eq!(est.steps.count(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::torus_2d(5);
+        let a = hitting_time_mc(&g, 0, 12, 64, 1_000_000, 9, 1);
+        let b = hitting_time_mc(&g, 0, 12, 64, 1_000_000, 9, 4);
+        assert_eq!(a.steps.mean(), b.steps.mean());
+    }
+
+    #[test]
+    fn large_graph_takes_mc_path() {
+        // Cycle of 1024 > EXACT_HMAX_LIMIT; hmax = (n/2)² = 262144; the
+        // diametral candidates find exactly the antipodal pair.
+        let g = generators::cycle(1024);
+        let e = hmax_estimate(&g, 12, 3, 8);
+        assert!(!e.exact);
+        let expect = 512.0 * 512.0;
+        assert!(
+            e.hmax > expect * 0.6 && e.hmax < expect * 1.5,
+            "hmax {} vs theory {expect}",
+            e.hmax
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! # mrw-core — many random walks, faster than one
+//!
+//! The primary contribution of Alon, Avin, Koucký, Kozma, Lotker &
+//! Tuttle, *Many Random Walks Are Faster Than One* (SPAA 2008), as a
+//! library:
+//!
+//! * **k-walk cover times.** `k` independent simple random walks start at
+//!   the same vertex and advance in parallel rounds; the k-cover time
+//!   `C^k(G)` is the expected number of rounds until every vertex has been
+//!   visited by some walk ([`walk`], [`kwalk`]).
+//! * **Monte-Carlo estimators** with deterministic parallel fan-out,
+//!   confidence intervals, and worst-start search ([`estimator`]), plus
+//!   Monte-Carlo hitting times ([`hitting_mc`]).
+//! * **Speed-up measurement** `S^k(G) = C(G)/C^k(G)` (Definition 2 of the
+//!   paper) with delta-method error bars ([`speedup`]).
+//! * **Every closed-form bound stated in the paper** ([`bounds`]):
+//!   Matthews (Thm 1), Baby Matthews (Thm 13), the cover/hitting
+//!   decomposition (Thm 14), the cycle bounds (Lemmas 21–22), the expander
+//!   walk length (Cor 20), and the mixing-time bound (Thm 9).
+//! * **The paper's experiments** ([`experiments`]): one driver per
+//!   table/figure/theorem, regenerating Table 1, the Figure-1 barbell
+//!   demonstration, the cycle log-k law, the torus speed-up spectrum, the
+//!   expander linear speed-up, and the bound-sandwich checks — plus the
+//!   appendix (Lemma 16, Lemma 19/Corollary 20, Proposition 23, the
+//!   Theorem 26 proof events, and the Theorem 24 projection coupling).
+//! * **Exact ground truth** ([`exact`]): a `(positions, visited-mask)`
+//!   dynamic program computing `C^k` exactly on small graphs, validating
+//!   every Monte-Carlo path.
+//! * **Generalized processes** ([`process`]): lazy walks (the Theorem 24
+//!   projection chain) and Metropolis walks (uniform stationary law), plus
+//!   [`partial`] cover times `C^k_γ` and [`visits`]/multicover statistics
+//!   for the applications the paper's introduction motivates.
+//!
+//! ## Model
+//!
+//! All walks are *simple random walks*: from `v`, move to a uniform random
+//! neighbor (§2 of the paper). The k walks are independent and synchronous;
+//! one unit of time advances every walk by one step. Cover time for `k = 1`
+//! from the worst start is the classical `C(G)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod coverage;
+pub mod estimator;
+pub mod exact;
+pub mod experiments;
+pub mod hitting_mc;
+pub mod kwalk;
+pub mod meeting;
+pub mod partial;
+pub mod process;
+pub mod speedup;
+pub mod starts;
+pub mod visits;
+pub mod walk;
+
+pub use estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
+pub use kwalk::{
+    kwalk_cover_rounds, kwalk_cover_rounds_same_start, kwalk_covers_within, KWalkMode,
+};
+pub use meeting::{mean_catch_time, meeting_rounds, pursuit_rounds, PreyStrategy};
+pub use partial::{
+    fraction_target, kwalk_partial_cover_rounds, partial_cover_profile, PartialCoverPoint,
+};
+pub use process::{cover_time_process, kwalk_cover_rounds_process, WalkProcess};
+pub use speedup::{speedup_sweep, SpeedupPoint, SpeedupSweep};
+pub use visits::{kwalk_multicover_rounds, kwalk_visit_counts, VisitCounts};
+pub use walk::{cover_time_single, steps_to_hit, walk_rng, WalkRng};

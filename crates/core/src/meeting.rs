@@ -1,0 +1,295 @@
+//! Meeting and pursuit times — the paper's opening metaphor, as an
+//! engine.
+//!
+//! §1 of the paper opens with hunters tracking prey on a graph: "the prey
+//! begins at one node, the hunters begin at other nodes, and in every
+//! step each player can traverse an edge." Cover time answers the
+//! worst-case version (find a prey that could be *anywhere*); this module
+//! provides the direct game:
+//!
+//! * [`meeting_rounds`] — two simultaneous walks until they collide.
+//!   Beware the parity trap: on a bipartite graph, two simple walks at
+//!   odd distance can *never* meet (both flip sides every round) — the
+//!   classical reason pursuit analyses use lazy walks. The
+//!   process-parameterized variant accepts
+//!   [`WalkProcess::Lazy`](crate::process::WalkProcess) to break parity.
+//! * [`pursuit_rounds`] — `k` hunters versus one prey, either [static
+//!   (hiding)](PreyStrategy::Hide) or [moving as a random
+//!   walk](PreyStrategy::RandomWalk). A catch happens whenever a hunter
+//!   occupies the prey's vertex at the end of a half-step (hunters move,
+//!   then prey moves), so a moving prey can also *blunder into* a hunter.
+//!
+//! Against a hiding prey, `k` hunters from one vertex catch in roughly
+//! `h(u, v)/k`-ish time on fast-mixing graphs by the same union-bound
+//! logic as Baby Matthews — the hunting experiment
+//! ([`experiments::hunting`](crate::experiments::hunting)) measures that
+//! speed-up next to the cover-time speed-up the paper proves.
+
+use mrw_graph::Graph;
+use rand::Rng;
+
+use crate::process::WalkProcess;
+
+/// Rounds until two simultaneous walks of `process` collide (occupy the
+/// same vertex after a round), or `None` if `cap` rounds pass first.
+/// Returns `Some(0)` when the starts coincide.
+///
+/// # Panics
+/// If either start is out of range.
+pub fn meeting_rounds<R: Rng + ?Sized>(
+    g: &Graph,
+    a: u32,
+    b: u32,
+    process: WalkProcess,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    assert!((a as usize) < g.n() && (b as usize) < g.n(), "start out of range");
+    if a == b {
+        return Some(0);
+    }
+    let mut pa = a;
+    let mut pb = b;
+    for round in 1..=cap {
+        pa = process.step(g, pa, rng);
+        pb = process.step(g, pb, rng);
+        if pa == pb {
+            return Some(round);
+        }
+    }
+    None
+}
+
+/// What the prey does each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreyStrategy {
+    /// The prey stays put (a hider); catching it is a k-walk hitting
+    /// problem.
+    Hide,
+    /// The prey performs its own simple random walk.
+    RandomWalk,
+}
+
+/// Rounds for `k` hunters (simple random walks from `hunters`) to catch a
+/// prey starting at `prey`, or `None` if `cap` rounds pass. A round is:
+/// all hunters step, catch checked; prey steps (if moving), catch checked
+/// again. Returns `Some(0)` if a hunter already starts on the prey.
+///
+/// ```
+/// use mrw_core::meeting::{pursuit_rounds, PreyStrategy};
+/// use mrw_core::walk_rng;
+/// use mrw_graph::generators;
+///
+/// let g = generators::complete(16);
+/// let caught = pursuit_rounds(&g, &[0, 0, 0], 9, PreyStrategy::Hide, 10_000, &mut walk_rng(4));
+/// assert!(caught.is_some());
+/// ```
+///
+/// # Panics
+/// If `hunters` is empty or any vertex is out of range.
+pub fn pursuit_rounds<R: Rng + ?Sized>(
+    g: &Graph,
+    hunters: &[u32],
+    prey: u32,
+    strategy: PreyStrategy,
+    cap: u64,
+    rng: &mut R,
+) -> Option<u64> {
+    assert!(!hunters.is_empty(), "need at least one hunter");
+    assert!((prey as usize) < g.n(), "prey out of range");
+    for &h in hunters {
+        assert!((h as usize) < g.n(), "hunter {h} out of range");
+    }
+    if hunters.contains(&prey) {
+        return Some(0);
+    }
+    let mut pos: Vec<u32> = hunters.to_vec();
+    let mut prey_pos = prey;
+    for round in 1..=cap {
+        let mut caught = false;
+        for p in pos.iter_mut() {
+            *p = crate::walk::step(g, *p, rng);
+            if *p == prey_pos {
+                caught = true;
+            }
+        }
+        if caught {
+            return Some(round);
+        }
+        if strategy == PreyStrategy::RandomWalk {
+            prey_pos = crate::walk::step(g, prey_pos, rng);
+            if pos.contains(&prey_pos) {
+                return Some(round);
+            }
+        }
+    }
+    None
+}
+
+/// Monte-Carlo mean catch time for `k` hunters all starting at
+/// `hunter_start`, `trials` independent games, `None`-censored games
+/// counted at `cap` (so the return value is a lower bound if any game
+/// was censored; the `censored` count is returned alongside).
+///
+/// # Panics
+/// If `trials == 0` or `k == 0`.
+pub fn mean_catch_time(
+    g: &Graph,
+    hunter_start: u32,
+    prey: u32,
+    k: usize,
+    strategy: PreyStrategy,
+    cap: u64,
+    trials: usize,
+    seed: u64,
+) -> (f64, usize) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(k > 0, "need at least one hunter");
+    let hunters = vec![hunter_start; k];
+    let mut total = 0u64;
+    let mut censored = 0usize;
+    for t in 0..trials {
+        let mut rng = crate::walk::walk_rng(seed ^ ((k as u64) << 40) ^ t as u64);
+        match pursuit_rounds(g, &hunters, prey, strategy, cap, &mut rng) {
+            Some(r) => total += r,
+            None => {
+                total += cap;
+                censored += 1;
+            }
+        }
+    }
+    (total as f64 / trials as f64, censored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::walk_rng;
+    use mrw_graph::generators;
+
+    #[test]
+    fn same_start_meets_instantly() {
+        let g = generators::cycle(8);
+        assert_eq!(
+            meeting_rounds(&g, 3, 3, WalkProcess::Simple, 10, &mut walk_rng(0)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn bipartite_parity_blocks_simple_meeting() {
+        // Even cycle, odd start distance: simple walks flip sides every
+        // round — they can NEVER meet. Deterministic impossibility.
+        let g = generators::cycle(8);
+        for seed in 0..20 {
+            assert_eq!(
+                meeting_rounds(&g, 0, 1, WalkProcess::Simple, 5_000, &mut walk_rng(seed)),
+                None,
+                "parity violated at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn laziness_breaks_parity() {
+        let g = generators::cycle(8);
+        let mut met = 0;
+        for seed in 0..20 {
+            if meeting_rounds(&g, 0, 1, WalkProcess::Lazy(0.5), 5_000, &mut walk_rng(seed))
+                .is_some()
+            {
+                met += 1;
+            }
+        }
+        assert_eq!(met, 20, "lazy walks failed to meet");
+    }
+
+    #[test]
+    fn clique_meeting_time_is_about_n() {
+        // On K_n+loops both walks land uniformly: collision prob 1/n per
+        // round ⇒ mean ≈ n.
+        let n = 24;
+        let g = generators::complete_with_loops(n);
+        let trials = 2000u64;
+        let mut total = 0u64;
+        for t in 0..trials {
+            total += meeting_rounds(&g, 0, 1, WalkProcess::Simple, 100_000, &mut walk_rng(t))
+                .expect("meets");
+        }
+        let mean = total as f64 / trials as f64;
+        assert!(
+            (mean - n as f64).abs() < n as f64 * 0.1,
+            "mean {mean} vs n = {n}"
+        );
+    }
+
+    #[test]
+    fn hiding_prey_on_clique_is_hitting_time() {
+        // One hunter on K_n+loops: catch prob 1/n per round ⇒ mean ≈ n.
+        let n = 20;
+        let g = generators::complete_with_loops(n);
+        let (mean, censored) =
+            mean_catch_time(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
+        assert_eq!(censored, 0);
+        assert!((mean - n as f64).abs() < n as f64 * 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn k_hunters_catch_hider_about_k_times_faster_on_clique() {
+        let n = 32;
+        let g = generators::complete_with_loops(n);
+        let (m1, _) = mean_catch_time(&g, 0, 9, 1, PreyStrategy::Hide, 1_000_000, 1500, 2);
+        let (m8, _) = mean_catch_time(&g, 0, 9, 8, PreyStrategy::Hide, 1_000_000, 1500, 3);
+        let speedup = m1 / m8;
+        // Per-round catch prob goes 1/n → 1−(1−1/n)^8 ≈ 8/n.
+        assert!(
+            (speedup - 8.0).abs() < 1.6,
+            "hunting speed-up {speedup} not ≈ 8"
+        );
+    }
+
+    #[test]
+    fn moving_prey_caught_no_slower_than_half_speed_on_clique() {
+        // On the loopy clique a moving prey doubles the collision checks
+        // per round; the catch should not be slower than against a hider.
+        let n = 24;
+        let g = generators::complete_with_loops(n);
+        let (hide, _) = mean_catch_time(&g, 0, 5, 2, PreyStrategy::Hide, 1_000_000, 1500, 4);
+        let (run, _) =
+            mean_catch_time(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5);
+        assert!(
+            run < hide * 1.1,
+            "moving prey survived longer: {run} vs hider {hide}"
+        );
+    }
+
+    #[test]
+    fn cap_censors() {
+        let g = generators::cycle(64);
+        // 1 round can't reach a distant prey.
+        assert_eq!(
+            pursuit_rounds(&g, &[0], 32, PreyStrategy::Hide, 1, &mut walk_rng(0)),
+            None
+        );
+        let (mean, censored) = mean_catch_time(&g, 0, 32, 1, PreyStrategy::Hide, 1, 10, 6);
+        assert_eq!(censored, 10);
+        assert_eq!(mean, 1.0);
+    }
+
+    #[test]
+    fn start_on_prey_is_instant_catch() {
+        let g = generators::cycle(6);
+        assert_eq!(
+            pursuit_rounds(&g, &[2, 4], 4, PreyStrategy::RandomWalk, 10, &mut walk_rng(0)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::torus_2d(6);
+        let a = pursuit_rounds(&g, &[0, 0], 20, PreyStrategy::RandomWalk, 100_000, &mut walk_rng(9));
+        let b = pursuit_rounds(&g, &[0, 0], 20, PreyStrategy::RandomWalk, 100_000, &mut walk_rng(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,285 @@
+//! Partial coverage: rounds until `k` walks have visited a *fraction* of
+//! the graph.
+//!
+//! The applications motivating the paper — querying, searching, and
+//! membership services in ad-hoc and peer-to-peer networks (§1) — rarely
+//! need every node: a query is answered once *any* replica is found, and a
+//! gossip round succeeds once most of the network is touched. The partial
+//! cover time `C^k_γ` (rounds to visit `⌈γn⌉` distinct vertices) is the
+//! quantity those applications actually pay for, and its behavior is
+//! starkly different from full cover: the last few vertices dominate
+//! `C^k` (coupon-collector tail), so `C^k_{0.9} ≪ C^k_1` on every family.
+//! The speed-up story changes too — on the cycle, `k` walks reach a
+//! constant fraction `k` times faster (each token sweeps its own arc) even
+//! though full cover only improves by `Θ(log k)`.
+
+use mrw_graph::{algo, Graph, NodeBitSet};
+use rand::Rng;
+
+use crate::walk::step;
+
+/// Rounds until `k` round-synchronous walks from `starts` have visited at
+/// least `target` distinct vertices (start vertices count as visited at
+/// time 0). `target = g.n()` is exactly full cover; `target ≤ distinct
+/// starts` returns 0.
+///
+/// ```
+/// use mrw_core::partial::kwalk_partial_cover_rounds;
+/// use mrw_core::walk_rng;
+/// use mrw_graph::generators;
+///
+/// let g = generators::torus_2d(6);
+/// let half = kwalk_partial_cover_rounds(&g, &[0, 0], 18, &mut walk_rng(1));
+/// let full = kwalk_partial_cover_rounds(&g, &[0, 0], 36, &mut walk_rng(1));
+/// assert!(half <= full); // nested stopping times on the same trajectory
+/// ```
+///
+/// # Panics
+/// If `starts` is empty, any start is out of range, `target > g.n()`, or
+/// (debug) the graph is disconnected.
+pub fn kwalk_partial_cover_rounds<R: Rng + ?Sized>(
+    g: &Graph,
+    starts: &[u32],
+    target: usize,
+    rng: &mut R,
+) -> u64 {
+    assert!(!starts.is_empty(), "need at least one walk");
+    assert!(target <= g.n(), "target {target} exceeds n = {}", g.n());
+    for &s in starts {
+        assert!((s as usize) < g.n(), "start {s} out of range");
+    }
+    debug_assert!(algo::is_connected(g), "partial cover unreachable: disconnected graph");
+
+    let mut visited = NodeBitSet::new(g.n());
+    let mut seen = 0usize;
+    for &s in starts {
+        if visited.insert(s) {
+            seen += 1;
+        }
+    }
+    if seen >= target {
+        return 0;
+    }
+    let mut pos: Vec<u32> = starts.to_vec();
+    let mut rounds = 0u64;
+    loop {
+        rounds += 1;
+        for p in pos.iter_mut() {
+            *p = step(g, *p, rng);
+            if visited.insert(*p) {
+                seen += 1;
+            }
+        }
+        if seen >= target {
+            return rounds;
+        }
+    }
+}
+
+/// Converts a coverage fraction `γ ∈ (0, 1]` to a vertex target
+/// `max(1, ⌈γn⌉)`.
+///
+/// # Panics
+/// If `γ ∉ (0, 1]`.
+pub fn fraction_target(n: usize, gamma: f64) -> usize {
+    assert!(gamma > 0.0 && gamma <= 1.0, "fraction {gamma} not in (0,1]");
+    ((gamma * n as f64).ceil() as usize).clamp(1, n)
+}
+
+/// One `γ` row of a partial-cover profile.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialCoverPoint {
+    /// Requested coverage fraction.
+    pub gamma: f64,
+    /// Vertex target `⌈γn⌉`.
+    pub target: usize,
+    /// Monte-Carlo mean rounds to reach the target.
+    pub mean_rounds: f64,
+}
+
+/// Monte-Carlo mean partial cover times for `k` walks from `start` at each
+/// fraction in `gammas`, `trials` independent trials per fraction, seeded
+/// deterministically from `seed`.
+///
+/// Fractions are measured on *independent* runs (not one run observed at
+/// several thresholds), so the returned means are unbiased per-γ even
+/// though that costs extra simulation.
+///
+/// # Panics
+/// As [`kwalk_partial_cover_rounds`]; also if `trials == 0`.
+pub fn partial_cover_profile(
+    g: &Graph,
+    start: u32,
+    k: usize,
+    gammas: &[f64],
+    trials: usize,
+    seed: u64,
+) -> Vec<PartialCoverPoint> {
+    assert!(trials > 0, "need at least one trial");
+    assert!(k >= 1, "need at least one walk");
+    let starts = vec![start; k];
+    gammas
+        .iter()
+        .enumerate()
+        .map(|(gi, &gamma)| {
+            let target = fraction_target(g.n(), gamma);
+            let mut total = 0u64;
+            for t in 0..trials {
+                // Decorrelate (γ, trial) pairs without coupling to position
+                // in the sweep.
+                let mut rng = crate::walk::walk_rng(
+                    seed ^ (gi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (t as u64) << 20,
+                );
+                total += kwalk_partial_cover_rounds(g, &starts, target, &mut rng);
+            }
+            PartialCoverPoint {
+                gamma,
+                target,
+                mean_rounds: total as f64 / trials as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kwalk::{kwalk_cover_rounds, KWalkMode};
+    use crate::walk::walk_rng;
+    use mrw_graph::generators;
+    use mrw_stats::harmonic::harmonic;
+
+    #[test]
+    fn full_target_is_exactly_full_cover_same_seed() {
+        let g = generators::torus_2d(5);
+        let starts = [0u32, 0, 0];
+        let a = kwalk_partial_cover_rounds(&g, &starts, g.n(), &mut walk_rng(4));
+        let b = kwalk_cover_rounds(&g, &starts, KWalkMode::RoundSynchronous, &mut walk_rng(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn target_at_or_below_starts_is_zero() {
+        let g = generators::cycle(10);
+        assert_eq!(kwalk_partial_cover_rounds(&g, &[3], 1, &mut walk_rng(0)), 0);
+        assert_eq!(
+            kwalk_partial_cover_rounds(&g, &[3, 7], 2, &mut walk_rng(0)),
+            0
+        );
+    }
+
+    #[test]
+    fn partial_is_monotone_in_target_per_trace() {
+        // Same seed ⇒ same trace ⇒ rounds non-decreasing in target.
+        let g = generators::barbell(13);
+        let mut last = 0u64;
+        for target in 1..=g.n() {
+            let r = kwalk_partial_cover_rounds(&g, &[6], target, &mut walk_rng(99));
+            assert!(r >= last, "target {target}: {r} < {last}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn clique_partial_cover_matches_truncated_coupon_collector() {
+        // On K_n+loops, visiting j new vertices beyond the start takes
+        // n·(H_{n−1} − H_{n−1−j}) draws in expectation.
+        let n = 24usize;
+        let g = generators::complete_with_loops(n);
+        let target = 12usize; // half coverage
+        let trials = 1200u64;
+        let mut total = 0u64;
+        for t in 0..trials {
+            total += kwalk_partial_cover_rounds(&g, &[0], target, &mut walk_rng(t));
+        }
+        let mean = total as f64 / trials as f64;
+        let expect =
+            n as f64 * (harmonic(n as u64 - 1) - harmonic((n - target) as u64));
+        assert!(
+            (mean - expect).abs() < expect * 0.08,
+            "mean {mean} vs truncated collector {expect}"
+        );
+    }
+
+    #[test]
+    fn ninety_percent_much_cheaper_than_full_on_torus() {
+        let g = generators::torus_2d(8);
+        let trials = 120u64;
+        let mut p90 = 0u64;
+        let mut full = 0u64;
+        for t in 0..trials {
+            p90 += kwalk_partial_cover_rounds(
+                &g,
+                &[0],
+                fraction_target(g.n(), 0.9),
+                &mut walk_rng(t),
+            );
+            full += kwalk_partial_cover_rounds(&g, &[0], g.n(), &mut walk_rng(10_000 + t));
+        }
+        assert!(
+            (p90 as f64) < 0.66 * full as f64,
+            "90% cover {p90} not ≪ full {full}"
+        );
+    }
+
+    #[test]
+    fn fraction_target_edges() {
+        assert_eq!(fraction_target(100, 1.0), 100);
+        assert_eq!(fraction_target(100, 0.005), 1);
+        assert_eq!(fraction_target(7, 0.5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in (0,1]")]
+    fn zero_fraction_rejected() {
+        fraction_target(10, 0.0);
+    }
+
+    #[test]
+    fn profile_is_monotone_in_gamma() {
+        let g = generators::hypercube(4);
+        let profile = partial_cover_profile(&g, 0, 2, &[0.25, 0.5, 0.75, 1.0], 80, 7);
+        assert_eq!(profile.len(), 4);
+        for w in profile.windows(2) {
+            assert!(
+                w[1].mean_rounds >= w[0].mean_rounds * 0.95,
+                "profile not (statistically) monotone: {} then {}",
+                w[0].mean_rounds,
+                w[1].mean_rounds
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_partial_speedup_is_linear_not_logarithmic() {
+        // Theorem 6 caps the FULL-cover speed-up at Θ(log k); partial
+        // cover to half the ring is a different story — each of k tokens
+        // sweeps its own arc, so the speed-up at γ = 1/2 grows much
+        // faster than log k. (Distance covered in t steps ~ √t per token,
+        // and k tokens multiply the *rate* of new-vertex discovery.)
+        let g = generators::cycle(64);
+        let trials = 150u64;
+        let target = 32usize;
+        let mean = |k: usize| -> f64 {
+            let starts = vec![0u32; k];
+            let mut total = 0u64;
+            for t in 0..trials {
+                total += kwalk_partial_cover_rounds(&g, &starts, target, &mut walk_rng(700 + t));
+            }
+            total as f64 / trials as f64
+        };
+        let s16 = mean(1) / mean(16);
+        let log_cap = 2.0 * (16.0f64).ln(); // generous Θ(log k) envelope
+        assert!(
+            s16 > log_cap,
+            "partial speed-up {s16} looks logarithmic (cap {log_cap})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n")]
+    fn oversized_target_rejected() {
+        let g = generators::cycle(5);
+        kwalk_partial_cover_rounds(&g, &[0], 6, &mut walk_rng(0));
+    }
+}

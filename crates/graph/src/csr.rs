@@ -1,0 +1,280 @@
+//! Immutable compressed-sparse-row (CSR) graph storage.
+//!
+//! A random-walk step is the innermost loop of every experiment, so the
+//! representation is optimized for `neighbors(v)[i]`: one offset lookup and
+//! one contiguous slice. Neighbor lists are sorted, which additionally gives
+//! `O(log δ)` edge queries by binary search.
+
+/// An undirected graph in CSR form.
+///
+/// * `offsets.len() == n + 1`; the neighbors of `v` occupy
+///   `adjacency[offsets[v]..offsets[v+1]]`, sorted ascending.
+/// * An undirected edge `{u, v}` with `u != v` appears in both lists; a
+///   self-loop `{v, v}` appears once in `v`'s list and contributes one to
+///   its degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adjacency: Vec<u32>,
+    /// Number of undirected edges (self-loops count once).
+    edges: usize,
+    /// Human-readable family name, e.g. `"cycle(64)"`; used in tables.
+    name: String,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays. Prefer
+    /// [`crate::GraphBuilder`]; this constructor validates its input and is
+    /// meant for generators that produce CSR natively.
+    ///
+    /// # Panics
+    /// If the arrays are inconsistent, a neighbor index is out of range, a
+    /// neighbor list is unsorted or contains duplicates, or the structure is
+    /// not symmetric.
+    pub fn from_csr(offsets: Vec<usize>, adjacency: Vec<u32>, name: String) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(*offsets.first().unwrap(), 0, "offsets[0] must be 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            adjacency.len(),
+            "offsets must end at adjacency.len()"
+        );
+        let n = offsets.len() - 1;
+        assert!(n <= u32::MAX as usize, "too many vertices for u32 ids");
+        let mut loops = 0usize;
+        for v in 0..n {
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            assert!(s <= e, "offsets must be non-decreasing at {v}");
+            let list = &adjacency[s..e];
+            for w in list.windows(2) {
+                assert!(w[0] < w[1], "neighbors of {v} unsorted or duplicated");
+            }
+            for &u in list {
+                assert!((u as usize) < n, "neighbor {u} of {v} out of range");
+                if u as usize == v {
+                    loops += 1;
+                }
+            }
+        }
+        let g = Graph {
+            edges: (adjacency.len() - loops) / 2 + loops,
+            offsets,
+            adjacency,
+            name,
+        };
+        // Symmetry: every directed arc must have its reverse.
+        for v in 0..n as u32 {
+            for &u in g.neighbors(v) {
+                assert!(
+                    g.has_edge(u, v),
+                    "asymmetric adjacency: {v}->{u} present but {u}->{v} missing"
+                );
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (self-loops count once).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges
+    }
+
+    /// The graph's display name (family and parameters).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the display name (builders use this).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Degree of `v` (self-loop counts once).
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.adjacency[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The `i`-th neighbor of `v` — the random-walk hot path.
+    #[inline]
+    pub fn neighbor(&self, v: u32, i: usize) -> u32 {
+        self.adjacency[self.offsets[v as usize] + i]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = u32> + '_ {
+        0..self.n() as u32
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u ≤ v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u <= v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// True if every vertex has the same degree; returns that degree.
+    pub fn regular_degree(&self) -> Option<usize> {
+        if self.n() == 0 {
+            return None;
+        }
+        let d = self.degree(0);
+        if (1..self.n() as u32).all(|v| self.degree(v) == d) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Sum of degrees (= arc count = `2m − loops`... exactly
+    /// `adjacency.len()`).
+    pub fn degree_sum(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of self-loops.
+    pub fn self_loops(&self) -> usize {
+        self.vertices().filter(|&v| self.has_edge(v, v)).count()
+    }
+
+    /// Approximate heap footprint in bytes (CSR arrays only).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.adjacency.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build("triangle")
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree_sum(), 6);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert_eq!(g.regular_degree(), Some(2));
+        assert_eq!(g.self_loops(), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_queries() {
+        let g = triangle();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbor(0, 1), 2);
+    }
+
+    #[test]
+    fn edge_iterator_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn self_loop_counts_once() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 0);
+        let g = b.build("loop");
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 2); // neighbor list [0, 1]
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.self_loops(), 1);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let b = GraphBuilder::new(4);
+        let g = b.build("empty");
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(2).is_empty());
+        assert_eq!(g.regular_degree(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn from_csr_rejects_asymmetry() {
+        // 0 -> 1 without 1 -> 0.
+        Graph::from_csr(vec![0, 1, 1], vec![1], "bad".into());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn from_csr_rejects_unsorted() {
+        Graph::from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0], "bad".into());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_csr_rejects_out_of_range() {
+        Graph::from_csr(vec![0, 1], vec![5], "bad".into());
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let mut g = triangle();
+        assert_eq!(g.name(), "triangle");
+        g.set_name("renamed");
+        assert_eq!(g.name(), "renamed");
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangle();
+        assert!(g.memory_bytes() > 0);
+    }
+}

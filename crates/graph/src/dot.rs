@@ -1,0 +1,76 @@
+//! Graphviz DOT export — used to regenerate the paper's Figure 1 (the
+//! barbell `B_13`) and to eyeball small test graphs.
+
+use std::fmt::Write as _;
+
+use crate::csr::Graph;
+
+/// Renders the graph in DOT format. Vertices listed in `highlight` are
+/// drawn filled (the paper's Figure 1 highlights the center `v_c`).
+pub fn to_dot(g: &Graph, highlight: &[u32]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph \"{}\" {{", g.name());
+    let _ = writeln!(out, "  layout=neato;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for v in highlight {
+        let _ = writeln!(out, "  {v} [style=filled, fillcolor=lightblue];");
+    }
+    for (u, v) in g.edges() {
+        if u == v {
+            let _ = writeln!(out, "  {u} -- {u};");
+        } else {
+            let _ = writeln!(out, "  {u} -- {v};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Convenience: the paper's Figure 1, `B_13` with the center highlighted.
+pub fn figure1() -> String {
+    let g = crate::generators::barbell(13);
+    let c = crate::generators::barbell_center(13);
+    to_dot(&g, &[c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = generators::cycle(4);
+        let dot = to_dot(&g, &[]);
+        assert!(dot.starts_with("graph \"cycle(4)\""));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("0 -- 3;"));
+        assert!(dot.contains("2 -- 3;"));
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn highlight_renders_fill() {
+        let g = generators::path(3);
+        let dot = to_dot(&g, &[1]);
+        assert!(dot.contains("1 [style=filled"));
+    }
+
+    #[test]
+    fn self_loop_rendered_once() {
+        let mut b = crate::GraphBuilder::new(1);
+        b.add_edge(0, 0);
+        let g = b.build("loop");
+        let dot = to_dot(&g, &[]);
+        assert_eq!(dot.matches("0 -- 0;").count(), 1);
+    }
+
+    #[test]
+    fn figure1_highlights_center() {
+        let dot = figure1();
+        assert!(dot.contains("12 [style=filled"));
+        // 32 edges: two K6 bells (15 each) + 2 center links.
+        assert_eq!(dot.matches(" -- ").count(), 32);
+    }
+}

@@ -1,0 +1,148 @@
+//! Compound families: the barbell of the paper's Figure 1 and the lollipop.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// The barbell graph `B_n` of the paper (Section 7, Figure 1): two cliques
+/// ("bells") of size `(n−1)/2` joined by a path of length 2 through a
+/// center vertex.
+///
+/// `n` must be odd and ≥ 7 (so each bell is a clique of size ≥ 3).
+/// Layout: bell A is `0..m`, bell B is `m..2m`, the center `v_c` is `2m`,
+/// where `m = (n−1)/2`. The center attaches to vertex `0` of bell A and
+/// vertex `m` of bell B.
+///
+/// From the center, `C(B_n) = Θ(n²)` for one walk but `C^k = O(n)` for
+/// `k = Θ(log n)` walks — the paper's exponential-speed-up example
+/// (Theorems 7 and 26).
+pub fn barbell(n: usize) -> Graph {
+    assert!(n % 2 == 1, "barbell size must be odd, got {n}");
+    assert!(n >= 7, "barbell needs n ≥ 7 (bells of size ≥ 3), got {n}");
+    let m = (n - 1) / 2;
+    let center = (2 * m) as u32;
+    let mut b = GraphBuilder::with_capacity(n, m * (m - 1) + 2);
+    for base in [0u32, m as u32] {
+        for i in 0..m as u32 {
+            for j in (i + 1)..m as u32 {
+                b.add_edge(base + i, base + j);
+            }
+        }
+    }
+    b.add_edge(center, 0);
+    b.add_edge(center, m as u32);
+    b.build(format!("barbell({n})"))
+}
+
+/// The center vertex `v_c` of [`barbell`]`(n)`.
+pub fn barbell_center(n: usize) -> u32 {
+    assert!(n % 2 == 1 && n >= 7, "invalid barbell size {n}");
+    (n - 1) as u32
+}
+
+/// The lollipop graph: a clique on `⌈n/2⌉` vertices with a path of
+/// `⌊n/2⌋` vertices hanging off vertex 0.
+///
+/// The family achieving the worst-case `Θ(n³)` cover time cited in §2 of
+/// the paper (Feige's tight upper bound).
+pub fn lollipop(n: usize) -> Graph {
+    assert!(n >= 4, "lollipop needs at least 4 vertices, got {n}");
+    let clique = n.div_ceil(2);
+    let mut b = GraphBuilder::with_capacity(n, clique * (clique - 1) / 2 + n - clique);
+    for i in 0..clique as u32 {
+        for j in (i + 1)..clique as u32 {
+            b.add_edge(i, j);
+        }
+    }
+    // Path 0 — clique — clique+1 — … — n−1 hanging off vertex 0.
+    let mut prev = 0u32;
+    for v in clique as u32..n as u32 {
+        b.add_edge(prev, v);
+        prev = v;
+    }
+    b.build(format!("lollipop({n})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn barbell_13_matches_figure_1() {
+        // Figure 1 of the paper shows B_13: two K_6 bells and a center.
+        let g = barbell(13);
+        assert_eq!(g.n(), 13);
+        let m = 6;
+        // Each bell: C(6,2) = 15 edges; plus 2 center edges.
+        assert_eq!(g.m(), 2 * 15 + 2);
+        let c = barbell_center(13);
+        assert_eq!(c, 12);
+        assert_eq!(g.degree(c), 2);
+        assert_eq!(g.degree(0), m); // bell member + center link
+        assert_eq!(g.degree(1), m - 1);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn center_path_has_length_two() {
+        let g = barbell(21);
+        let c = barbell_center(21);
+        let m = 10u32;
+        // center — 0 — (bell A), center — m — (bell B): dist(0, m) == 2.
+        let dist = algo::bfs_distances(&g, 0);
+        assert_eq!(dist[c as usize], 1);
+        assert_eq!(dist[m as usize], 2);
+        // Other bell-B members are at distance 3 from bell A's attachment.
+        assert_eq!(dist[(m + 1) as usize], 3);
+    }
+
+    #[test]
+    fn bells_are_cliques() {
+        let g = barbell(11);
+        let m = 5u32;
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    assert!(g.has_edge(i, j), "bell A missing {i}-{j}");
+                    assert!(g.has_edge(m + i, m + j), "bell B missing");
+                }
+            }
+        }
+        // No cross-bell edges except through the center.
+        for i in 0..m {
+            for j in m..2 * m {
+                assert!(!g.has_edge(i, j), "unexpected cross edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let g = lollipop(10); // clique 5, path 5
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 10 + 5); // C(5,2)=10 clique + 5 path edges
+        assert_eq!(g.degree(9), 1); // end of the stick
+        assert_eq!(g.degree(0), 5); // clique(4) + stick(1)
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn lollipop_odd() {
+        let g = lollipop(7); // clique 4, path 3
+        assert_eq!(g.n(), 7);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.m(), 6 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_barbell_rejected() {
+        barbell(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 7")]
+    fn tiny_barbell_rejected() {
+        barbell(5);
+    }
+}

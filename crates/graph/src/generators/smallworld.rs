@@ -1,0 +1,273 @@
+//! Small-world and scale-free random families: Watts–Strogatz rewiring
+//! and Barabási–Albert preferential attachment.
+//!
+//! Neither family appears in the paper's Table 1, but both are standard
+//! models of the ad-hoc / peer-to-peer networks its introduction motivates
+//! (random-walk querying and membership services, refs \[8, 10, 21, 31\]),
+//! and both stress the open Conjectures 10 and 11 from a direction the
+//! paper's own zoo does not: Watts–Strogatz interpolates *continuously*
+//! between the cycle (`S^k = Θ(log k)`, the paper's worst case) and an
+//! expander-like graph (`S^k = Ω(k)`), and Barabási–Albert has the heavy
+//! degree tail none of the paper's families have. The conjecture
+//! experiment sweeps them alongside the paper's families.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// Watts–Strogatz small-world graph: a ring of `n` vertices each wired to
+/// its `base_degree` nearest neighbors (`base_degree` even, the classic
+/// ring lattice), then every lattice edge is rewired to a uniform random
+/// endpoint independently with probability `beta`.
+///
+/// * `beta = 0` is the circulant ring lattice (locally clustered, long
+///   paths — cycle-like cover behavior);
+/// * `beta = 1` is essentially a random graph (short paths — expander-like
+///   cover behavior);
+/// * intermediate `beta` is the small-world regime.
+///
+/// Rewiring never creates self-loops or parallel edges (a rewire with no
+/// legal target keeps the lattice edge), so the graph stays simple with
+/// exactly `n·base_degree/2` edges.
+///
+/// ```
+/// use mrw_graph::generators::watts_strogatz;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let g = watts_strogatz(64, 4, 0.1, &mut SmallRng::seed_from_u64(1));
+/// assert_eq!(g.n(), 64);
+/// assert_eq!(g.m(), 128); // rewiring preserves the edge count
+/// ```
+///
+/// # Panics
+/// If `base_degree` is odd, zero, or `≥ n`, or `beta ∉ [0,1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(
+    n: usize,
+    base_degree: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(n >= 3, "watts_strogatz needs n ≥ 3, got {n}");
+    assert!(
+        base_degree >= 2 && base_degree.is_multiple_of(2),
+        "base_degree must be even and ≥ 2, got {base_degree}"
+    );
+    assert!(base_degree < n, "base_degree {base_degree} ≥ n {n}");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+
+    let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
+    let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(n * base_degree / 2);
+    for v in 0..n {
+        for off in 1..=(base_degree / 2) {
+            edges.insert(key(v as u32, ((v + off) % n) as u32));
+        }
+    }
+    // Rewire in the canonical order (vertex, offset) so a fixed seed gives
+    // a fixed graph regardless of HashSet iteration order.
+    for v in 0..n {
+        for off in 1..=(base_degree / 2) {
+            if rng.gen::<f64>() >= beta {
+                continue;
+            }
+            let old = key(v as u32, ((v + off) % n) as u32);
+            if !edges.contains(&old) {
+                continue; // already rewired away by an earlier move
+            }
+            // Up to n attempts to find a legal new endpoint; degenerate
+            // dense corners may have none, in which case keep the edge.
+            let mut found = None;
+            for _ in 0..n {
+                let w = rng.gen_range(0..n) as u32;
+                if w == v as u32 {
+                    continue;
+                }
+                let cand = key(v as u32, w);
+                if !edges.contains(&cand) {
+                    found = Some(cand);
+                    break;
+                }
+            }
+            if let Some(new) = found {
+                edges.remove(&old);
+                edges.insert(new);
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+    sorted.sort_unstable();
+    for (u, v) in sorted {
+        b.add_edge(u, v);
+    }
+    b.build(format!("watts_strogatz(n={n},d={base_degree},beta={beta:.2})"))
+}
+
+/// Barabási–Albert preferential attachment: starts from a clique on
+/// `attach + 1` vertices, then each new vertex attaches `attach` edges to
+/// distinct existing vertices chosen with probability proportional to
+/// their current degree (implemented by uniform sampling from the arc
+/// endpoint list — each endpoint occurrence is one unit of degree).
+///
+/// Produces a connected graph with a power-law degree tail
+/// (`P(δ) ∝ δ⁻³` asymptotically) — maximally *unlike* the regular
+/// families of Table 1, which is exactly why the conjecture zoo wants it.
+///
+/// # Panics
+/// If `attach == 0` or `n < attach + 1`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, attach: usize, rng: &mut R) -> Graph {
+    assert!(attach >= 1, "attach must be ≥ 1");
+    assert!(
+        n > attach,
+        "barabasi_albert needs n ≥ attach+1 = {}, got {n}",
+        attach + 1
+    );
+    let mut b = GraphBuilder::with_capacity(n, (n - attach) * attach + attach * (attach + 1) / 2);
+    // Repeated-endpoints list: sampling uniformly from it is sampling
+    // proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * n * attach);
+    let seed = attach + 1;
+    for u in 0..seed as u32 {
+        for v in (u + 1)..seed as u32 {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+    for v in seed..n {
+        chosen.clear();
+        // Rejection-sample `attach` distinct targets; the endpoint list is
+        // never empty (seed clique) and attach ≤ current vertex count, so
+        // this terminates.
+        while chosen.len() < attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as u32, t);
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build(format!("barabasi_albert(n={n},m={attach})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ws_beta_zero_is_ring_lattice() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "lattice must be 4-regular");
+        }
+        // Lattice adjacency: i ~ i±1, i±2.
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn ws_edge_count_invariant_under_rewiring() {
+        for beta in [0.1, 0.5, 1.0] {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let g = watts_strogatz(64, 6, beta, &mut rng);
+            assert_eq!(g.m(), 64 * 3, "beta={beta}");
+            assert_eq!(g.self_loops(), 0);
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_shrinks_diameter() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let lattice = watts_strogatz(256, 4, 0.0, &mut rng);
+        let small_world = watts_strogatz(256, 4, 0.3, &mut rng);
+        let d0 = algo::diameter(&lattice).expect("connected");
+        if let Some(d1) = algo::diameter(&small_world) {
+            assert!(
+                d1 < d0,
+                "rewiring did not shrink diameter: {d1} vs lattice {d0}"
+            );
+        }
+        // Lattice diameter is exactly ⌈n/4⌉ for d=4.
+        assert_eq!(d0, 64);
+    }
+
+    #[test]
+    fn ws_deterministic_per_seed() {
+        let a = watts_strogatz(48, 4, 0.4, &mut SmallRng::seed_from_u64(9));
+        let b = watts_strogatz(48, 4, 0.4, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a.degree_sum(), b.degree_sum());
+        for v in a.vertices() {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn ws_rejects_odd_degree() {
+        watts_strogatz(10, 3, 0.1, &mut SmallRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn ba_counts_and_connectivity() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = barabasi_albert(200, 3, &mut rng);
+        assert_eq!(g.n(), 200);
+        // Seed K_4 has 6 edges; each of the 196 later vertices adds 3.
+        assert_eq!(g.m(), 6 + 196 * 3);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.self_loops(), 0);
+    }
+
+    #[test]
+    fn ba_min_degree_is_attach() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = barabasi_albert(100, 2, &mut rng);
+        assert!(g.min_degree() >= 2);
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        // The hub should dominate: max degree well above the mean.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = barabasi_albert(500, 2, &mut rng);
+        let mean = g.degree_sum() as f64 / g.n() as f64;
+        assert!(
+            g.max_degree() as f64 > 4.0 * mean,
+            "max {} vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn ba_attach_one_is_a_tree() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = barabasi_albert(64, 1, &mut rng);
+        // Seed K_2 contributes 1 edge; the 62 later vertices add one each:
+        // 63 = n − 1 edges on a connected graph ⇒ a tree.
+        assert_eq!(g.m(), 63);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn ba_deterministic_per_seed() {
+        let a = barabasi_albert(80, 3, &mut SmallRng::seed_from_u64(17));
+        let b = barabasi_albert(80, 3, &mut SmallRng::seed_from_u64(17));
+        for v in a.vertices() {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+}

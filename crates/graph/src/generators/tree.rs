@@ -1,0 +1,93 @@
+//! Balanced regular trees (cited as Matthews-tight via Zuckerman [33]).
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+
+/// A balanced `b`-ary tree of the given `height` (root at vertex 0,
+/// `height = 0` is a single vertex). Every internal vertex has exactly `b`
+/// children; vertex count is `(b^{height+1} − 1)/(b − 1)`.
+///
+/// In the paper's terminology this realizes the "d-regular balanced trees"
+/// family for which Matthews' bound is tight, so Theorem 4 applies:
+/// `S^k = Ω(k)` for `k ≤ log n`.
+pub fn balanced_tree(branching: usize, height: u32) -> Graph {
+    assert!(branching >= 2, "branching factor must be ≥ 2, got {branching}");
+    // n = (b^{h+1} - 1) / (b - 1), computed with overflow checks.
+    let mut n: usize = 1;
+    let mut level = 1usize;
+    for _ in 0..height {
+        level = level
+            .checked_mul(branching)
+            .expect("tree level size overflows");
+        n = n.checked_add(level).expect("tree size overflows");
+    }
+    assert!(n <= u32::MAX as usize, "tree too large for u32 ids");
+
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    // Children of vertex v (in BFS order) are b*v+1 .. b*v+b.
+    for v in 0..n {
+        for c in 1..=branching {
+            let child = v * branching + c;
+            if child < n {
+                b.add_edge(v as u32, child as u32);
+            }
+        }
+    }
+    b.build(format!("tree(b={branching},h={height})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn binary_tree_counts() {
+        let g = balanced_tree(2, 3); // 1+2+4+8 = 15
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.degree(0), 2); // root
+        assert_eq!(g.degree(1), 3); // internal
+        assert_eq!(g.degree(14), 1); // leaf
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn ternary_tree_counts() {
+        let g = balanced_tree(3, 2); // 1+3+9 = 13
+        assert_eq!(g.n(), 13);
+        assert_eq!(g.m(), 12);
+        assert_eq!(g.degree(0), 3);
+    }
+
+    #[test]
+    fn height_zero_is_single_vertex() {
+        let g = balanced_tree(2, 0);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn tree_is_acyclic() {
+        // n vertices, n-1 edges, connected => tree.
+        let g = balanced_tree(4, 3);
+        assert_eq!(g.m(), g.n() - 1);
+        assert!(algo::is_connected(&g));
+    }
+
+    #[test]
+    fn leaf_depth_equals_height() {
+        let g = balanced_tree(2, 4);
+        let dist = algo::bfs_distances(&g, 0);
+        let max = dist.iter().copied().max().unwrap();
+        assert_eq!(max, 4);
+        // Leaf count = 2^4 = 16 at depth 4.
+        assert_eq!(dist.iter().filter(|&&d| d == 4).count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn unary_tree_rejected() {
+        balanced_tree(1, 3);
+    }
+}

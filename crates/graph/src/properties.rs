@@ -1,0 +1,152 @@
+//! Structural summaries of a graph, printed alongside experiment results.
+
+use crate::algo;
+use crate::csr::Graph;
+
+/// A bundle of cheap structural facts about a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProperties {
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree (`degree_sum / n`).
+    pub mean_degree: f64,
+    /// `Some(d)` when the graph is d-regular.
+    pub regular: Option<usize>,
+    /// Whether the graph is connected.
+    pub connected: bool,
+    /// Number of self-loops.
+    pub self_loops: usize,
+    /// Exact diameter when connected and `n` small enough to afford
+    /// all-sources BFS, else a two-sweep lower bound; `None` when
+    /// disconnected.
+    pub diameter: Option<u32>,
+    /// True when `diameter` is exact rather than a lower bound.
+    pub diameter_exact: bool,
+}
+
+/// Vertex-count threshold below which [`analyze`] computes the exact
+/// diameter (`O(n·m)` all-sources BFS).
+pub const EXACT_DIAMETER_LIMIT: usize = 2048;
+
+/// Computes [`GraphProperties`] for `g`.
+pub fn analyze(g: &Graph) -> GraphProperties {
+    let n = g.n();
+    let connected = algo::is_connected(g);
+    let (diameter, diameter_exact) = if !connected || n == 0 {
+        (None, true)
+    } else if n <= EXACT_DIAMETER_LIMIT {
+        (algo::diameter(g), true)
+    } else {
+        (algo::diameter_two_sweep(g, 0), false)
+    };
+    GraphProperties {
+        n,
+        m: g.m(),
+        min_degree: if n == 0 { 0 } else { g.min_degree() },
+        max_degree: if n == 0 { 0 } else { g.max_degree() },
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            g.degree_sum() as f64 / n as f64
+        },
+        regular: g.regular_degree(),
+        connected,
+        self_loops: g.self_loops(),
+        diameter,
+        diameter_exact,
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+impl std::fmt::Display for GraphProperties {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} deg=[{},{}] mean_deg={:.2}{}{} diam={}{}",
+            self.n,
+            self.m,
+            self.min_degree,
+            self.max_degree,
+            self.mean_degree,
+            match self.regular {
+                Some(d) => format!(" {d}-regular"),
+                None => String::new(),
+            },
+            if self.connected { " connected" } else { " DISCONNECTED" },
+            match self.diameter {
+                Some(d) => d.to_string(),
+                None => "∞".to_string(),
+            },
+            if self.diameter_exact { "" } else { "+" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_properties() {
+        let p = analyze(&generators::cycle(10));
+        assert_eq!(p.n, 10);
+        assert_eq!(p.m, 10);
+        assert_eq!(p.regular, Some(2));
+        assert!(p.connected);
+        assert_eq!(p.diameter, Some(5));
+        assert!(p.diameter_exact);
+        assert_eq!(p.self_loops, 0);
+        assert!((p.mean_degree - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_histogram() {
+        let h = degree_histogram(&generators::star(6));
+        assert_eq!(h[1], 5);
+        assert_eq!(h[5], 1);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = analyze(&generators::complete(5));
+        let s = p.to_string();
+        assert!(s.contains("n=5"));
+        assert!(s.contains("4-regular"));
+        assert!(s.contains("connected"));
+        assert!(s.contains("diam=1"));
+    }
+
+    #[test]
+    fn disconnected_display() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let p = analyze(&b.build("frag"));
+        assert!(!p.connected);
+        assert_eq!(p.diameter, None);
+        assert!(p.to_string().contains("DISCONNECTED"));
+    }
+
+    #[test]
+    fn large_graph_uses_two_sweep() {
+        let g = generators::torus_2d(50); // n = 2500 > limit
+        let p = analyze(&g);
+        assert!(!p.diameter_exact);
+        assert_eq!(p.diameter, Some(50)); // two-sweep finds it exactly here
+    }
+}

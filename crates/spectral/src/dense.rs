@@ -1,0 +1,311 @@
+//! Dense row-major matrices with partial-pivot LU decomposition.
+//!
+//! Only what the hitting-time computations need: construct, multiply by a
+//! vector, LU-factor, solve, invert. Sizes are a few hundred to ~2000, so a
+//! straightforward cache-friendly triple loop is plenty.
+
+/// A dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows.checked_mul(cols).expect("matrix too large")],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Matrix–matrix product `A·B`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// LU decomposition with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is singular (a pivot smaller than
+    /// `1e-12` in magnitude).
+    pub fn lu(&self) -> Option<Lu> {
+        assert_eq!(self.rows, self.cols, "LU needs a square matrix");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Pivot selection.
+            let mut best = col;
+            let mut best_abs = lu[col * n + col].abs();
+            for r in (col + 1)..n {
+                let a = lu[r * n + col].abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs < 1e-12 {
+                return None;
+            }
+            if best != col {
+                for c in 0..n {
+                    lu.swap(col * n + c, best * n + c);
+                }
+                perm.swap(col, best);
+            }
+            let pivot = lu[col * n + col];
+            for r in (col + 1)..n {
+                let factor = lu[r * n + col] / pivot;
+                lu[r * n + col] = factor;
+                for c in (col + 1)..n {
+                    lu[r * n + c] -= factor * lu[col * n + c];
+                }
+            }
+        }
+        Some(Lu { n, lu, perm })
+    }
+
+    /// Solves `A·x = b` via LU; `None` if singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        Some(self.lu()?.solve(b))
+    }
+
+    /// Inverse via LU on the identity columns; `None` if singular.
+    pub fn inverse(&self) -> Option<DenseMatrix> {
+        let lu = self.lu()?;
+        let n = self.rows;
+        let mut inv = DenseMatrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = lu.solve(&e);
+            for r in 0..n {
+                inv[(r, col)] = x[r];
+            }
+            e[col] = 0.0;
+        }
+        Some(inv)
+    }
+
+    /// Max-abs elementwise difference to another matrix.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// An LU factorization `P·A = L·U` ready for repeated solves.
+pub struct Lu {
+    n: usize,
+    /// Combined L (strict lower, unit diagonal implicit) and U (upper).
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl Lu {
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "solve dimension mismatch");
+        let n = self.n;
+        // Apply permutation, forward-substitute L.
+        let mut y: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for r in 1..n {
+            let dot: f64 = self.lu[r * n..r * n + r]
+                .iter()
+                .zip(&y[..r])
+                .map(|(l, yv)| l * yv)
+                .sum();
+            y[r] -= dot;
+        }
+        // Back-substitute U.
+        for r in (0..n).rev() {
+            let dot: f64 = self.lu[r * n + r + 1..r * n + n]
+                .iter()
+                .zip(&y[r + 1..])
+                .map(|(u, yv)| u * yv)
+                .sum();
+            y[r] = (y[r] - dot) / self.lu[r * n + r];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve() {
+        let i = DenseMatrix::identity(4);
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 3.0;
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] -> x = [3, 2]
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_fn(3, 3, |r, c| (r + c) as f64); // rank 2
+        assert!(a.lu().is_none());
+        assert!(a.solve(&[1.0, 2.0, 3.0]).is_none());
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        // A pseudo-random well-conditioned matrix (diagonally dominant).
+        let n = 12;
+        let a = DenseMatrix::from_fn(n, n, |r, c| {
+            if r == c {
+                10.0 + r as f64
+            } else {
+                ((r * 31 + c * 17) % 7) as f64 / 7.0
+            }
+        });
+        let inv = a.inverse().unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&DenseMatrix::identity(n)) < 1e-9);
+    }
+
+    #[test]
+    fn solve_matches_matvec() {
+        let n = 20;
+        let a = DenseMatrix::from_fn(n, n, |r, c| {
+            if r == c {
+                5.0
+            } else {
+                (((r * 13 + c * 7) % 11) as f64 - 5.0) / 11.0
+            }
+        });
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn repeated_solves_from_one_factorization() {
+        let a = DenseMatrix::from_fn(5, 5, |r, c| if r == c { 4.0 } else { 1.0 });
+        let lu = a.lu().unwrap();
+        for k in 0..3 {
+            let b: Vec<f64> = (0..5).map(|i| (i + k) as f64).collect();
+            let x = lu.solve(&b);
+            let back = a.matvec(&x);
+            for (bb, bo) in back.iter().zip(&b) {
+                assert!((bb - bo).abs() < 1e-10);
+            }
+        }
+    }
+}

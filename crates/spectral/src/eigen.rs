@@ -1,0 +1,447 @@
+//! Full symmetric eigendecomposition by cyclic Jacobi rotations.
+//!
+//! The expander analysis of Section 4.1 lives and dies by the spectrum:
+//! an `(n,d,λ)`-graph is a d-regular graph whose nontrivial adjacency
+//! eigenvalues all have modulus at most `λ`, and Lemma 19 / Corollary 20
+//! turn the ratio `λ/d` into a hitting-probability bound.
+//! [`power`](crate::power) already estimates the single dominant
+//! nontrivial eigenvalue; this module computes the *entire* spectrum of
+//! the walk operator, which gives
+//!
+//! * an independent cross-check of the power-iteration certificate,
+//! * the relaxation time `t_rel = 1/(1 − λ*)` and the classical
+//!   reversible-chain sandwich on the mixing time
+//!   (`(t_rel − 1)·ln(1/2e) ≤ t_m ≤ t_rel·ln(en/π_min)` — Levin–Peres
+//!   Thms 12.4/12.5), which we compare against the paper's exact
+//!   TV-evolution `t_m` in the Theorem 9 experiment, and
+//! * closed-form spectra for the paper's families (cycle, complete,
+//!   hypercube, torus) used as ground truth in tests.
+//!
+//! The walk matrix `P = D⁻¹A` of an undirected graph is similar to the
+//! symmetric normalized adjacency `N = D^{-1/2} A D^{-1/2}`
+//! (`N = D^{1/2} P D^{-1/2}`), so its eigenvalues are real and we can run
+//! Jacobi on `N` — no unsymmetric eigensolver needed.
+
+use mrw_graph::Graph;
+
+use crate::dense::DenseMatrix;
+
+/// Eigendecomposition of a symmetric matrix: `values[i]` belongs to the
+/// `i`-th column of `vectors`. Values are sorted descending.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors, one per column, aligned with `values`.
+    pub vectors: DenseMatrix,
+}
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+///
+/// Sweeps rotate away each off-diagonal entry in turn; off-diagonal mass
+/// decreases quadratically once small, and 30 sweeps is far more than
+/// needed for any matrix this project builds (a sweep count that low is a
+/// hard failure, so we panic rather than return garbage).
+///
+/// # Panics
+/// If `a` is not square, not symmetric (to `1e-9` relative), or fails to
+/// converge.
+pub fn jacobi_eigen(a: &DenseMatrix) -> SymmetricEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "Jacobi needs a square matrix");
+    let scale = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .map(|(i, j)| a[(i, j)].abs())
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            assert!(
+                (a[(i, j)] - a[(j, i)]).abs() <= 1e-9 * scale,
+                "Jacobi needs a symmetric matrix; a[{i},{j}] = {}, a[{j},{i}] = {}",
+                a[(i, j)],
+                a[(j, i)]
+            );
+        }
+    }
+
+    let mut m = a.clone();
+    let mut v = DenseMatrix::identity(n);
+    const MAX_SWEEPS: usize = 50;
+    const TOL: f64 = 1e-12;
+    for _sweep in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .map(|(i, j)| m[(i, j)] * m[(i, j)])
+            .sum();
+        if off.sqrt() <= TOL * scale {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= TOL * scale * 1e-3 {
+                    continue;
+                }
+                // Classic two-sided rotation eliminating m[p][q].
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for i in 0..n {
+                    let mip = m[(i, p)];
+                    let miq = m[(i, q)];
+                    m[(i, p)] = c * mip - s * miq;
+                    m[(i, q)] = s * mip + c * miq;
+                }
+                for j in 0..n {
+                    let mpj = m[(p, j)];
+                    let mqj = m[(q, j)];
+                    m[(p, j)] = c * mpj - s * mqj;
+                    m[(q, j)] = s * mpj + c * mqj;
+                }
+                for i in 0..n {
+                    let vip = v[(i, p)];
+                    let viq = v[(i, q)];
+                    v[(i, p)] = c * vip - s * viq;
+                    v[(i, q)] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+    let final_off: f64 = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .map(|(i, j)| m[(i, j)] * m[(i, j)])
+        .sum::<f64>()
+        .sqrt();
+    assert!(
+        final_off <= 1e-8 * scale,
+        "Jacobi failed to converge: residual off-diagonal norm {final_off}"
+    );
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = DenseMatrix::from_fn(n, n, |r, c| v[(r, order[c])]);
+    SymmetricEigen { values, vectors }
+}
+
+/// Eigenvalues of the walk matrix `P = D⁻¹A`, descending (`≈ 1` first).
+///
+/// Computed on the similar symmetric matrix `D^{-1/2} A D^{-1/2}`, so the
+/// graph may be irregular. Self-loops contribute to both `A` and `D`
+/// exactly as the walk engine treats them.
+///
+/// ```
+/// use mrw_graph::generators;
+/// use mrw_spectral::walk_spectrum;
+///
+/// // K_4: eigenvalues 1 and −1/3 (three times).
+/// let s = walk_spectrum(&generators::complete(4));
+/// assert!((s[0] - 1.0).abs() < 1e-9);
+/// assert!((s[1] + 1.0 / 3.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// If `g` has an isolated vertex (the walk matrix is undefined there).
+pub fn walk_spectrum(g: &Graph) -> Vec<f64> {
+    let n = g.n();
+    assert!(n > 0, "spectrum of the empty graph");
+    let inv_sqrt_deg: Vec<f64> = (0..n as u32)
+        .map(|v| {
+            let d = g.degree(v);
+            assert!(d > 0, "vertex {v} is isolated; walk matrix undefined");
+            1.0 / (d as f64).sqrt()
+        })
+        .collect();
+    let mut a = DenseMatrix::zeros(n, n);
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            a[(v as usize, u as usize)] += inv_sqrt_deg[v as usize] * inv_sqrt_deg[u as usize];
+        }
+    }
+    jacobi_eigen(&a).values
+}
+
+/// Spectral summary of the walk operator of a graph.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkSpectrumSummary {
+    /// Second-largest eigenvalue `λ₂` of `P`.
+    pub lambda2: f64,
+    /// Smallest eigenvalue `λ_n` of `P` (≥ −1; = −1 iff bipartite).
+    pub lambda_min: f64,
+    /// `λ* = max(λ₂, |λ_n|)` — the convergence rate of the chain.
+    pub lambda_star: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub gap: f64,
+    /// Absolute spectral gap `1 − λ*`.
+    pub abs_gap: f64,
+    /// Relaxation time `t_rel = 1/(1 − λ*)` (`∞` for bipartite graphs,
+    /// where the non-lazy walk never mixes).
+    pub relaxation_time: f64,
+}
+
+/// Summarizes a walk spectrum (as returned by [`walk_spectrum`]).
+///
+/// # Panics
+/// If the spectrum has fewer than 2 eigenvalues.
+pub fn summarize_spectrum(spectrum: &[f64]) -> WalkSpectrumSummary {
+    assert!(spectrum.len() >= 2, "need at least two eigenvalues");
+    let lambda2 = spectrum[1];
+    let lambda_min = *spectrum.last().expect("nonempty");
+    let lambda_star = lambda2.max(lambda_min.abs());
+    let abs_gap = 1.0 - lambda_star;
+    WalkSpectrumSummary {
+        lambda2,
+        lambda_min,
+        lambda_star,
+        gap: 1.0 - lambda2,
+        abs_gap,
+        relaxation_time: if abs_gap > 0.0 { 1.0 / abs_gap } else { f64::INFINITY },
+    }
+}
+
+/// The reversible-chain mixing-time sandwich at the paper's threshold
+/// `ε = 1/e`: returns `(lower, upper)` with
+/// `lower = (t_rel − 1)·ln(1/(2ε))` and
+/// `upper = t_rel · ln(1/(ε·π_min))`
+/// (Levin–Peres–Wilmer, *Markov Chains and Mixing Times*, Thms 12.5 and
+/// 12.4). The paper's `t_m` (total-variation at `1/e`, §2) must land in
+/// this bracket for aperiodic chains; for the lazy chain substitute the
+/// lazy spectrum.
+pub fn mixing_time_sandwich(summary: &WalkSpectrumSummary, pi_min: f64) -> (f64, f64) {
+    let eps = 1.0 / std::f64::consts::E;
+    let lower = (summary.relaxation_time - 1.0).max(0.0) * (1.0 / (2.0 * eps)).ln();
+    let upper = summary.relaxation_time * (1.0 / (eps * pi_min)).ln();
+    (lower, upper)
+}
+
+/// Eigenvalues of the *lazy* walk `(I + P)/2`, descending. The lazy map
+/// `λ ↦ (1 + λ)/2` kills periodicity: all lazy eigenvalues are in
+/// `[0, 1]`, so the lazy chain always mixes — matching
+/// [`MixingConfig::lazy`](crate::mixing::MixingConfig::lazy).
+pub fn lazy_spectrum(spectrum: &[f64]) -> Vec<f64> {
+    spectrum.iter().map(|&l| (1.0 + l) / 2.0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::second_eigenvalue_regular;
+    use crate::stationary::stationary_distribution;
+    use mrw_graph::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-8;
+
+    fn assert_spectra_match(got: &[f64], mut want: Vec<f64>, label: &str) {
+        want.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(got.len(), want.len(), "{label}: length");
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!((g - w).abs() < 1e-7, "{label}: λ_{i} = {g}, expected {w}");
+        }
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_identity_operation() {
+        let a = DenseMatrix::from_fn(4, 4, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let e = jacobi_eigen(&a);
+        assert_spectra_match(&e.values, vec![1.0, 2.0, 3.0, 4.0], "diag");
+    }
+
+    #[test]
+    fn jacobi_two_by_two_closed_form() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(0, 0)] = 2.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(1, 1)] = 2.0;
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < TOL);
+        assert!((e.values[1] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn jacobi_vectors_are_orthonormal_and_satisfy_av_eq_lv() {
+        let g = generators::barbell(9);
+        let n = g.n();
+        let mut a = DenseMatrix::zeros(n, n);
+        for (u, v) in g.edges() {
+            a[(u as usize, v as usize)] += 1.0;
+            if u != v {
+                a[(v as usize, u as usize)] += 1.0;
+            }
+        }
+        let e = jacobi_eigen(&a);
+        // Orthonormality.
+        for i in 0..n {
+            for j in 0..n {
+                let dot: f64 = (0..n).map(|r| e.vectors[(r, i)] * e.vectors[(r, j)]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-7, "v_{i}·v_{j} = {dot}");
+            }
+        }
+        // Residuals ‖Av − λv‖.
+        for c in 0..n {
+            let v: Vec<f64> = (0..n).map(|r| e.vectors[(r, c)]).collect();
+            let av = a.matvec(&v);
+            for r in 0..n {
+                assert!(
+                    (av[r] - e.values[c] * v[r]).abs() < 1e-6,
+                    "residual at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn jacobi_rejects_asymmetric() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a[(0, 1)] = 1.0;
+        jacobi_eigen(&a);
+    }
+
+    #[test]
+    fn cycle_spectrum_is_cosines() {
+        // P on the n-cycle: eigenvalues cos(2πj/n), j = 0..n−1.
+        let n = 12;
+        let got = walk_spectrum(&generators::cycle(n));
+        let want: Vec<f64> = (0..n).map(|j| (2.0 * PI * j as f64 / n as f64).cos()).collect();
+        assert_spectra_match(&got, want, "cycle");
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n: 1 once, −1/(n−1) with multiplicity n−1.
+        let n = 9;
+        let got = walk_spectrum(&generators::complete(n));
+        let mut want = vec![1.0];
+        want.extend(std::iter::repeat_n(-1.0 / (n as f64 - 1.0), n - 1));
+        assert_spectra_match(&got, want, "complete");
+    }
+
+    #[test]
+    fn complete_with_loops_spectrum_is_rank_one() {
+        // K_n + loops: P = J/n — eigenvalues {1, 0, …, 0}.
+        let n = 7;
+        let got = walk_spectrum(&generators::complete_with_loops(n));
+        let mut want = vec![1.0];
+        want.extend(std::iter::repeat_n(0.0, n - 1));
+        assert_spectra_match(&got, want, "complete+loops");
+    }
+
+    #[test]
+    fn hypercube_spectrum_binomial_multiplicities() {
+        // d-cube: eigenvalues 1 − 2i/d with multiplicity C(d, i).
+        let d = 4usize;
+        let got = walk_spectrum(&generators::hypercube(d as u32));
+        let mut want = Vec::new();
+        let mut binom = 1usize;
+        for i in 0..=d {
+            for _ in 0..binom {
+                want.push(1.0 - 2.0 * i as f64 / d as f64);
+            }
+            if i < d {
+                binom = binom * (d - i) / (i + 1);
+            }
+        }
+        assert_spectra_match(&got, want, "hypercube");
+    }
+
+    #[test]
+    fn torus_spectrum_is_sum_of_cycle_cosines() {
+        // 2-d torus side s: eigenvalues (cos(2πa/s) + cos(2πb/s))/2.
+        let s = 5;
+        let got = walk_spectrum(&generators::torus_2d(s));
+        let mut want = Vec::new();
+        for a in 0..s {
+            for b in 0..s {
+                want.push(
+                    ((2.0 * PI * a as f64 / s as f64).cos()
+                        + (2.0 * PI * b as f64 / s as f64).cos())
+                        / 2.0,
+                );
+            }
+        }
+        assert_spectra_match(&got, want, "torus");
+    }
+
+    #[test]
+    fn bipartite_graphs_have_minus_one() {
+        for g in [
+            generators::cycle(8),
+            generators::path(6),
+            generators::star(7),
+            generators::complete_bipartite(3, 4),
+        ] {
+            let s = walk_spectrum(&g);
+            assert!(
+                (s.last().unwrap() + 1.0).abs() < 1e-7,
+                "{}: λ_min = {}",
+                g.name(),
+                s.last().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn spectrum_agrees_with_power_iteration_on_regular_graphs() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = generators::random_regular(64, 8, &mut rng).expect("regular sample");
+        let summary = summarize_spectrum(&walk_spectrum(&g));
+        // Power iteration reports the adjacency eigenvalue; divide by d to
+        // land on the walk-matrix scale.
+        let power = second_eigenvalue_regular(&g, 3000) / 8.0;
+        assert!(
+            (summary.lambda_star - power).abs() < 1e-3,
+            "Jacobi λ* = {} vs power {power}",
+            summary.lambda_star
+        );
+    }
+
+    #[test]
+    fn sandwich_brackets_exact_mixing_time_lazy() {
+        // Lazy chain on the 3-cube: exact t_m from TV evolution must land
+        // inside the spectral sandwich built from the lazy spectrum.
+        let g = generators::hypercube(3);
+        let lazy = lazy_spectrum(&walk_spectrum(&g));
+        let summary = summarize_spectrum(&lazy);
+        let pi_min = stationary_distribution(&g)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let (lo, hi) = mixing_time_sandwich(&summary, pi_min);
+        let tm = crate::mixing::mixing_time(&g, &crate::mixing::MixingConfig::lazy())
+            .expect("lazy chain mixes") as f64;
+        assert!(lo <= tm + 1.0, "lower {lo} > t_m {tm}");
+        assert!(hi >= tm, "upper {hi} < t_m {tm}");
+    }
+
+    #[test]
+    fn relaxation_time_infinite_on_bipartite() {
+        let s = summarize_spectrum(&walk_spectrum(&generators::cycle(6)));
+        assert!(s.relaxation_time.is_infinite());
+        // ...and finite after lazification.
+        let lazy = summarize_spectrum(&lazy_spectrum(&walk_spectrum(&generators::cycle(6))));
+        assert!(lazy.relaxation_time.is_finite());
+    }
+
+    #[test]
+    fn expander_gap_bounded_away_from_zero_as_n_grows() {
+        // The (n,d,λ) property in action: λ* stays ≈ 2√(d−1)/d (Alon–
+        // Boppana ballpark) while n quadruples.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut stars = Vec::new();
+        for n in [32usize, 64, 128] {
+            let g = generators::random_regular(n, 8, &mut rng).expect("regular");
+            stars.push(summarize_spectrum(&walk_spectrum(&g)).lambda_star);
+        }
+        for &l in &stars {
+            assert!(l < 0.85, "λ* = {l} too close to 1 for an expander");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact mixing time by distribution evolution.
+//!
+//! The paper (§2) defines the mixing time `t_m` as the smallest `t > 0`
+//! such that for **all** starting vertices `u`,
+//! `Σ_v |p^t_{u,v} − π(v)| < 1/e`. We compute it exactly by evolving the
+//! t-step distribution of each start with sparse `O(m)` steps and checking
+//! the L1 distance to the stationary distribution.
+//!
+//! Caveat inherited from the definition: on bipartite graphs (even cycles,
+//! hypercubes, grids with even sides) the plain walk is periodic and never
+//! mixes. [`MixingConfig::lazy`] switches to the lazy walk `(I+P)/2`,
+//! standard practice when a finite `t_m` is wanted for such families; the
+//! experiments report which convention they used.
+
+use mrw_graph::{algo, Graph};
+
+use crate::stationary::{l1_distance, stationary_distribution};
+use crate::transition::TransitionOp;
+
+/// Configuration for mixing-time computation.
+#[derive(Debug, Clone)]
+pub struct MixingConfig {
+    /// L1 threshold; the paper uses `1/e`.
+    pub epsilon: f64,
+    /// Use the lazy walk `(I+P)/2` (needed on bipartite graphs).
+    pub lazy: bool,
+    /// Give up (return `None`) after this many steps.
+    pub max_steps: usize,
+    /// Check convergence from every vertex (`None`) or only from the given
+    /// starts (vertex-transitive graphs need just one).
+    pub starts: Option<Vec<u32>>,
+}
+
+impl Default for MixingConfig {
+    fn default() -> Self {
+        MixingConfig {
+            epsilon: 1.0 / std::f64::consts::E,
+            lazy: false,
+            max_steps: 1_000_000,
+            starts: None,
+        }
+    }
+}
+
+impl MixingConfig {
+    /// Default config with the lazy walk enabled.
+    pub fn lazy() -> Self {
+        MixingConfig {
+            lazy: true,
+            ..Default::default()
+        }
+    }
+
+    /// Restricts the start set (use a single start on vertex-transitive
+    /// graphs — cycles, tori, hypercubes, complete graphs — where every
+    /// start is equivalent).
+    pub fn with_starts(mut self, starts: Vec<u32>) -> Self {
+        self.starts = Some(starts);
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+}
+
+/// Smallest `t` such that the walk from `start` is within `epsilon` of
+/// stationarity in L1; `None` if not reached within `max_steps`.
+pub fn mixing_time_from(g: &Graph, start: u32, cfg: &MixingConfig) -> Option<usize> {
+    assert!(
+        algo::is_connected(g),
+        "mixing time undefined on a disconnected graph"
+    );
+    let n = g.n();
+    assert!((start as usize) < n, "start {start} out of range");
+    let pi = stationary_distribution(g);
+    let op = TransitionOp::new(g);
+    let mut p = vec![0.0; n];
+    p[start as usize] = 1.0;
+    let mut q = vec![0.0; n];
+    for t in 1..=cfg.max_steps {
+        if cfg.lazy {
+            op.step_lazy(&p, &mut q);
+        } else {
+            op.step(&p, &mut q);
+        }
+        std::mem::swap(&mut p, &mut q);
+        if l1_distance(&p, &pi) < cfg.epsilon {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// The graph's mixing time: the max of [`mixing_time_from`] over the start
+/// set (`cfg.starts`, defaulting to all vertices). `None` if any start
+/// fails to mix within the budget.
+pub fn mixing_time(g: &Graph, cfg: &MixingConfig) -> Option<usize> {
+    let all: Vec<u32>;
+    let starts: &[u32] = match &cfg.starts {
+        Some(s) => s,
+        None => {
+            all = (0..g.n() as u32).collect();
+            &all
+        }
+    };
+    let mut worst = 0usize;
+    for &s in starts {
+        worst = worst.max(mixing_time_from(g, s, cfg)?);
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrw_graph::generators;
+
+    #[test]
+    fn complete_graph_mixes_immediately() {
+        // With self-loops, one step lands exactly uniform: t_m = 1.
+        let g = generators::complete_with_loops(16);
+        let tm = mixing_time(&g, &MixingConfig::default()).unwrap();
+        assert_eq!(tm, 1);
+    }
+
+    #[test]
+    fn complete_graph_without_loops_fast() {
+        let g = generators::complete(16);
+        let tm = mixing_time(&g, &MixingConfig::default()).unwrap();
+        assert!(tm <= 3, "t_m = {tm}");
+    }
+
+    #[test]
+    fn even_cycle_never_mixes_plain() {
+        let g = generators::cycle(8);
+        let cfg = MixingConfig {
+            max_steps: 5000,
+            ..Default::default()
+        };
+        assert_eq!(mixing_time_from(&g, 0, &cfg), None);
+    }
+
+    #[test]
+    fn even_cycle_mixes_lazily() {
+        let g = generators::cycle(8);
+        let tm = mixing_time(&g, &MixingConfig::lazy()).unwrap();
+        assert!(tm > 1 && tm < 500, "t_m = {tm}");
+    }
+
+    #[test]
+    fn odd_cycle_mixes_plain() {
+        let g = generators::cycle(9);
+        let tm = mixing_time(&g, &MixingConfig::default()).unwrap();
+        assert!(tm > 1, "t_m = {tm}");
+    }
+
+    #[test]
+    fn cycle_mixing_grows_quadratically() {
+        // Table 1: cycle t_m = O(n²). Compare n and 2n (odd sizes, plain).
+        let t1 = mixing_time(&generators::cycle(15), &MixingConfig::default()).unwrap();
+        let t2 = mixing_time(&generators::cycle(31), &MixingConfig::default()).unwrap();
+        let ratio = t2 as f64 / t1 as f64;
+        assert!(ratio > 2.5 && ratio < 6.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn vertex_transitive_single_start_matches_all() {
+        let g = generators::cycle(9);
+        let all = mixing_time(&g, &MixingConfig::default()).unwrap();
+        let one = mixing_time(&g, &MixingConfig::default().with_starts(vec![0])).unwrap();
+        assert_eq!(all, one);
+    }
+
+    #[test]
+    fn hypercube_lazy_mixing_small() {
+        // t_m = Θ(log n log log n): tiny for n = 64.
+        let g = generators::hypercube(6);
+        let tm = mixing_time(
+            &g,
+            &MixingConfig::lazy().with_starts(vec![0]), // vertex-transitive
+        )
+        .unwrap();
+        assert!(tm < 100, "t_m = {tm}");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let g = generators::cycle(101);
+        let cfg = MixingConfig {
+            max_steps: 3,
+            ..Default::default()
+        };
+        assert_eq!(mixing_time(&g, &cfg), None);
+    }
+
+    #[test]
+    fn barbell_mixes_slowly() {
+        // The bottleneck through the center makes t_m large relative to a
+        // clique of the same size.
+        let bar = mixing_time(&generators::barbell(17), &MixingConfig::lazy()).unwrap();
+        let cli = mixing_time(&generators::complete(17), &MixingConfig::lazy()).unwrap();
+        assert!(bar > 10 * cli, "barbell {bar} vs clique {cli}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Commute times and effective resistances.
+//!
+//! The paper's toolbox (its reference \[15\],
+//! Chandra–Raghavan–Ruzzo–Smolensky): viewing the graph as a unit-resistor
+//! network,
+//!
+//! * `commute(u,v) = h(u,v) + h(v,u) = 2m · R_eff(u,v)`, and
+//! * `C(G) ≤ O(m · R_max · log n)` — the resistance route to Matthews-type
+//!   bounds, and the tool behind the cover-time orders in Table 1
+//!   (grid/torus resistances give the `log` factors).
+//!
+//! Everything here derives from the exact hitting times, so it is exact up
+//! to LU round-off.
+
+use mrw_graph::Graph;
+
+use crate::hitting::HittingTimes;
+
+/// Exact commute time `h(u,v) + h(v,u)`.
+pub fn commute_time(ht: &HittingTimes, u: u32, v: u32) -> f64 {
+    ht.get(u, v) + ht.get(v, u)
+}
+
+/// Effective resistance `R_eff(u,v) = commute(u,v) / 2m`.
+pub fn effective_resistance(g: &Graph, ht: &HittingTimes, u: u32, v: u32) -> f64 {
+    assert_eq!(g.n(), ht.n(), "hitting times belong to a different graph");
+    commute_time(ht, u, v) / (2.0 * g.m() as f64)
+}
+
+/// Maximum effective resistance over all vertex pairs.
+pub fn max_effective_resistance(g: &Graph, ht: &HittingTimes) -> f64 {
+    assert_eq!(g.n(), ht.n(), "hitting times belong to a different graph");
+    let n = g.n() as u32;
+    let mut best = 0.0f64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            best = best.max(effective_resistance(g, ht, u, v));
+        }
+    }
+    best
+}
+
+/// The Chandra et al. cover-time bracket:
+/// `m·R_max ≤ C(G) ≤ O(m·R_max·log n)`. Returns `(lower, upper)` with the
+/// explicit constants of the original paper (`lower = m·R_max`,
+/// `upper = 2e³·m·R_max·ln n + n`, loose but concrete).
+pub fn cover_time_resistance_bracket(g: &Graph, ht: &HittingTimes) -> (f64, f64) {
+    let m_r = g.m() as f64 * max_effective_resistance(g, ht);
+    let upper = 2.0 * std::f64::consts::E.powi(3) * m_r * (g.n() as f64).ln() + g.n() as f64;
+    (m_r, upper)
+}
+
+/// Foster's theorem check value: `Σ_{(u,v)∈E} R_eff(u,v) = n − 1` on every
+/// connected graph — a strong global validation of the whole
+/// hitting-time pipeline.
+pub fn foster_sum(g: &Graph, ht: &HittingTimes) -> f64 {
+    g.edges()
+        .filter(|&(u, v)| u != v)
+        .map(|(u, v)| effective_resistance(g, ht, u, v))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitting_times_all;
+    use mrw_graph::generators;
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn path_resistance_is_distance() {
+        // Series resistors: R_eff(i, j) = |i − j|.
+        let g = generators::path(8);
+        let ht = hitting_times_all(&g);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                if i != j {
+                    let r = effective_resistance(&g, &ht, i, j);
+                    let expect = (i as f64 - j as f64).abs();
+                    assert!((r - expect).abs() < TOL, "R({i},{j}) = {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_resistance_parallel_arcs() {
+        // Two parallel paths of length d and n−d: R = d(n−d)/n.
+        let n = 12;
+        let g = generators::cycle(n);
+        let ht = hitting_times_all(&g);
+        for d in 1..n as u32 {
+            let r = effective_resistance(&g, &ht, 0, d);
+            let expect = (d as f64) * (n as f64 - d as f64) / n as f64;
+            assert!((r - expect).abs() < TOL, "R(0,{d}) = {r} ≠ {expect}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_resistance() {
+        // K_n: R_eff = 2/n between any pair.
+        let n = 10;
+        let g = generators::complete(n);
+        let ht = hitting_times_all(&g);
+        let r = effective_resistance(&g, &ht, 0, 5);
+        assert!((r - 2.0 / n as f64).abs() < TOL);
+    }
+
+    #[test]
+    fn commute_symmetric() {
+        let g = generators::barbell(13);
+        let ht = hitting_times_all(&g);
+        for (u, v) in [(0u32, 12u32), (3, 9), (1, 7)] {
+            assert!(
+                (commute_time(&ht, u, v) - commute_time(&ht, v, u)).abs() < TOL
+            );
+        }
+    }
+
+    #[test]
+    fn foster_theorem_holds() {
+        for g in [
+            generators::cycle(10),
+            generators::complete(8),
+            generators::torus_2d(4),
+            generators::barbell(11),
+            generators::balanced_tree(2, 3),
+            generators::lollipop(9),
+        ] {
+            let ht = hitting_times_all(&g);
+            let s = foster_sum(&g, &ht);
+            let expect = (g.n() - 1) as f64;
+            assert!(
+                (s - expect).abs() < 1e-4,
+                "{}: Foster sum {s} ≠ n−1 = {expect}",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bracket_contains_known_cover_times() {
+        // Cycle: C = n(n−1)/2 must sit in [m·R_max, 2e³·m·R_max·ln n + n].
+        let n = 16;
+        let g = generators::cycle(n);
+        let ht = hitting_times_all(&g);
+        let (lo, hi) = cover_time_resistance_bracket(&g, &ht);
+        let c = (n * (n - 1)) as f64 / 2.0;
+        assert!(lo <= c, "lower {lo} > C {c}");
+        assert!(hi >= c, "upper {hi} < C {c}");
+    }
+
+    #[test]
+    fn max_resistance_on_path_is_length() {
+        let g = generators::path(9);
+        let ht = hitting_times_all(&g);
+        assert!((max_effective_resistance(&g, &ht) - 8.0).abs() < TOL);
+    }
+}

@@ -1,0 +1,185 @@
+//! The simple-random-walk transition operator applied sparsely.
+//!
+//! For the walk of the paper (§2): from `v`, move to a uniformly random
+//! neighbor, `P(v,u) = 1/δ(v)` for `(v,u) ∈ E`. Distribution evolution is
+//! `p_{t+1}(u) = Σ_{v ∈ N(u)} p_t(v)/δ(v)` — an `O(m)` sparse pass over the
+//! CSR arrays, no matrix materialized.
+
+use mrw_graph::Graph;
+
+/// Sparse application of the walk operator `P` (and its lazy variant) for a
+/// fixed graph.
+pub struct TransitionOp<'g> {
+    g: &'g Graph,
+    /// Precomputed `1/δ(v)`; `0` for isolated vertices (which a walk can
+    /// never leave — estimators reject disconnected graphs anyway).
+    inv_deg: Vec<f64>,
+}
+
+impl<'g> TransitionOp<'g> {
+    /// Builds the operator for `g`.
+    pub fn new(g: &'g Graph) -> Self {
+        let inv_deg = (0..g.n() as u32)
+            .map(|v| {
+                let d = g.degree(v);
+                if d == 0 {
+                    0.0
+                } else {
+                    1.0 / d as f64
+                }
+            })
+            .collect();
+        TransitionOp { g, inv_deg }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// One step of distribution evolution: `out = Pᵀ·p`
+    /// (`out(u) = Σ_{v∈N(u)} p(v)/δ(v)`). `out` is fully overwritten.
+    pub fn step(&self, p: &[f64], out: &mut [f64]) {
+        let n = self.g.n();
+        assert_eq!(p.len(), n, "distribution length mismatch");
+        assert_eq!(out.len(), n, "output length mismatch");
+        out.fill(0.0);
+        for v in 0..n as u32 {
+            let w = p[v as usize] * self.inv_deg[v as usize];
+            if w == 0.0 {
+                continue;
+            }
+            for &u in self.g.neighbors(v) {
+                out[u as usize] += w;
+            }
+        }
+    }
+
+    /// One lazy step: `out = ((I + P)ᵀ/2)·p`. The lazy walk is aperiodic on
+    /// every graph, which is what you want when computing mixing times of
+    /// bipartite families (even cycles, hypercubes) whose plain walk never
+    /// mixes.
+    pub fn step_lazy(&self, p: &[f64], out: &mut [f64]) {
+        self.step(p, out);
+        for (o, &pi) in out.iter_mut().zip(p) {
+            *o = 0.5 * *o + 0.5 * pi;
+        }
+    }
+
+    /// Evolves a point mass at `start` for `t` steps and returns the
+    /// resulting distribution.
+    pub fn evolve_from(&self, start: u32, t: usize, lazy: bool) -> Vec<f64> {
+        let n = self.g.n();
+        let mut p = vec![0.0; n];
+        p[start as usize] = 1.0;
+        let mut q = vec![0.0; n];
+        for _ in 0..t {
+            if lazy {
+                self.step_lazy(&p, &mut q);
+            } else {
+                self.step(&p, &mut q);
+            }
+            std::mem::swap(&mut p, &mut q);
+        }
+        p
+    }
+
+    /// Materializes `P` as a dense matrix (`P[v][u] = 1/δ(v)` for
+    /// `(v,u) ∈ E`). Only for the exact hitting-time solves; `O(n²)` memory.
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let n = self.g.n();
+        let mut m = crate::dense::DenseMatrix::zeros(n, n);
+        for v in 0..n as u32 {
+            for &u in self.g.neighbors(v) {
+                m[(v as usize, u as usize)] = self.inv_deg[v as usize];
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrw_graph::generators;
+
+    fn total(p: &[f64]) -> f64 {
+        p.iter().sum()
+    }
+
+    #[test]
+    fn step_preserves_probability_mass() {
+        let g = generators::cycle(10);
+        let op = TransitionOp::new(&g);
+        let p = op.evolve_from(0, 17, false);
+        assert!((total(&p) - 1.0).abs() < 1e-12);
+        let q = op.evolve_from(3, 9, true);
+        assert!((total(&q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_step_on_cycle_splits_evenly() {
+        let g = generators::cycle(5);
+        let op = TransitionOp::new(&g);
+        let p = op.evolve_from(0, 1, false);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+        assert!((p[4] - 0.5).abs() < 1e-12);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn lazy_step_keeps_half_mass() {
+        let g = generators::cycle(5);
+        let op = TransitionOp::new(&g);
+        let p = op.evolve_from(0, 1, true);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+        assert!((p[4] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_cycle_walk_is_periodic() {
+        // On the even cycle the plain walk alternates parity classes.
+        let g = generators::cycle(6);
+        let op = TransitionOp::new(&g);
+        let p = op.evolve_from(0, 101, false);
+        // After an odd number of steps, mass only on odd vertices.
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[2], 0.0);
+        assert_eq!(p[4], 0.0);
+        assert!(p[1] > 0.0);
+    }
+
+    #[test]
+    fn dense_agrees_with_sparse() {
+        let g = generators::complete(6);
+        let op = TransitionOp::new(&g);
+        let dense = op.to_dense();
+        // p0 = point mass at 2; sparse one step vs dense Pᵀ·p.
+        let p = op.evolve_from(2, 1, false);
+        // dense: p1(u) = Σ_v p0(v) P[v][u] = P[2][u]
+        for u in 0..6 {
+            assert!((p[u] - dense[(2, u)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rows_of_dense_sum_to_one() {
+        let g = generators::barbell(9);
+        let dense = TransitionOp::new(&g).to_dense();
+        for r in 0..g.n() {
+            let s: f64 = dense.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_mixes_in_one_step_from_uniform_neighbors() {
+        let g = generators::complete_with_loops(8);
+        let op = TransitionOp::new(&g);
+        let p = op.evolve_from(0, 1, false);
+        for &x in &p {
+            assert!((x - 1.0 / 8.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the linear-algebra layer: LU correctness on
+//! random well-conditioned systems, Markov-chain identities on random
+//! connected graphs.
+
+use mrw_graph::{algo, generators};
+use mrw_spectral::dense::DenseMatrix;
+use mrw_spectral::resistance::foster_sum;
+use mrw_spectral::{hitting_times_all, stationary_distribution, TransitionOp};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_connected_graph(n: usize, seed: u64) -> Option<mrw_graph::Graph> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let g = generators::erdos_renyi_connected_regime(n, 3.0, &mut rng);
+    algo::is_connected(&g).then_some(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(n in 2usize..24, seed in 0u64..10_000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut a = DenseMatrix::zeros(n, n);
+        for r in 0..n {
+            let mut row_sum = 0.0;
+            for c in 0..n {
+                if r != c {
+                    let v: f64 = rng.gen_range(-1.0..1.0);
+                    a[(r, c)] = v;
+                    row_sum += v.abs();
+                }
+            }
+            a[(r, r)] = row_sum + rng.gen_range(0.5..2.0); // strictly dominant
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).expect("dominant matrix is nonsingular");
+        for (xs, xt) in x.iter().zip(&x_true) {
+            prop_assert!((xs - xt).abs() < 1e-7 * (1.0 + xt.abs()));
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity(n in 2usize..14, seed in 0u64..5000) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = DenseMatrix::from_fn(n, n, |r, c| {
+            if r == c { n as f64 + 1.0 } else { ((r * 31 + c * 17 + seed as usize) % 13) as f64 / 13.0 }
+        });
+        let _ = &mut rng;
+        if let Some(inv) = a.inverse() {
+            let prod = a.matmul(&inv);
+            prop_assert!(prod.max_abs_diff(&DenseMatrix::identity(n)) < 1e-7);
+        }
+    }
+
+    #[test]
+    fn stationarity_is_fixed_point_on_random_graphs(n in 5usize..40, seed in 0u64..2000) {
+        if let Some(g) = random_connected_graph(n, seed) {
+            let pi = stationary_distribution(&g);
+            let op = TransitionOp::new(&g);
+            let mut out = vec![0.0; g.n()];
+            op.step(&pi, &mut out);
+            let drift: f64 = pi.iter().zip(&out).map(|(a, b)| (a - b).abs()).sum();
+            prop_assert!(drift < 1e-10, "π not stationary: drift {drift}");
+        }
+    }
+
+    #[test]
+    fn hitting_time_triangle_inequality_and_return_identity(n in 5usize..20, seed in 0u64..1000) {
+        if let Some(g) = random_connected_graph(n, seed) {
+            let ht = hitting_times_all(&g);
+            let pi = stationary_distribution(&g);
+            // One-step decomposition at each target v: the expected return
+            // time 1/π(v) equals 1 + avg over neighbors u of h(u, v).
+            for v in 0..g.n() as u32 {
+                let avg: f64 = g.neighbors(v).iter().map(|&u| ht.get(u, v)).sum::<f64>()
+                    / g.degree(v) as f64;
+                let ret = 1.0 + avg;
+                prop_assert!(
+                    (ret - 1.0 / pi[v as usize]).abs() < 1e-6 / pi[v as usize].min(1.0),
+                    "return identity fails at {v}: {ret} vs {}",
+                    1.0 / pi[v as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foster_theorem_on_random_graphs(n in 5usize..28, seed in 0u64..1000) {
+        if let Some(g) = random_connected_graph(n, seed) {
+            let ht = hitting_times_all(&g);
+            let s = foster_sum(&g, &ht);
+            prop_assert!(
+                (s - (g.n() as f64 - 1.0)).abs() < 1e-5,
+                "{}: Foster sum {s}",
+                g.name()
+            );
+        }
+    }
+
+    #[test]
+    fn evolution_preserves_mass_on_random_graphs(n in 4usize..40, seed in 0u64..1000, t in 1usize..50) {
+        if let Some(g) = random_connected_graph(n, seed) {
+            let op = TransitionOp::new(&g);
+            let p = op.evolve_from(0, t, seed % 2 == 0);
+            let total: f64 = p.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-10);
+            prop_assert!(p.iter().all(|&x| x >= -1e-15));
+        }
+    }
+}

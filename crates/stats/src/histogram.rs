@@ -1,0 +1,212 @@
+//! Fixed-width and logarithmic histograms.
+//!
+//! Used to inspect cover-time distributions (e.g. the bimodality of the
+//! barbell cover time for small `k`, where a walk either escapes the first
+//! bell quickly or is trapped for Θ(n²) steps).
+
+/// A histogram over `[lo, hi)` with equal-width or log-spaced buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    log_scale: bool,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a linear histogram with `buckets` equal-width bins on `[lo, hi)`.
+    pub fn linear(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty ({lo}..{hi})");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            log_scale: false,
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Creates a histogram with log-spaced bucket edges on `[lo, hi)`;
+    /// requires `lo > 0`.
+    pub fn logarithmic(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0, "log histogram requires lo > 0, got {lo}");
+        assert!(hi > lo, "histogram range must be non-empty ({lo}..{hi})");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; buckets],
+            log_scale: true,
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    fn bucket_of(&self, x: f64) -> Option<usize> {
+        if x < self.lo {
+            return None;
+        }
+        if x >= self.hi {
+            return None;
+        }
+        let b = self.counts.len() as f64;
+        let idx = if self.log_scale {
+            let t = (x.ln() - self.lo.ln()) / (self.hi.ln() - self.lo.ln());
+            (t * b) as usize
+        } else {
+            ((x - self.lo) / (self.hi - self.lo) * b) as usize
+        };
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        match self.bucket_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x < self.lo => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` edges of bucket `i`.
+    pub fn bucket_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bucket {i} out of range");
+        let b = self.counts.len() as f64;
+        if self.log_scale {
+            let l = self.lo.ln();
+            let h = self.hi.ln();
+            let step = (h - l) / b;
+            ((l + step * i as f64).exp(), (l + step * (i + 1) as f64).exp())
+        } else {
+            let step = (self.hi - self.lo) / b;
+            (self.lo + step * i as f64, self.lo + step * (i + 1) as f64)
+        }
+    }
+
+    /// Renders a compact ASCII bar chart, one bucket per line.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let (lo, hi) = self.bucket_edges(i);
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{:>12.2}, {:>12.2}) {:>8} {}\n",
+                lo,
+                hi,
+                c,
+                "#".repeat(bar_len)
+            ));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("overflow:  {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_buckets_receive_correct_values() {
+        let mut h = Histogram::linear(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        for i in 0..10 {
+            assert_eq!(h.count(i), 1, "bucket {i}");
+        }
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::linear(0.0, 1.0, 4);
+        h.record(-0.1);
+        h.record(1.0); // at upper edge -> overflow
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn log_buckets_are_geometric() {
+        let h = Histogram::logarithmic(1.0, 1024.0, 10);
+        let (lo0, hi0) = h.bucket_edges(0);
+        let (lo9, hi9) = h.bucket_edges(9);
+        assert!((lo0 - 1.0).abs() < 1e-9);
+        assert!((hi9 - 1024.0).abs() < 1e-6);
+        // Every bucket spans the same multiplicative factor (2x here).
+        assert!((hi0 / lo0 - 2.0).abs() < 1e-9);
+        assert!((hi9 / lo9 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_bucket_assignment() {
+        let mut h = Histogram::logarithmic(1.0, 256.0, 8);
+        h.record(1.5); // bucket 0: [1,2)
+        h.record(3.0); // bucket 1: [2,4)
+        h.record(200.0); // bucket 7: [128,256)
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(7), 1);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::linear(0.0, 2.0, 2);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > 0")]
+    fn log_requires_positive_lo() {
+        Histogram::logarithmic(0.0, 10.0, 4);
+    }
+}

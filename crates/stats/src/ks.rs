@@ -1,0 +1,195 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Several claims in this project are *distributional identities*, not
+//! just equalities of means — e.g. Theorem 24's projected torus walk *is*
+//! the lazy cycle walk, and the two k-walk stepping disciplines define
+//! the same process. Comparing means (a t-test) would pass even if the
+//! shapes differed; the KS statistic `D = sup_x |F̂₁(x) − F̂₂(x)|`
+//! compares entire empirical CDFs and is distribution-free under the
+//! null.
+//!
+//! The p-value uses the asymptotic Kolmogorov distribution
+//! `Q(λ) = 2·Σ_{j≥1} (−1)^{j−1} e^{−2j²λ²}` with the standard
+//! finite-sample effective size `n_e = n₁n₂/(n₁+n₂)` and the
+//! Stephens correction `λ = (√n_e + 0.12 + 0.11/√n_e)·D` — accurate to a
+//! few percent for `n_e ≥ 4`, which is all a Monte-Carlo harness needs.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy)]
+pub struct KsTest {
+    /// KS statistic `D = sup |F̂₁ − F̂₂|`.
+    pub statistic: f64,
+    /// Asymptotic p-value for the two-sided test.
+    pub p_value: f64,
+    /// Effective sample size `n₁n₂/(n₁+n₂)`.
+    pub effective_n: f64,
+}
+
+impl KsTest {
+    /// Convenience: reject the null "same distribution" at level `alpha`?
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov test. Inputs need not be sorted; NaNs
+/// are rejected.
+///
+/// ```
+/// use mrw_stats::ks_two_sample;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let b = [1.1, 2.1, 2.9, 4.2, 4.8];
+/// let t = ks_two_sample(&a, &b);
+/// assert!(!t.rejects_at(0.05)); // same shape — no rejection
+/// ```
+///
+/// # Panics
+/// If either sample is empty or contains NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs nonempty samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    for v in xs.iter().chain(ys.iter()) {
+        assert!(!v.is_nan(), "KS sample contains NaN");
+    }
+    xs.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+    ys.sort_by(|p, q| p.partial_cmp(q).expect("no NaN"));
+
+    let (n1, n2) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n1 && j < n2 {
+        let x = xs[i];
+        let y = ys[j];
+        let t = x.min(y);
+        // Advance past ties in both samples together so the CDF gap is
+        // evaluated between jump points, never mid-jump.
+        while i < n1 && xs[i] <= t {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= t {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 + n2) as f64;
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n: ne,
+    }
+}
+
+/// The Kolmogorov survival function
+/// `Q(λ) = 2·Σ_{j≥1} (−1)^{j−1} e^{−2j²λ²}`, clamped to `[0, 1]`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for j in 1..=100u32 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(seed: u64, n: usize, scale: f64, shift: f64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 * scale + shift
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = vec![0.0, 1.0, 2.0];
+        let b = vec![10.0, 11.0, 12.0];
+        let t = ks_two_sample(&a, &b);
+        assert_eq!(t.statistic, 1.0);
+        assert!(t.p_value < 0.1);
+    }
+
+    #[test]
+    fn same_distribution_not_rejected() {
+        let a = lcg_stream(1, 500, 1.0, 0.0);
+        let b = lcg_stream(2, 500, 1.0, 0.0);
+        let t = ks_two_sample(&a, &b);
+        assert!(!t.rejects_at(0.01), "false rejection: D = {}, p = {}", t.statistic, t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_rejected() {
+        let a = lcg_stream(1, 500, 1.0, 0.0);
+        let b = lcg_stream(2, 500, 1.0, 0.35);
+        let t = ks_two_sample(&a, &b);
+        assert!(t.rejects_at(0.001), "missed a 0.35 shift: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn scale_difference_rejected_even_with_equal_means() {
+        // Mean-matched but differently spread: a t-test would pass, KS
+        // must not.
+        let a = lcg_stream(3, 800, 1.0, 0.0); // U[0, 1]
+        let b = lcg_stream(4, 800, 3.0, -1.0); // U[−1, 2], same mean 0.5
+        let t = ks_two_sample(&a, &b);
+        assert!(t.rejects_at(0.001), "missed a scale change: p = {}", t.p_value);
+    }
+
+    #[test]
+    fn handles_ties_and_unequal_sizes() {
+        let a = vec![1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = vec![1.0, 2.0, 2.0];
+        let t = ks_two_sample(&a, &b);
+        // F̂₁ jumps to 0.6 at 1, F̂₂ to 1/3: D = 0.6 − 1/3.
+        assert!((t.statistic - (0.6 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_q_reference_values() {
+        // Known quantiles: Q(1.3581) ≈ 0.05, Q(1.6276) ≈ 0.01.
+        assert!((kolmogorov_q(1.3581) - 0.05).abs() < 0.002);
+        assert!((kolmogorov_q(1.6276) - 0.01).abs() < 0.001);
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(5.0) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sample_rejected() {
+        ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        ks_two_sample(&[f64::NAN], &[1.0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Least-squares fits used to verify asymptotic laws.
+//!
+//! The paper's claims are growth rates: `C(cycle) = Θ(n²)`,
+//! `C^k(cycle) ≈ n²/(2 ln k)`, `S^k(grid) = Ω(k)` for small `k`, and so on.
+//! We verify them by fitting
+//!
+//! * a straight line `y = a + b·x` ([`LinearFit`]), and
+//! * a power law `y = c·x^e` via OLS in log–log space ([`PowerLawFit`]),
+//!
+//! over geometric ladders of `n` or `k`, and checking the fitted exponent
+//! or slope against the theorem's prediction.
+
+/// Result of an ordinary least-squares line fit `y ≈ intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+/// Result of a power-law fit `y ≈ coeff · x^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Fitted exponent `e`.
+    pub exponent: f64,
+    /// Fitted coefficient `c`.
+    pub coeff: f64,
+    /// R² of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares on `(x, y)` pairs.
+///
+/// Panics if fewer than two points or if all `x` are identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    assert!(sxx > 0.0, "all x values identical; slope undefined");
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// Fits `y = c·x^e` by linear regression on `(ln x, ln y)`.
+///
+/// All `x` and `y` must be strictly positive.
+pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> PowerLawFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    for (&x, &y) in xs.iter().zip(ys) {
+        assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data, got ({x}, {y})");
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let fit = linear_fit(&lx, &ly);
+    PowerLawFit {
+        exponent: fit.slope,
+        coeff: fit.intercept.exp(),
+        r_squared: fit.r_squared,
+    }
+}
+
+/// Fits `y = a + b·ln x` — the model behind the cycle speed-up
+/// `S^k = Θ(log k)` (Theorem 6).
+pub fn log_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    for &x in xs {
+        assert!(x > 0.0, "log fit needs positive x, got {x}");
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    linear_fit(&lx, ys)
+}
+
+impl LinearFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+impl PowerLawFit {
+    /// Predicted `y` at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coeff * x.powf(self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 2.0).collect();
+        let fit = linear_fit(&xs, &ys);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_power_law_recovered() {
+        let xs: Vec<f64> = (1..=16).map(|i| (i * i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x.powf(2.0)).collect();
+        let fit = power_law_fit(&xs, &ys);
+        assert!((fit.exponent - 2.0).abs() < 1e-10);
+        assert!((fit.coeff - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noisy_quadratic_exponent_near_two() {
+        // y = x^2 * (1 + small deterministic wiggle)
+        let xs: Vec<f64> = (2..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * x * (1.0 + 0.05 * ((i as f64).sin())))
+            .collect();
+        let fit = power_law_fit(&xs, &ys);
+        assert!(
+            (fit.exponent - 2.0).abs() < 0.1,
+            "exponent {} too far from 2",
+            fit.exponent
+        );
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn log_fit_recovers_log_law() {
+        let ks: Vec<f64> = (1..=10).map(|i| (1u64 << i) as f64).collect();
+        let ys: Vec<f64> = ks.iter().map(|k| 2.0 + 1.5 * k.ln()).collect();
+        let fit = log_fit(&ks, &ys);
+        assert!((fit.slope - 1.5).abs() < 1e-10);
+        assert!((fit.intercept - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn constant_y_has_unit_r_squared_and_zero_slope() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        let fit = linear_fit(&xs, &ys);
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive data")]
+    fn power_law_rejects_nonpositive() {
+        power_law_fit(&[1.0, 2.0], &[0.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn vertical_line_rejected() {
+        linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+}

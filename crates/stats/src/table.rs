@@ -1,0 +1,258 @@
+//! Result-table rendering in ASCII, Markdown, and CSV.
+//!
+//! The CLI regenerates the paper's Table 1 and per-theorem tables; this
+//! module owns the layout so every experiment prints consistently.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple table builder: fixed header, rows of strings, per-column
+/// alignment inferred from the header unless overridden.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers; all columns default to
+    /// right alignment except the first, which is left-aligned.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        let mut aligns = vec![Align::Right; headers.len()];
+        aligns[0] = Align::Left;
+        Table {
+            title: None,
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title printed above the table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Overrides the alignment of column `idx`.
+    pub fn align(mut self, idx: usize, a: Align) -> Self {
+        assert!(idx < self.headers.len(), "column {idx} out of range");
+        self.aligns[idx] = a;
+        self
+    }
+
+    /// Appends a row; must match the header arity.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = width.saturating_sub(len);
+        match align {
+            Align::Left => format!("{cell}{}", " ".repeat(fill)),
+            Align::Right => format!("{}{cell}", " ".repeat(fill)),
+        }
+    }
+
+    /// Renders an ASCII table with a header rule.
+    pub fn render_ascii(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "== {t} ==");
+        }
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&w)
+            .zip(&self.aligns)
+            .map(|((h, &wi), &a)| Self::pad(h, wi, a))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let rule: Vec<String> = w.iter().map(|&wi| "-".repeat(wi)).collect();
+        let _ = writeln!(out, "{}", rule.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&w)
+                .zip(&self.aligns)
+                .map(|((c, &wi), &a)| Self::pad(c, wi, a))
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "### {t}\n");
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let seps: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":---",
+                Align::Right => "---:",
+            })
+            .collect();
+        let _ = writeln!(out, "| {} |", seps.join(" | "));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas or quotes).
+    pub fn render_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Formats a float compactly for table cells: integers without decimals,
+/// large magnitudes in scientific notation, otherwise 3 significant
+/// decimals.
+pub fn fmt_num(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let a = x.abs();
+    if a >= 1e7 {
+        format!("{x:.3e}")
+    } else if (x.round() - x).abs() < 1e-9 && a < 1e7 {
+        format!("{}", x.round() as i64)
+    } else if a >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["graph", "n", "C(G)"]).with_title("demo");
+        t.push_row(vec!["cycle", "128", "8192.0"]);
+        t.push_row(vec!["complete", "128", "621.3"]);
+        t
+    }
+
+    #[test]
+    fn ascii_layout() {
+        let s = sample().render_ascii();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("graph"));
+        // Right alignment: number should be preceded by spaces up to width.
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 4);
+        // lines[0] is the title, lines[1] the header, lines[2] the rule.
+        assert!(lines[2].contains("---"));
+    }
+
+    #[test]
+    fn markdown_layout() {
+        let s = sample().render_markdown();
+        assert!(s.contains("| graph | n | C(G) |"));
+        assert!(s.contains("| :--- | ---: | ---: |"));
+        assert!(s.contains("| cycle | 128 | 8192.0 |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["x,y", "say \"hi\""]);
+        let s = t.render_csv();
+        assert!(s.contains("\"x,y\""));
+        assert!(s.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn fmt_num_modes() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(3.1416), "3.142");
+        assert_eq!(fmt_num(1234.5), "1234.5");
+        assert!(fmt_num(1.0e9).contains('e'));
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let t = Table::new(vec!["h"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let s = sample();
+        assert_eq!(s.len(), 2);
+    }
+}

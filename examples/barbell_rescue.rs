@@ -1,0 +1,79 @@
+//! The barbell rescue — an exponential speed-up, live.
+//!
+//! Section 7 of the paper: a single walk launched from the center of a
+//! barbell graph falls into one bell and takes Θ(n²) steps to escape it,
+//! leaving the other bell unexplored; but k = Θ(log n) walks almost surely
+//! send tokens into *both* bells and finish in O(n). The speed-up is Ω(n) —
+//! exponential in k.
+//!
+//! This example shows the mechanism, not just the number: it reports how
+//! the k tokens disperse between the bells after one step, then the cover
+//! times, then the speed-up per walk count so you can watch the phase
+//! change as k passes ~log n.
+//!
+//! Run with: `cargo run --release --example barbell_rescue`
+
+use many_walks::graph::generators::{barbell, barbell_center};
+use many_walks::stats::Summary;
+use many_walks::walks::{
+    kwalk::kwalk_positions_after, kwalk_cover_rounds_same_start, walk_rng, KWalkMode,
+};
+
+fn main() {
+    let n = 257; // bells of size 128
+    let g = barbell(n);
+    let vc = barbell_center(n);
+    let m = (n - 1) / 2; // bell size; bell A = 0..m, bell B = m..2m
+    let trials = 48;
+
+    println!("barbell B_{n}: two K_{m} bells, center vertex {vc}\n");
+
+    // Mechanism: where do k tokens sit after the first step?
+    println!("token dispersion after 1 round (mean over {trials} trials):");
+    println!("{:>4} {:>10} {:>10}", "k", "in bell A", "in bell B");
+    for k in [1usize, 2, 4, 8, 16] {
+        let (mut in_a, mut in_b) = (0usize, 0usize);
+        for t in 0..trials as u64 {
+            let mut rng = walk_rng(900 + t);
+            let pos = kwalk_positions_after(&g, &vec![vc; k], 1, &mut rng);
+            in_a += pos.iter().filter(|&&p| (p as usize) < m).count();
+            in_b += pos.iter().filter(|&&p| (p as usize) >= m && p != vc).count();
+        }
+        println!(
+            "{:>4} {:>10.2} {:>10.2}",
+            k,
+            in_a as f64 / trials as f64,
+            in_b as f64 / trials as f64
+        );
+    }
+
+    // The cover-time phase change.
+    let k_paper = (20.0 * (n as f64).ln()).ceil() as usize;
+    println!("\ncover time from the center (mean over {trials} trials):");
+    println!("{:>6} {:>14} {:>10} {:>10}", "k", "C^k rounds", "S^k", "S^k/k");
+    let mut baseline = 0.0;
+    for k in [1usize, 2, 4, 8, 16, 32, 64, k_paper] {
+        let mut s = Summary::new();
+        for t in 0..trials as u64 {
+            let mut rng = walk_rng(7000 + 101 * k as u64 + t);
+            s.push(kwalk_cover_rounds_same_start(&g, vc, k, KWalkMode::RoundSynchronous, &mut rng) as f64);
+        }
+        if k == 1 {
+            baseline = s.mean();
+        }
+        let speedup = baseline / s.mean();
+        let marker = if k == k_paper { "  <- k = 20 ln n (Theorem 26)" } else { "" };
+        println!(
+            "{:>6} {:>14.0} {:>10.1} {:>10.2}{marker}",
+            k,
+            s.mean(),
+            speedup,
+            speedup / k as f64
+        );
+    }
+    println!(
+        "\nS^k/k > 1 is the exponential regime: each extra walk buys more than a\n\
+         linear share because it halves the chance that a whole bell is left\n\
+         token-free. Theorem 7: C = Θ(n²) -> C^k = O(n) at k = Θ(log n)."
+    );
+}

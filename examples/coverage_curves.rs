@@ -1,0 +1,71 @@
+//! Coverage curves: *how* many walks are faster than one, drawn in ASCII.
+//!
+//! Plots the mean fraction of the graph covered against parallel rounds for
+//! k ∈ {1, 4, 16} on two instructive graphs:
+//!
+//! * the torus — curves pull apart uniformly (the near-linear regime of
+//!   Theorem 8), and
+//! * the barbell from its center — the k = 1 curve stalls at ~50% (one
+//!   bell covered, the walk trapped inside it), while modest k clears both
+//!   bells almost immediately: Theorem 7's exponential speed-up as a
+//!   picture.
+//!
+//! Run with: `cargo run --release --example coverage_curves`
+
+use many_walks::graph::generators;
+use many_walks::graph::Graph;
+use many_walks::walks::coverage::{mean_coverage_curve, rounds_to_fraction};
+
+const WIDTH: usize = 64;
+const KS: [usize; 3] = [1, 4, 16];
+
+fn plot(g: &Graph, start: u32, rounds: usize, trials: usize) {
+    println!("\n{} — coverage vs rounds (mean of {trials} trials)", g.name());
+    let mut curves = Vec::new();
+    for k in KS {
+        curves.push((k, mean_coverage_curve(g, start, k, rounds, trials, 11, 4)));
+    }
+    // Rasterize each curve as a line; smaller k drawn last so it stays
+    // visible where curves overlap.
+    const ROWS: usize = 11; // 0%..100% in 10% cells
+    let mut grid = vec![vec![' '; WIDTH]; ROWS];
+    for (k, curve) in curves.iter().rev() {
+        let sym = match k {
+            1 => '.',
+            4 => 'o',
+            _ => '#',
+        };
+        for (col, t) in (0..WIDTH).map(|c| (c, c * rounds / (WIDTH - 1))) {
+            let row = (curve[t] * (ROWS - 1) as f64).round() as usize;
+            grid[row][col] = sym;
+        }
+    }
+    for row in (0..ROWS).rev() {
+        println!("{:>4}% |{}", row * 10, grid[row].iter().collect::<String>());
+    }
+    println!("      +{}", "-".repeat(WIDTH));
+    println!("       0 rounds {:>width$}", rounds, width = WIDTH - 9);
+    println!("       legend: '.' k=1   'o' k=4   '#' k=16");
+    for (k, curve) in &curves {
+        let t90 = rounds_to_fraction(curve, 0.9)
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| format!(">{rounds}"));
+        println!("       k={k:<3} rounds to 90% coverage: {t90}");
+    }
+}
+
+fn main() {
+    let torus = generators::torus_2d(16);
+    plot(&torus, 0, 1200, 32);
+
+    let n = 129;
+    let barbell = generators::barbell(n);
+    let vc = generators::barbell_center(n);
+    plot(&barbell, vc, 4000, 32);
+
+    println!(
+        "\nThe barbell's k=1 curve is the paper's Section 7 story: half the graph\n\
+         covered almost instantly, then a Θ(n²) wait trapped in one bell. Any\n\
+         k ≳ log n puts tokens in both bells and the plateau vanishes."
+    );
+}

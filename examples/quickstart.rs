@@ -1,0 +1,44 @@
+//! Quickstart: how many parallel random walks does it take to explore a
+//! graph fast?
+//!
+//! Builds three graphs with very different personalities — a ring, a torus,
+//! and an expander — and measures the cover-time speed-up of k = 8 parallel
+//! walks on each, reproducing the paper's headline in three API calls.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use many_walks::graph::generators;
+use many_walks::walks::{speedup_sweep, EstimatorConfig};
+
+fn main() {
+    let cfg = EstimatorConfig::new(64).with_seed(2008);
+    let k = 8;
+
+    let mut rng = many_walks::walks::walk_rng(42);
+    let graphs = vec![
+        generators::cycle(256),
+        generators::torus_2d(16),
+        generators::random_regular(256, 8, &mut rng).expect("regular graph"),
+    ];
+
+    println!("k = {k} parallel walks, all starting at vertex 0\n");
+    println!("{:<22} {:>12} {:>12} {:>8} {:>8}", "graph", "C (1 walk)", "C^k", "S^k", "S^k/k");
+    println!("{}", "-".repeat(66));
+    for g in &graphs {
+        let sweep = speedup_sweep(g, 0, &[k], &cfg);
+        let s = sweep.speedup_at(k).expect("k probed");
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>8.2} {:>8.2}",
+            g.name(),
+            sweep.baseline.mean(),
+            sweep.points[0].cover.mean(),
+            s,
+            s / k as f64,
+        );
+    }
+    println!(
+        "\nThe paper's story in one table: the expander and torus get a near-linear\n\
+         speed-up (S^k/k ≈ 1), while the ring's walks mostly race each other\n\
+         (S^k ≈ log k — Theorem 6)."
+    );
+}

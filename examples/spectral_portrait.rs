@@ -1,0 +1,82 @@
+//! Spectral portrait of the paper's graph families.
+//!
+//! Theorem 9 ties the k-walk speed-up to the mixing time, and §4.1 ties
+//! the expander argument to the spectral gap. This example computes, for
+//! each family at equal size, the full chain of spectral quantities the
+//! library exposes —
+//!
+//! * `λ₂` and `λ*` of the walk matrix (exact, Jacobi),
+//! * the relaxation time `t_rel = 1/(1 − λ*)` of the lazy chain,
+//! * the Levin–Peres sandwich `(t_rel−1)·ln(e/2) ≤ t_m ≤ t_rel·ln(en/π_min)`,
+//! * the paper's exact TV mixing time `t_m` (lazy), which must land
+//!   inside the sandwich, and
+//! * the maximum effective resistance (the Chandra et al. cover-time
+//!   lens),
+//!
+//! then prints them side by side: one table that explains *why* Table 1's
+//! speed-up column looks the way it does.
+//!
+//! Run with: `cargo run --release --example spectral_portrait`
+
+use many_walks::graph::generators;
+use many_walks::spectral::{
+    hitting_times_all, lazy_spectrum, max_effective_resistance, mixing_time,
+    mixing_time_sandwich, stationary_distribution, summarize_spectrum, walk_spectrum,
+    MixingConfig,
+};
+use many_walks::walks::walk_rng;
+
+fn main() {
+    let n = 64; // dense-solver comfortable; every family at (near-)equal n
+    let mut rng = walk_rng(2008);
+    let graphs = vec![
+        generators::cycle(n),
+        generators::torus_2d(8),
+        generators::hypercube(6),
+        generators::complete(n),
+        generators::random_regular(n, 8, &mut rng).expect("regular"),
+        generators::barbell(63),
+        generators::balanced_tree(2, 5),
+    ];
+
+    println!("spectral portraits at n ≈ {n} (lazy chain for mixing quantities)\n");
+    println!(
+        "{:<18} {:>8} {:>8} {:>8} {:>10} {:>6} {:>10} {:>8}",
+        "graph", "λ₂", "λ*", "t_rel", "t_m range", "t_m", "sandwich", "R_max"
+    );
+    println!("{}", "-".repeat(84));
+
+    for g in &graphs {
+        let spectrum = walk_spectrum(g);
+        let lazy = summarize_spectrum(&lazy_spectrum(&spectrum));
+        let plain = summarize_spectrum(&spectrum);
+        let pi_min = stationary_distribution(g)
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let (lo, hi) = mixing_time_sandwich(&lazy, pi_min);
+        let tm = mixing_time(g, &MixingConfig::lazy()).expect("lazy chain mixes");
+        let inside = lo <= tm as f64 + 1.0 && tm as f64 <= hi;
+        let ht = hitting_times_all(g);
+        let rmax = max_effective_resistance(g, &ht);
+        println!(
+            "{:<18} {:>8.4} {:>8.4} {:>8.1} {:>4.0}..{:<5.0} {:>6} {:>10} {:>8.2}",
+            g.name(),
+            plain.lambda2,
+            lazy.lambda_star,
+            lazy.relaxation_time,
+            lo,
+            hi,
+            tm,
+            if inside { "inside" } else { "OUTSIDE" },
+            rmax,
+        );
+    }
+
+    println!(
+        "\nReading the table: small t_rel (complete, expander, hypercube) means the\n\
+         walks decorrelate immediately — Theorem 9 then promises S^k ≈ k. The cycle's\n\
+         t_rel ~ n² is the same fact that caps its speed-up at log k; the barbell's\n\
+         enormous R_max is the bottleneck the k = 20 ln n walks of Theorem 26 bypass\n\
+         by splitting at the start."
+    );
+}

@@ -1,0 +1,112 @@
+//! Randomized s-t connectivity with a budget of short parallel walks —
+//! the §1.1 related-work application, as a runnable program.
+//!
+//! The classical `USTCON` algorithms (Broder–Karlin–Raghavan–Upfal and
+//! the time-space-trade-off line the paper discusses) decide whether `s`
+//! and `t` are connected by launching short random walks and watching
+//! for a meeting. The paper's contribution changes the budget arithmetic:
+//! because `k` walks cover a (connected component of a) graph ≈ `k` times
+//! faster, a *fixed wall-clock deadline* buys `k` times the reach — so a
+//! deadline-bound tester should spend its step budget on parallel walks,
+//! not one long one.
+//!
+//! This example builds a two-component graph (two expanders, no bridge),
+//! plus a connected control, and runs the tester both ways at equal total
+//! work: one walk of length `L·k` vs `k` walks of length `L`. The
+//! parallel version reaches the verdict in a fraction of the wall-clock
+//! rounds with the same accuracy.
+//!
+//! Run with: `cargo run --release --example st_connectivity`
+
+use many_walks::graph::{Graph, GraphBuilder};
+use many_walks::graph::generators;
+use many_walks::walks::{walk_rng, WalkRng};
+use rand::Rng;
+
+/// One-sided s-t connectivity test: `k` walks from `s`, each stepped for
+/// at most `rounds` rounds; returns `(verdict, rounds_used)` where the
+/// verdict is `true` iff some walk touched `t` (never a false positive).
+fn st_test(g: &Graph, s: u32, t: u32, k: usize, rounds: u64, rng: &mut WalkRng) -> (bool, u64) {
+    let mut pos = vec![s; k];
+    if s == t {
+        return (true, 0);
+    }
+    for round in 1..=rounds {
+        for p in pos.iter_mut() {
+            let d = g.degree(*p);
+            *p = g.neighbor(*p, rng.gen_range(0..d));
+            if *p == t {
+                return (true, round);
+            }
+        }
+    }
+    (false, rounds)
+}
+
+/// Two disjoint 8-regular expanders glued into one vertex set (no bridge):
+/// `s` in component A, `t` in component B.
+fn disconnected_pair(n_half: usize, rng: &mut WalkRng) -> Graph {
+    let a = generators::random_regular(n_half, 8, rng).expect("regular");
+    let b = generators::random_regular(n_half, 8, rng).expect("regular");
+    let mut builder = GraphBuilder::new(2 * n_half);
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v);
+    }
+    for (u, v) in b.edges() {
+        builder.add_edge(u + n_half as u32, v + n_half as u32);
+    }
+    builder.build(format!("two-expanders({n_half}+{n_half})"))
+}
+
+fn main() {
+    let n = 512;
+    let mut rng = walk_rng(2008);
+    let connected = generators::random_regular(n, 8, &mut rng).expect("regular");
+    let split = disconnected_pair(n / 2, &mut rng);
+    let trials = 200;
+
+    // Equal total work: 1 × (k·L) steps vs k × L rounds.
+    let k = 16;
+    let budget_rounds = 4 * n as u64; // per-walk deadline L
+    let serial_rounds = budget_rounds * k as u64;
+
+    println!("s-t connectivity tester, total step budget = {serial_rounds} per trial\n");
+    println!(
+        "{:<28} {:>10} {:>14} {:>14} {:>12}",
+        "graph", "tester", "detect rate", "mean rounds", "false pos"
+    );
+    println!("{}", "-".repeat(82));
+
+    for (g, truly_connected) in [(&connected, true), (&split, false)] {
+        let (s, t) = (0u32, (g.n() - 1) as u32);
+        for (label, walks, deadline) in
+            [("1 long walk", 1usize, serial_rounds), ("k short walks", k, budget_rounds)]
+        {
+            let mut detected = 0usize;
+            let mut rounds_sum = 0u64;
+            for trial in 0..trials {
+                let mut trng = walk_rng(7_000 + trial as u64);
+                let (hit, used) = st_test(g, s, t, walks, deadline, &mut trng);
+                detected += hit as usize;
+                rounds_sum += used;
+            }
+            let rate = detected as f64 / trials as f64;
+            let false_pos = if truly_connected { 0.0 } else { rate };
+            println!(
+                "{:<28} {:>10} {:>13.1}% {:>14.0} {:>11.1}%",
+                g.name(),
+                label,
+                100.0 * rate,
+                rounds_sum as f64 / trials as f64,
+                100.0 * false_pos,
+            );
+        }
+    }
+
+    println!(
+        "\nBoth testers are one-sided (a miss is never proof of disconnection), and at\n\
+         equal total work they detect connectivity equally well — but the k-walk tester\n\
+         finishes in ~1/k the wall-clock rounds. That is Theorem 4 doing algorithmic\n\
+         work: parallel walks turn a step budget into latency."
+    );
+}

@@ -1,0 +1,47 @@
+//! # many-walks
+//!
+//! A reproduction of *Many Random Walks Are Faster Than One*
+//! (Alon, Avin, Koucký, Kozma, Lotker, Tuttle — SPAA 2008).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`graph`] — CSR graph store and the paper's graph families
+//!   (cycle, grids/tori, hypercube, complete graph, trees, barbell,
+//!   Erdős–Rényi, random-regular expanders, …).
+//! * [`walks`] — the paper's contribution: k-parallel random walks, cover
+//!   time `C^k(G)`, speed-up `S^k(G) = C(G)/C^k(G)`, every theoretical
+//!   bound stated in the paper, generalized processes (lazy, Metropolis),
+//!   partial/multicover stopping rules, pursuit games, and an exact
+//!   small-graph DP that ground-truths the estimators.
+//! * [`spectral`] — exact Markov-chain computations: hitting times (dense
+//!   and Gauss–Seidel), effective resistances (CG), mixing times, the full
+//!   walk spectrum (Jacobi), stationary distributions, spectral gap.
+//! * [`stats`] — Monte-Carlo summaries, confidence intervals, fits, and a
+//!   two-sample Kolmogorov–Smirnov test.
+//! * [`par`] — the work-stealing pool used to run trials in parallel.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use many_walks::graph::generators;
+//! use many_walks::walks::{CoverTimeEstimator, EstimatorConfig};
+//!
+//! // Cover time of a 64-vertex cycle by 1 walk vs 4 parallel walks.
+//! let g = generators::cycle(64);
+//! let cfg = EstimatorConfig::new(32).with_seed(7);
+//! let single = CoverTimeEstimator::new(&g, 1, cfg.clone()).run_worst_start();
+//! let four = CoverTimeEstimator::new(&g, 4, cfg).run_worst_start();
+//! assert!(four.cover_time.mean() < single.cover_time.mean());
+//! ```
+
+pub use mrw_graph as graph;
+pub use mrw_par as par;
+pub use mrw_spectral as spectral;
+pub use mrw_stats as stats;
+
+/// The core crate, re-exported under the paper-facing name `walks`.
+pub mod walks {
+    pub use mrw_core::*;
+}
+
+pub use mrw_core as core;

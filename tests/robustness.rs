@@ -1,0 +1,189 @@
+//! Failure-injection tests: every documented panic contract in the
+//! public API, exercised across crates.
+//!
+//! Random-walk code fails *silently* when preconditions slip (a walk on a
+//! disconnected graph spins forever; an out-of-range start indexes into
+//! the wrong adjacency row), so the library's contract is to reject loudly
+//! at the boundary. These tests pin the panics — and, just as important,
+//! pin the *messages*, which are part of the API surface a user debugs by.
+
+use many_walks::graph::{generators, GraphBuilder};
+use many_walks::spectral;
+use many_walks::walks::{
+    self, walk_rng, CoverTimeEstimator, EstimatorConfig, PreyStrategy, WalkProcess,
+};
+
+fn disconnected() -> many_walks::graph::Graph {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(0, 1);
+    b.add_edge(2, 3);
+    b.build("two-islands")
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn cover_start_out_of_range() {
+    let g = generators::cycle(5);
+    walks::cover_time_single(&g, 5, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "at least one walk")]
+fn kwalk_empty_starts() {
+    let g = generators::cycle(5);
+    walks::kwalk_cover_rounds(&g, &[], walks::KWalkMode::RoundSynchronous, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "disconnected")]
+fn exact_dp_rejects_disconnected() {
+    many_walks::walks::exact::exact_kwalk_cover_time(&disconnected(), 0, 1);
+}
+
+#[test]
+#[should_panic(expected = "exceeds n")]
+fn partial_cover_target_too_large() {
+    let g = generators::cycle(5);
+    walks::kwalk_partial_cover_rounds(&g, &[0], 6, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "not in (0,1]")]
+fn fraction_target_rejects_zero() {
+    walks::fraction_target(10, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "not in [0,1)")]
+fn lazy_process_rejects_p_one() {
+    let g = generators::cycle(5);
+    walks::cover_time_process(&g, 0, WalkProcess::Lazy(1.0), &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "b ≥ 1")]
+fn multicover_rejects_zero_visits() {
+    let g = generators::cycle(5);
+    walks::kwalk_multicover_rounds(&g, &[0], 0, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "prey out of range")]
+fn pursuit_prey_out_of_range() {
+    let g = generators::cycle(5);
+    walks::pursuit_rounds(&g, &[0], 9, PreyStrategy::Hide, 10, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "at least one hunter")]
+fn pursuit_no_hunters() {
+    let g = generators::cycle(5);
+    walks::pursuit_rounds(&g, &[], 1, PreyStrategy::Hide, 10, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "isolated")]
+fn walk_spectrum_rejects_isolated_vertex() {
+    let mut b = GraphBuilder::new(3);
+    b.add_edge(0, 1);
+    spectral::walk_spectrum(&b.build("isolated-2"));
+}
+
+#[test]
+#[should_panic(expected = "symmetric")]
+fn jacobi_rejects_asymmetric_matrix() {
+    let mut a = spectral::DenseMatrix::zeros(2, 2);
+    a[(0, 1)] = 1.0;
+    spectral::jacobi_eigen(&a);
+}
+
+#[test]
+#[should_panic(expected = "target")]
+fn gs_hitting_target_out_of_range() {
+    let g = generators::cycle(4);
+    spectral::hitting_times_to_gs(&g, 4, 1e-9, 10);
+}
+
+#[test]
+#[should_panic(expected = "itself")]
+fn resistance_same_vertex_rejected() {
+    let g = generators::cycle(4);
+    spectral::effective_resistance_cg(&g, 2, 2, 1e-9, 100);
+}
+
+#[test]
+#[should_panic(expected = "nonempty")]
+fn ks_empty_rejected() {
+    many_walks::stats::ks_two_sample(&[], &[1.0]);
+}
+
+#[test]
+#[should_panic(expected = "odd")]
+fn barbell_even_size_rejected() {
+    generators::barbell(12);
+}
+
+#[test]
+#[should_panic(expected = "even")]
+fn watts_strogatz_odd_degree_rejected() {
+    generators::watts_strogatz(10, 3, 0.1, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "attach")]
+fn barabasi_albert_undersized_rejected() {
+    generators::barabasi_albert(2, 3, &mut walk_rng(0));
+}
+
+#[test]
+#[should_panic(expected = "at least 4")]
+fn wheel_too_small_rejected() {
+    generators::wheel(3);
+}
+
+// Non-panic robustness: estimators and iterative solvers degrade loudly
+// (None / explicit report), never silently.
+
+#[test]
+fn gs_reports_nonconvergence_instead_of_garbage() {
+    let g = generators::cycle(128);
+    assert!(spectral::hitting_times_to_gs(&g, 0, 1e-13, 2).is_none());
+}
+
+#[test]
+fn cg_reports_nonconvergence_instead_of_garbage() {
+    let g = generators::torus_2d(32);
+    assert!(spectral::effective_resistance_cg(&g, 0, 500, 1e-14, 3).is_none());
+}
+
+#[test]
+fn hit_cap_returns_none_not_hang() {
+    let g = generators::cycle(1024);
+    assert_eq!(walks::steps_to_hit(&g, 0, 512, 10, &mut walk_rng(0)), None);
+}
+
+#[test]
+fn pursuit_cap_returns_none_not_hang() {
+    let g = generators::cycle(1024);
+    assert_eq!(
+        walks::pursuit_rounds(&g, &[0], 512, PreyStrategy::Hide, 10, &mut walk_rng(0)),
+        None
+    );
+}
+
+#[test]
+fn estimator_single_trial_has_degenerate_but_finite_ci() {
+    let g = generators::cycle(8);
+    let est = CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(1).with_seed(3)).run_from(0);
+    assert!(est.mean().is_finite());
+}
+
+#[test]
+fn singleton_graph_is_covered_at_birth() {
+    let g = generators::path(1);
+    assert_eq!(walks::cover_time_single(&g, 0, &mut walk_rng(0)), 0);
+    assert_eq!(
+        walks::kwalk_cover_rounds(&g, &[0, 0], walks::KWalkMode::Interleaved, &mut walk_rng(0)),
+        0
+    );
+}
