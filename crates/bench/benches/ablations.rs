@@ -115,7 +115,9 @@ fn bench_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_scheduling");
     group.sample_size(10);
     group.bench_function("dynamic(production)", |b| {
-        let cfg = EstimatorConfig::new(trials).with_seed(14).with_threads(threads);
+        let cfg = EstimatorConfig::new(trials)
+            .with_seed(14)
+            .with_threads(threads);
         b.iter(|| CoverTimeEstimator::new(&g, 1, cfg.clone()).run_from(0))
     });
     group.bench_function("static_chunking", |b| {

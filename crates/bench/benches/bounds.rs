@@ -34,10 +34,16 @@ fn bench_mixing(c: &mut Criterion) {
         generators::complete(256),
     ];
     for g in graphs {
-        group.bench_with_input(BenchmarkId::from_parameter(g.name().to_string()), &g, |b, g| {
-            let cfg = MixingConfig::lazy().with_starts(vec![0]).with_max_steps(2_000_000);
-            b.iter(|| mixing_time(g, &cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.name().to_string()),
+            &g,
+            |b, g| {
+                let cfg = MixingConfig::lazy()
+                    .with_starts(vec![0])
+                    .with_max_steps(2_000_000);
+                b.iter(|| mixing_time(g, &cfg))
+            },
+        );
     }
     group.finish();
 }

@@ -2,7 +2,8 @@
 //! different degree profiles, and thread-pool scaling of the trial fan-out.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mrw_core::{walk_rng, CoverTimeEstimator, EstimatorConfig};
+use mrw_core::engine::{CompiledProcess, Engine, FullCover, Process, SimpleStep};
+use mrw_core::{walk_rng, CoverTimeEstimator, EstimatorConfig, WalkProcess};
 use mrw_graph::generators;
 use mrw_par::ThreadPool;
 
@@ -11,22 +12,26 @@ fn bench_step_throughput(c: &mut Criterion) {
     const STEPS: u64 = 100_000;
     group.throughput(Throughput::Elements(STEPS));
     let graphs = vec![
-        generators::cycle(1 << 14),                     // degree 2
-        generators::torus_2d(128),                      // degree 4 (pow2 fast path)
-        generators::hypercube(14),                      // degree 14
-        generators::complete(4096),                     // degree 4095
+        generators::cycle(1 << 14), // degree 2
+        generators::torus_2d(128),  // degree 4 (pow2 fast path)
+        generators::hypercube(14),  // degree 14
+        generators::complete(4096), // degree 4095
     ];
     for g in graphs {
-        group.bench_with_input(BenchmarkId::from_parameter(g.name().to_string()), &g, |b, g| {
-            b.iter(|| {
-                let mut rng = walk_rng(1);
-                let mut pos = 0u32;
-                for _ in 0..STEPS {
-                    pos = mrw_core::walk::step(g, pos, &mut rng);
-                }
-                pos
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(g.name().to_string()),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut rng = walk_rng(1);
+                    let mut pos = 0u32;
+                    for _ in 0..STEPS {
+                        pos = mrw_core::walk::step(g, pos, &mut rng);
+                    }
+                    pos
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -63,10 +68,92 @@ fn bench_pool_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_unified_engine_ablation(c: &mut Criterion) {
+    // The refactor's two hot-path claims, measured:
+    // (1) cached lazy holds (pre-built Bernoulli, one integer compare)
+    //     vs the uncached reference (`WalkProcess::step`, a float draw
+    //     and compare per hold decision);
+    // (2) cached Metropolis acceptance (degree-reciprocal multiply) vs
+    //     the uncached reference (divide per proposal).
+    let g = generators::torus_2d(64);
+    let mut group = c.benchmark_group("unified_engine_ablation");
+    group.sample_size(10);
+    const STEPS: u64 = 100_000;
+    group.throughput(Throughput::Elements(STEPS));
+
+    fn bench_kernel<P: Process>(
+        group: &mut criterion::BenchmarkGroup<'_>,
+        label: &str,
+        g: &mrw_graph::Graph,
+        mut kernel: P,
+        steps: u64,
+    ) {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = walk_rng(1);
+                let mut pos = 0u32;
+                for _ in 0..steps {
+                    pos = kernel.step(g, pos, &mut rng);
+                }
+                pos
+            })
+        });
+    }
+
+    let lazy = WalkProcess::Lazy(0.5);
+    bench_kernel(
+        &mut group,
+        "lazy_cached_bernoulli",
+        &g,
+        CompiledProcess::new(lazy, &g),
+        STEPS,
+    );
+    bench_kernel(&mut group, "lazy_uncached_reference", &g, lazy, STEPS);
+    let metro = WalkProcess::Metropolis;
+    bench_kernel(
+        &mut group,
+        "metropolis_cached_recip",
+        &g,
+        CompiledProcess::new(metro, &g),
+        STEPS,
+    );
+    bench_kernel(
+        &mut group,
+        "metropolis_uncached_reference",
+        &g,
+        metro,
+        STEPS,
+    );
+    group.finish();
+
+    // End-to-end: the one engine loop under its heaviest observer vs the
+    // lightest, same trajectory length, isolating observer overhead.
+    let g = generators::torus_2d(24);
+    let mut group = c.benchmark_group("engine_observer_overhead");
+    group.sample_size(10);
+    group.bench_function("full_cover", |b| {
+        b.iter(|| {
+            Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+                .run(&[0, 0, 0, 0], &mut walk_rng(3))
+                .rounds
+        })
+    });
+    group.bench_function("pure_horizon", |b| {
+        b.iter(|| {
+            Engine::new(&g, SimpleStep, ())
+                .cap(2000)
+                .run(&[0, 0, 0, 0], &mut walk_rng(3))
+                .rounds
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_step_throughput,
     bench_trial_scaling,
-    bench_pool_dispatch
+    bench_pool_dispatch,
+    bench_unified_engine_ablation
 );
 criterion_main!(benches);

@@ -85,7 +85,13 @@ fn bench_process_vs_engine_cover(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            kwalk_cover_rounds_same_start(&g, 0, 4, KWalkMode::RoundSynchronous, &mut walk_rng(seed))
+            kwalk_cover_rounds_same_start(
+                &g,
+                0,
+                4,
+                KWalkMode::RoundSynchronous,
+                &mut walk_rng(seed),
+            )
         })
     });
     group.bench_function("process_simple", |b| {

@@ -25,9 +25,11 @@ fn bench_hitting_backends(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dense_lu_one_target", side), &g, |b, g| {
             b.iter(|| hitting_times_to(g, 0))
         });
-        group.bench_with_input(BenchmarkId::new("gauss_seidel_one_target", side), &g, |b, g| {
-            b.iter(|| hitting_times_to_gs(g, 0, 1e-10, 1_000_000).expect("converges"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gauss_seidel_one_target", side),
+            &g,
+            |b, g| b.iter(|| hitting_times_to_gs(g, 0, 1e-10, 1_000_000).expect("converges")),
+        );
     }
     // The regime the dense backend cannot reach at all.
     let big = generators::torus_2d(64);

@@ -132,7 +132,15 @@ mod tests {
     #[test]
     fn all_options() {
         let o = parse(&[
-            "table1", "--quick", "--trials", "17", "--seed", "99", "--threads", "3", "--format",
+            "table1",
+            "--quick",
+            "--trials",
+            "17",
+            "--seed",
+            "99",
+            "--threads",
+            "3",
+            "--format",
             "csv",
         ])
         .unwrap();
@@ -145,7 +153,10 @@ mod tests {
 
     #[test]
     fn markdown_alias() {
-        assert_eq!(parse(&["x", "--format", "md"]).unwrap().format, Format::Markdown);
+        assert_eq!(
+            parse(&["x", "--format", "md"]).unwrap().format,
+            Format::Markdown
+        );
     }
 
     #[test]

@@ -61,7 +61,11 @@ fn apply_overrides(b: &mut Budget, opts: &Options) {
 }
 
 fn budget(opts: &Options) -> Budget {
-    let mut b = if opts.quick { Budget::quick() } else { Budget::default() };
+    let mut b = if opts.quick {
+        Budget::quick()
+    } else {
+        Budget::default()
+    };
     if let Some(t) = opts.trials {
         b.trials = t;
     }
@@ -75,13 +79,21 @@ fn budget(opts: &Options) -> Budget {
 }
 
 fn run_table1(opts: &Options) {
-    let mut cfg = if opts.quick { table1::Config::quick() } else { table1::Config::default() };
+    let mut cfg = if opts.quick {
+        table1::Config::quick()
+    } else {
+        table1::Config::default()
+    };
     cfg.budget = budget(opts);
     print_table(&table1::run(&cfg).table(), opts.format);
 }
 
 fn run_clique(opts: &Options) {
-    let mut cfg = if opts.quick { clique::Config::quick() } else { clique::Config::default() };
+    let mut cfg = if opts.quick {
+        clique::Config::quick()
+    } else {
+        clique::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = clique::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -94,7 +106,11 @@ fn run_clique(opts: &Options) {
 }
 
 fn run_cycle(opts: &Options) {
-    let mut cfg = if opts.quick { cycle::Config::quick() } else { cycle::Config::default() };
+    let mut cfg = if opts.quick {
+        cycle::Config::quick()
+    } else {
+        cycle::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = cycle::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -105,7 +121,11 @@ fn run_cycle(opts: &Options) {
 }
 
 fn run_barbell(opts: &Options) {
-    let mut cfg = if opts.quick { barbell::Config::quick() } else { barbell::Config::default() };
+    let mut cfg = if opts.quick {
+        barbell::Config::quick()
+    } else {
+        barbell::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = barbell::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -116,7 +136,11 @@ fn run_barbell(opts: &Options) {
 }
 
 fn run_torus(opts: &Options) {
-    let mut cfg = if opts.quick { torus::Config::quick() } else { torus::Config::default() };
+    let mut cfg = if opts.quick {
+        torus::Config::quick()
+    } else {
+        torus::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = torus::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -128,15 +152,26 @@ fn run_torus(opts: &Options) {
 }
 
 fn run_expander(opts: &Options) {
-    let mut cfg = if opts.quick { expander::Config::quick() } else { expander::Config::default() };
+    let mut cfg = if opts.quick {
+        expander::Config::quick()
+    } else {
+        expander::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = expander::run(&cfg);
     print_table(&report.table(), opts.format);
-    println!("min S^k/k over the ladder = {:.3} — Theorem 18 predicts Ω(k) up to k ≈ n", report.min_efficiency());
+    println!(
+        "min S^k/k over the ladder = {:.3} — Theorem 18 predicts Ω(k) up to k ≈ n",
+        report.min_efficiency()
+    );
 }
 
 fn run_matthews(opts: &Options) {
-    let mut cfg = if opts.quick { matthews::Config::quick() } else { matthews::Config::default() };
+    let mut cfg = if opts.quick {
+        matthews::Config::quick()
+    } else {
+        matthews::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = matthews::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -162,11 +197,18 @@ fn run_baby_matthews(opts: &Options) {
     cfg.budget = budget(opts);
     let report = baby_matthews::run(&cfg);
     print_table(&report.table(), opts.format);
-    println!("worst C^k/bound ratio = {:.3} (Theorem 13 predicts ≤ 1)", report.worst_ratio());
+    println!(
+        "worst C^k/bound ratio = {:.3} (Theorem 13 predicts ≤ 1)",
+        report.worst_ratio()
+    );
 }
 
 fn run_mixing(opts: &Options) {
-    let mut cfg = if opts.quick { mixing::Config::quick() } else { mixing::Config::default() };
+    let mut cfg = if opts.quick {
+        mixing::Config::quick()
+    } else {
+        mixing::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = mixing::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -177,7 +219,11 @@ fn run_mixing(opts: &Options) {
 }
 
 fn run_gap(opts: &Options) {
-    let mut cfg = if opts.quick { gap::Config::quick() } else { gap::Config::default() };
+    let mut cfg = if opts.quick {
+        gap::Config::quick()
+    } else {
+        gap::Config::default()
+    };
     cfg.budget = budget(opts);
     let report = gap::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -231,13 +277,23 @@ fn run_conjectures(opts: &Options) {
     println!(
         "Conjecture 10 stress: max S^k/k = {:.2} ({} from {}, k={})\n\
          Conjecture 11 floor:  min S^k/ln k = {:.2} ({} from {}, k={})",
-        max.per_k(), max.graph, max.start, max.k,
-        min.per_log_k(), min.graph, min.start, min.k
+        max.per_k(),
+        max.graph,
+        max.start,
+        max.k,
+        min.per_log_k(),
+        min.graph,
+        min.start,
+        min.k
     );
 }
 
 fn run_lemma16(opts: &Options) {
-    let mut cfg = if opts.quick { lemma16::Config::quick() } else { lemma16::Config::default() };
+    let mut cfg = if opts.quick {
+        lemma16::Config::quick()
+    } else {
+        lemma16::Config::default()
+    };
     apply_overrides(&mut cfg.budget, opts);
     let report = lemma16::run(&cfg);
     print_table(&report.table(), opts.format);
@@ -248,24 +304,40 @@ fn run_lemma16(opts: &Options) {
 }
 
 fn run_lemma19(opts: &Options) {
-    let mut cfg = if opts.quick { lemma19::Config::quick() } else { lemma19::Config::default() };
+    let mut cfg = if opts.quick {
+        lemma19::Config::quick()
+    } else {
+        lemma19::Config::default()
+    };
     apply_overrides(&mut cfg.budget, opts);
     let report = lemma19::run(&cfg);
     print_table(&report.lemma_table(), opts.format);
     print_table(&report.corollary_table(), opts.format);
     println!(
         "Lemma 19 bound {} on every probed pair; Corollary 20 misses are budgeted at 1/n²",
-        if report.lemma_holds() { "holds" } else { "is VIOLATED" }
+        if report.lemma_holds() {
+            "holds"
+        } else {
+            "is VIOLATED"
+        }
     );
 }
 
 fn run_prop23(opts: &Options) {
-    let cfg = if opts.quick { prop23::Config::quick() } else { prop23::Config::default() };
+    let cfg = if opts.quick {
+        prop23::Config::quick()
+    } else {
+        prop23::Config::default()
+    };
     let report = prop23::run(&cfg);
     print_table(&report.table(), opts.format);
     println!(
         "sandwich {} on the whole (c, n) grid — computed exactly, no sampling",
-        if report.all_hold() { "holds" } else { "is VIOLATED" }
+        if report.all_hold() {
+            "holds"
+        } else {
+            "is VIOLATED"
+        }
     );
 }
 
@@ -285,7 +357,11 @@ fn run_barbell_events(opts: &Options) {
 }
 
 fn run_exact_zoo(opts: &Options) {
-    let mut cfg = if opts.quick { exact_zoo::Config::quick() } else { exact_zoo::Config::default() };
+    let mut cfg = if opts.quick {
+        exact_zoo::Config::quick()
+    } else {
+        exact_zoo::Config::default()
+    };
     if let Some(t) = opts.trials {
         cfg.trials = t;
     }
@@ -318,7 +394,11 @@ fn run_projection(opts: &Options) {
 }
 
 fn run_hunting(opts: &Options) {
-    let mut cfg = if opts.quick { hunting::Config::quick() } else { hunting::Config::default() };
+    let mut cfg = if opts.quick {
+        hunting::Config::quick()
+    } else {
+        hunting::Config::default()
+    };
     apply_overrides(&mut cfg.budget, opts);
     let report = hunting::run(&cfg);
     print_table(&report.table(), opts.format);

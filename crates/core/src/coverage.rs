@@ -7,11 +7,12 @@
 //! the cycle with large k all curves collapse onto each other because the
 //! walks retread the same ground.
 
-use mrw_graph::{algo, Graph, NodeBitSet};
+use mrw_graph::{algo, Graph};
 use mrw_par::{par_map, SeedSequence};
 use rand::Rng;
 
-use crate::walk::{step, walk_rng};
+use crate::engine::{CoverageCurve, Engine, SimpleStep};
+use crate::walk::walk_rng;
 
 /// One trial's coverage trajectory: `fraction[t]` = fraction of vertices
 /// visited after `t` rounds (index 0 = after placing the starts).
@@ -23,27 +24,11 @@ pub fn coverage_trajectory<R: Rng + ?Sized>(
 ) -> Vec<f64> {
     assert!(!starts.is_empty(), "need at least one walk");
     debug_assert!(algo::is_connected(g), "coverage of a disconnected graph");
-    let n = g.n();
-    let mut visited = NodeBitSet::new(n);
-    let mut covered = 0usize;
-    for &s in starts {
-        if visited.insert(s) {
-            covered += 1;
-        }
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    let mut out = Vec::with_capacity(rounds + 1);
-    out.push(covered as f64 / n as f64);
-    for _ in 0..rounds {
-        for p in pos.iter_mut() {
-            *p = step(g, *p, rng);
-            if visited.insert(*p) {
-                covered += 1;
-            }
-        }
-        out.push(covered as f64 / n as f64);
-    }
-    out
+    Engine::new(g, SimpleStep, CoverageCurve::new(g.n(), rounds))
+        .cap(rounds as u64)
+        .run(starts, rng)
+        .observer
+        .into_curve()
 }
 
 /// Mean coverage curve over `trials` independent k-walks from `start`

@@ -1,0 +1,954 @@
+//! The unified k-token walk engine — the one stepping loop in this crate.
+//!
+//! Every quantity this library measures is the same primitive observed
+//! through a different lens: `k` tokens step synchronously over a graph
+//! until a stopping rule fires. The seed implemented that inner loop eight
+//! separate times (single-walk cover, k-walk cover, process cover, partial
+//! cover, multicover, visit tallies, meeting, pursuit), each with its own
+//! visited-bitset and round-accounting code. This module owns the loop
+//! once:
+//!
+//! * [`Engine`] drives `k` tokens of a [`Process`] under a [`Discipline`]
+//!   and reports to an [`Observer`], which accumulates statistics and
+//!   decides when to stop. An optional round cap bounds every run.
+//! * [`Process`] is the per-step kernel. [`SimpleStep`] is the paper's
+//!   simple random walk; [`CompiledProcess`] is a
+//!   [`WalkProcess`](crate::process::WalkProcess) compiled against a graph
+//!   with its per-run state cached — a pre-built `Bernoulli` for lazy
+//!   holds (one integer compare per step instead of a float conversion)
+//!   and degree/reciprocal tables for Metropolis acceptance (multiply
+//!   instead of divide on the CSR hot path).
+//! * [`Observer`]s: [`FullCover`], [`PartialCover`], [`Multicover`],
+//!   [`Hit`], [`Meeting`], [`Pursuit`], [`VisitTally`], [`CoverageCurve`],
+//!   [`Trace`], and `()` (a pure horizon run).
+//!
+//! The public wrappers in [`walk`](crate::walk), [`kwalk`](crate::kwalk),
+//! [`process`](crate::process), [`partial`](crate::partial),
+//! [`visits`](crate::visits), [`meeting`](crate::meeting), and
+//! [`coverage`](crate::coverage) are thin shims over this engine and keep
+//! their exact pre-refactor signatures.
+//!
+//! ## Determinism contract
+//!
+//! For [`SimpleStep`] (and `CompiledProcess::Simple`) the engine consumes
+//! the RNG stream *identically* to the legacy loops: one draw per token
+//! per round, tokens in index order, a full round always completed under
+//! [`Discipline::RoundSynchronous`] even when the stopping rule fires
+//! mid-round. Seeded results are therefore bit-for-bit equal to the
+//! pre-refactor implementations (`tests/engine_equivalence.rs` pins this
+//! against a frozen copy of the legacy loop). For `Lazy(p)` the cached
+//! `Bernoulli` draws one `u64` per hold decision where the legacy code
+//! drew one `f64`; the *law* of the walk is unchanged (KS-tested) but
+//! seeded traces differ from the seed implementation — an intentional,
+//! benchmarked trade (see `benches/engine.rs`).
+
+use mrw_graph::{Graph, NodeBitSet};
+use rand::distributions::{Bernoulli, Distribution};
+use rand::Rng;
+
+use crate::process::WalkProcess;
+use crate::walk::step;
+
+/// Stepping discipline for the k-token loop.
+///
+/// Both define the same process and agree in distribution (the ablation
+/// bench and the KS equivalence test confirm it); they differ only in when
+/// the stopping rule is *checked* inside a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Discipline {
+    /// All tokens advance once per round; the stopping rule is evaluated
+    /// at round boundaries (the paper's model — a round that completes
+    /// coverage mid-round still counts in full).
+    #[default]
+    RoundSynchronous,
+    /// A single global step counter `i` advances token `i mod k` (the
+    /// `X_i` indexing of the paper's Theorem 9 proof); the stopping rule
+    /// is checked after every step and the reported time is `⌈steps/k⌉`.
+    Interleaved,
+}
+
+/// A per-step walk kernel: where does a token at `pos` go next?
+pub trait Process {
+    /// Advances one token by one step.
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32;
+}
+
+/// The paper's simple random walk: uniform over neighbors, stateless.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimpleStep;
+
+impl Process for SimpleStep {
+    #[inline]
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32 {
+        step(g, pos, rng)
+    }
+}
+
+/// A [`WalkProcess`] compiled against a graph, with per-run cached state.
+///
+/// [`WalkProcess::step`](crate::process::WalkProcess::step) stays the
+/// uncached reference implementation; this is what the engine actually
+/// runs. Construction is `O(1)` for `Simple`/`Lazy` and `O(n)` for
+/// `Metropolis` (degree and reciprocal tables).
+#[derive(Debug, Clone)]
+pub enum CompiledProcess {
+    /// Simple walk (identical stream to [`SimpleStep`]).
+    Simple,
+    /// Lazy walk with a pre-built hold distribution.
+    Lazy {
+        /// Cached Bernoulli(hold probability).
+        hold: Bernoulli,
+    },
+    /// Metropolis walk with cached degree and reciprocal-degree tables,
+    /// so the acceptance test `u < δ(v)/δ(u)` is a multiply, not a divide.
+    Metropolis {
+        /// `δ(v)` as `f64`, indexed by vertex.
+        deg: Vec<f64>,
+        /// `1/δ(v)`, indexed by vertex.
+        inv_deg: Vec<f64>,
+    },
+}
+
+impl CompiledProcess {
+    /// Compiles `process` for runs on `g`.
+    ///
+    /// `Lazy(1.0)` is accepted — a token that never moves is well-defined
+    /// under a round cap (fixed-horizon tallies, capped meetings). Cover
+    /// routines, which would loop forever on it, reject `p = 1` at their
+    /// own boundary instead.
+    ///
+    /// # Panics
+    /// If `process` is `Lazy(p)` with `p ∉ [0,1]`.
+    pub fn new(process: WalkProcess, g: &Graph) -> Self {
+        match process {
+            WalkProcess::Simple => CompiledProcess::Simple,
+            WalkProcess::Lazy(p) => CompiledProcess::Lazy {
+                hold: Bernoulli::new(p)
+                    .unwrap_or_else(|_| panic!("hold probability {p} not in [0,1]")),
+            },
+            WalkProcess::Metropolis => {
+                let deg: Vec<f64> = (0..g.n() as u32).map(|v| g.degree(v) as f64).collect();
+                let inv_deg = deg.iter().map(|&d| 1.0 / d).collect();
+                CompiledProcess::Metropolis { deg, inv_deg }
+            }
+        }
+    }
+}
+
+/// The uncached reference kernel: every call re-derives hold/acceptance
+/// state. Kept for ablations and as the semantic ground truth the cached
+/// [`CompiledProcess`] is tested against; engine users should compile.
+impl Process for WalkProcess {
+    #[inline]
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32 {
+        WalkProcess::step(self, g, pos, rng)
+    }
+}
+
+impl Process for CompiledProcess {
+    #[inline]
+    fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32 {
+        match self {
+            CompiledProcess::Simple => step(g, pos, rng),
+            CompiledProcess::Lazy { hold } => {
+                if hold.sample(rng) {
+                    pos
+                } else {
+                    step(g, pos, rng)
+                }
+            }
+            CompiledProcess::Metropolis { deg, inv_deg } => {
+                let proposal = step(g, pos, rng);
+                if proposal == pos {
+                    return pos; // self-loop proposal: always "accepted"
+                }
+                let dv = deg[pos as usize];
+                let du = deg[proposal as usize];
+                if du <= dv || rng.gen::<f64>() < dv * inv_deg[proposal as usize] {
+                    proposal
+                } else {
+                    pos
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates statistics from token arrivals and decides when to stop.
+///
+/// The engine calls [`visit`](Observer::visit) for every token placement
+/// (round 0) and every step, [`placed`](Observer::placed) once after all
+/// starts are down, and [`end_round`](Observer::end_round) at each round
+/// boundary. Under [`Discipline::Interleaved`] it additionally polls
+/// [`done`](Observer::done) after every step so sub-round stopping times
+/// are observable.
+pub trait Observer {
+    /// Token `token` now occupies `v` (including initial placement).
+    fn visit(&mut self, token: usize, v: u32);
+
+    /// Has the stopping rule fired?
+    fn done(&self) -> bool;
+
+    /// All starts are placed; `positions[i]` is token `i`'s start.
+    /// Fixed-horizon observers use this to record their `t = 0` sample.
+    fn placed(&mut self, g: &Graph, positions: &[u32]) {
+        let _ = (g, positions);
+    }
+
+    /// A round just completed; return `true` to stop. The default
+    /// delegates to [`done`](Observer::done). Adversarial components that
+    /// move *after* the tokens each round (the pursuit prey) live here —
+    /// this is the only observer hook with RNG access, so their draws
+    /// interleave deterministically with the tokens'.
+    fn end_round<R: Rng + ?Sized>(&mut self, g: &Graph, positions: &[u32], rng: &mut R) -> bool {
+        let _ = (g, positions, rng);
+        self.done()
+    }
+}
+
+/// A pure horizon run: never stops early, accumulates nothing.
+impl Observer for () {
+    #[inline]
+    fn visit(&mut self, _token: usize, _v: u32) {}
+    #[inline]
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// The result of an [`Engine`] run.
+#[derive(Debug, Clone)]
+pub struct Outcome<O> {
+    /// Rounds elapsed when the run ended. Under
+    /// [`Discipline::Interleaved`] with a mid-round stop this is
+    /// `⌈steps/k⌉`.
+    pub rounds: u64,
+    /// `true` when the observer's stopping rule fired; `false` when the
+    /// round cap exhausted the run first.
+    pub stopped: bool,
+    /// Final token positions.
+    pub positions: Vec<u32>,
+    /// The observer, carrying whatever statistics it accumulated.
+    pub observer: O,
+}
+
+/// The unified k-token stepping loop.
+///
+/// ```
+/// use mrw_core::engine::{Engine, FullCover, SimpleStep};
+/// use mrw_core::walk_rng;
+/// use mrw_graph::generators;
+///
+/// let g = generators::torus_2d(6);
+/// let out = Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+///     .run(&[0, 0, 0, 0], &mut walk_rng(7));
+/// assert!(out.stopped);
+/// assert!(out.rounds > 0);
+/// ```
+#[derive(Debug)]
+pub struct Engine<'g, P, O> {
+    g: &'g Graph,
+    process: P,
+    observer: O,
+    discipline: Discipline,
+    cap: Option<u64>,
+}
+
+impl<'g, P: Process, O: Observer> Engine<'g, P, O> {
+    /// An engine on `g` with the default discipline
+    /// ([`Discipline::RoundSynchronous`]) and no round cap.
+    pub fn new(g: &'g Graph, process: P, observer: O) -> Self {
+        Engine {
+            g,
+            process,
+            observer,
+            discipline: Discipline::RoundSynchronous,
+            cap: None,
+        }
+    }
+
+    /// Sets the stepping discipline.
+    pub fn discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Bounds the run at `cap` rounds; a run that reaches the cap without
+    /// the stopping rule firing returns `stopped: false`.
+    pub fn cap(mut self, cap: u64) -> Self {
+        self.cap = Some(cap);
+        self
+    }
+
+    /// Runs the loop from `starts` (token `i` starts at `starts[i]`).
+    ///
+    /// # Panics
+    /// If `starts` is empty or any start is out of range.
+    pub fn run<R: Rng + ?Sized>(mut self, starts: &[u32], rng: &mut R) -> Outcome<O> {
+        assert!(!starts.is_empty(), "need at least one walk");
+        for &s in starts {
+            assert!((s as usize) < self.g.n(), "start {s} out of range");
+        }
+
+        let mut pos: Vec<u32> = starts.to_vec();
+        for (token, &s) in starts.iter().enumerate() {
+            self.observer.visit(token, s);
+        }
+        self.observer.placed(self.g, &pos);
+        if self.observer.done() {
+            return self.finish(0, true, pos);
+        }
+
+        match self.discipline {
+            Discipline::RoundSynchronous => {
+                let mut rounds = 0u64;
+                loop {
+                    if Some(rounds) == self.cap {
+                        return self.finish(rounds, false, pos);
+                    }
+                    rounds += 1;
+                    for (token, p) in pos.iter_mut().enumerate() {
+                        *p = self.process.step(self.g, *p, rng);
+                        self.observer.visit(token, *p);
+                    }
+                    if self.observer.end_round(self.g, &pos, rng) {
+                        return self.finish(rounds, true, pos);
+                    }
+                }
+            }
+            Discipline::Interleaved => {
+                let k = pos.len() as u64;
+                let mut rounds = 0u64;
+                let mut steps = 0u64;
+                loop {
+                    if Some(rounds) == self.cap {
+                        return self.finish(rounds, false, pos);
+                    }
+                    for token in 0..pos.len() {
+                        pos[token] = self.process.step(self.g, pos[token], rng);
+                        steps += 1;
+                        self.observer.visit(token, pos[token]);
+                        if self.observer.done() {
+                            return self.finish(steps.div_ceil(k), true, pos);
+                        }
+                    }
+                    rounds += 1;
+                    if self.observer.end_round(self.g, &pos, rng) {
+                        return self.finish(rounds, true, pos);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self, rounds: u64, stopped: bool, positions: Vec<u32>) -> Outcome<O> {
+        Outcome {
+            rounds,
+            stopped,
+            positions,
+            observer: self.observer,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observers. All visited-set / counter bookkeeping in this crate lives here.
+// ---------------------------------------------------------------------------
+
+/// Stop when every vertex has been visited (cover time).
+#[derive(Debug, Clone)]
+pub struct FullCover {
+    visited: NodeBitSet,
+    remaining: usize,
+}
+
+impl FullCover {
+    /// A fresh cover tracker over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "cover time of the empty graph");
+        FullCover {
+            visited: NodeBitSet::new(n),
+            remaining: n,
+        }
+    }
+
+    /// Vertices not yet visited.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The visited set (for observers layering extra statistics on top).
+    pub fn visited(&self) -> &NodeBitSet {
+        &self.visited
+    }
+}
+
+impl Observer for FullCover {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        if self.visited.insert(v) {
+            self.remaining -= 1;
+        }
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Stop once `target` distinct vertices have been visited (`C^k_γ`).
+#[derive(Debug, Clone)]
+pub struct PartialCover {
+    visited: NodeBitSet,
+    seen: usize,
+    target: usize,
+}
+
+impl PartialCover {
+    /// Tracker stopping at `target` distinct vertices out of `n`.
+    ///
+    /// # Panics
+    /// If `target > n`.
+    pub fn new(n: usize, target: usize) -> Self {
+        assert!(target <= n, "target {target} exceeds n = {n}");
+        PartialCover {
+            visited: NodeBitSet::new(n),
+            seen: 0,
+            target,
+        }
+    }
+
+    /// Distinct vertices visited so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+}
+
+impl Observer for PartialCover {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        if self.visited.insert(v) {
+            self.seen += 1;
+        }
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.seen >= self.target
+    }
+}
+
+/// Stop when every vertex has been visited at least `b` times
+/// (the blanket-time generalization; `b = 1` is cover time).
+#[derive(Debug, Clone)]
+pub struct Multicover {
+    counts: Vec<u64>,
+    lacking: NodeBitSet,
+    remaining: usize,
+    b: u64,
+}
+
+impl Multicover {
+    /// Tracker requiring `b ≥ 1` visits at each of `n` vertices.
+    pub fn new(n: usize, b: u64) -> Self {
+        assert!(b >= 1, "need b ≥ 1 visits");
+        let mut lacking = NodeBitSet::new(n);
+        for v in 0..n as u32 {
+            lacking.insert(v);
+        }
+        Multicover {
+            counts: vec![0; n],
+            lacking,
+            remaining: n,
+            b,
+        }
+    }
+
+    /// Per-vertex visit counts so far.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl Observer for Multicover {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        let c = &mut self.counts[v as usize];
+        *c += 1;
+        if *c == self.b && self.lacking.remove(v) {
+            self.remaining -= 1;
+        }
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// Stop when any token reaches `target` (hitting time).
+#[derive(Debug, Clone)]
+pub struct Hit {
+    target: u32,
+    hit: bool,
+}
+
+impl Hit {
+    /// Tracker firing on arrival at `target`.
+    pub fn new(target: u32) -> Self {
+        Hit { target, hit: false }
+    }
+}
+
+impl Observer for Hit {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        if v == self.target {
+            self.hit = true;
+        }
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        self.hit
+    }
+}
+
+/// Stop when all tokens occupy one vertex at a round boundary (meeting
+/// time; the classical definition for two walkers, generalized to k).
+/// Stateless beyond the verdict: it reads the engine's own position
+/// vector at the `placed`/`end_round` hooks.
+#[derive(Debug, Clone, Default)]
+pub struct Meeting {
+    met: bool,
+}
+
+impl Meeting {
+    /// A fresh meeting tracker.
+    pub fn new() -> Self {
+        Meeting::default()
+    }
+}
+
+fn all_equal(positions: &[u32]) -> bool {
+    positions.windows(2).all(|w| w[0] == w[1])
+}
+
+impl Observer for Meeting {
+    #[inline]
+    fn visit(&mut self, _token: usize, _v: u32) {}
+
+    fn done(&self) -> bool {
+        self.met
+    }
+
+    fn placed(&mut self, _g: &Graph, positions: &[u32]) {
+        self.met = all_equal(positions);
+    }
+
+    fn end_round<R: Rng + ?Sized>(&mut self, _g: &Graph, positions: &[u32], _rng: &mut R) -> bool {
+        self.met = all_equal(positions);
+        self.met
+    }
+}
+
+/// What the pursuit prey does each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreyMove {
+    /// The prey stays put (a hider).
+    Hide,
+    /// The prey performs its own simple random walk.
+    RandomWalk,
+}
+
+/// The hunters-vs-prey game: tokens are hunters; the prey is an
+/// adversarial component moving in [`end_round`](Observer::end_round),
+/// *after* the hunters, from the same RNG stream. A catch fires when a
+/// hunter steps onto the prey, or when a moving prey blunders onto a
+/// hunter.
+#[derive(Debug, Clone)]
+pub struct Pursuit {
+    prey: u32,
+    strategy: PreyMove,
+    caught: bool,
+}
+
+impl Pursuit {
+    /// A game against a prey starting at `prey`.
+    pub fn new(prey: u32, strategy: PreyMove) -> Self {
+        Pursuit {
+            prey,
+            strategy,
+            caught: false,
+        }
+    }
+
+    /// The prey's current vertex.
+    pub fn prey_position(&self) -> u32 {
+        self.prey
+    }
+}
+
+impl Observer for Pursuit {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        if v == self.prey {
+            self.caught = true;
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.caught
+    }
+
+    fn end_round<R: Rng + ?Sized>(&mut self, g: &Graph, positions: &[u32], rng: &mut R) -> bool {
+        if self.caught {
+            return true;
+        }
+        if self.strategy == PreyMove::RandomWalk {
+            self.prey = step(g, self.prey, rng);
+            if positions.contains(&self.prey) {
+                self.caught = true;
+            }
+        }
+        self.caught
+    }
+}
+
+/// Fixed-horizon per-vertex visit tally (never stops; pair with
+/// [`Engine::cap`]).
+#[derive(Debug, Clone)]
+pub struct VisitTally {
+    counts: Vec<u64>,
+}
+
+impl VisitTally {
+    /// A zeroed tally over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        VisitTally { counts: vec![0; n] }
+    }
+
+    /// Consumes the tally, returning per-vertex counts.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+impl Observer for VisitTally {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        self.counts[v as usize] += 1;
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Fixed-horizon coverage curve: fraction of vertices visited after each
+/// round, index 0 = after placing the starts (never stops; pair with
+/// [`Engine::cap`]).
+#[derive(Debug, Clone)]
+pub struct CoverageCurve {
+    visited: NodeBitSet,
+    covered: usize,
+    n: usize,
+    curve: Vec<f64>,
+}
+
+impl CoverageCurve {
+    /// A fresh curve over `n` vertices, pre-allocated for `rounds` points.
+    pub fn new(n: usize, rounds: usize) -> Self {
+        CoverageCurve {
+            visited: NodeBitSet::new(n),
+            covered: 0,
+            n,
+            curve: Vec::with_capacity(rounds + 1),
+        }
+    }
+
+    /// Consumes the observer, returning the curve.
+    pub fn into_curve(self) -> Vec<f64> {
+        self.curve
+    }
+}
+
+impl Observer for CoverageCurve {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        if self.visited.insert(v) {
+            self.covered += 1;
+        }
+    }
+
+    fn done(&self) -> bool {
+        false
+    }
+
+    fn placed(&mut self, _g: &Graph, _positions: &[u32]) {
+        self.curve.push(self.covered as f64 / self.n as f64);
+    }
+
+    fn end_round<R: Rng + ?Sized>(&mut self, _g: &Graph, _positions: &[u32], _rng: &mut R) -> bool {
+        self.curve.push(self.covered as f64 / self.n as f64);
+        false
+    }
+}
+
+/// Records every position of a single token, start included (never stops;
+/// pair with [`Engine::cap`]).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    positions: Vec<u32>,
+}
+
+impl Trace {
+    /// A trace buffer pre-allocated for `len` steps.
+    pub fn new(len: usize) -> Self {
+        Trace {
+            positions: Vec::with_capacity(len + 1),
+        }
+    }
+
+    /// Consumes the trace, returning the visited positions in order.
+    pub fn into_positions(self) -> Vec<u32> {
+        self.positions
+    }
+}
+
+impl Observer for Trace {
+    #[inline]
+    fn visit(&mut self, _token: usize, v: u32) {
+        self.positions.push(v);
+    }
+
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::walk_rng;
+    use mrw_graph::generators;
+    use mrw_stats::ks_two_sample;
+
+    #[test]
+    fn full_cover_counts_rounds() {
+        let g = generators::cycle(16);
+        let out = Engine::new(&g, SimpleStep, FullCover::new(g.n())).run(&[0], &mut walk_rng(3));
+        assert!(out.stopped);
+        assert!(
+            out.rounds >= 15,
+            "cannot cover a 16-cycle in {}",
+            out.rounds
+        );
+        assert_eq!(out.observer.remaining(), 0);
+    }
+
+    #[test]
+    fn placement_can_satisfy_stopping_rule() {
+        let g = generators::cycle(4);
+        let starts: Vec<u32> = (0..4).collect();
+        let out = Engine::new(&g, SimpleStep, FullCover::new(g.n())).run(&starts, &mut walk_rng(0));
+        assert!(out.stopped);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    fn cap_reports_unstopped() {
+        let g = generators::cycle(64);
+        let out = Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+            .cap(3)
+            .run(&[0], &mut walk_rng(1));
+        assert!(!out.stopped);
+        assert_eq!(out.rounds, 3);
+    }
+
+    #[test]
+    fn cap_zero_takes_no_steps() {
+        let g = generators::cycle(8);
+        let out = Engine::new(&g, SimpleStep, Trace::new(0))
+            .cap(0)
+            .run(&[5], &mut walk_rng(9));
+        assert!(!out.stopped);
+        assert_eq!(out.observer.into_positions(), vec![5]);
+    }
+
+    #[test]
+    fn round_synchronous_finishes_the_round() {
+        // RNG consumption must not depend on when coverage completes
+        // inside a round: two PartialCover targets on the same seed see
+        // the same trajectory.
+        let g = generators::torus_2d(5);
+        let starts = [0u32, 12, 24];
+        let full = Engine::new(&g, SimpleStep, PartialCover::new(g.n(), g.n()))
+            .run(&starts, &mut walk_rng(11));
+        let half = Engine::new(&g, SimpleStep, PartialCover::new(g.n(), g.n() / 2))
+            .run(&starts, &mut walk_rng(11));
+        assert!(half.rounds <= full.rounds, "nested stopping times violated");
+    }
+
+    #[test]
+    fn interleaved_counts_ceil_of_steps() {
+        // On path(2) from vertex 0, any single step covers: k = 4 tokens
+        // interleaved must stop after 1 step = ⌈1/4⌉ = 1 round.
+        let g = generators::path(2);
+        let out = Engine::new(&g, SimpleStep, FullCover::new(2))
+            .discipline(Discipline::Interleaved)
+            .run(&[0, 0, 0, 0], &mut walk_rng(5));
+        assert!(out.stopped);
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn unit_observer_is_pure_horizon() {
+        let g = generators::cycle(10);
+        let out = Engine::new(&g, SimpleStep, ())
+            .cap(7)
+            .run(&[0, 5], &mut walk_rng(2));
+        assert!(!out.stopped);
+        assert_eq!(out.rounds, 7);
+        assert_eq!(out.positions.len(), 2);
+    }
+
+    #[test]
+    fn compiled_simple_matches_simple_step_stream() {
+        let g = generators::hypercube(4);
+        let a = Engine::new(&g, SimpleStep, FullCover::new(g.n())).run(&[0, 0], &mut walk_rng(13));
+        let b = Engine::new(
+            &g,
+            CompiledProcess::new(WalkProcess::Simple, &g),
+            FullCover::new(g.n()),
+        )
+        .run(&[0, 0], &mut walk_rng(13));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn cached_lazy_law_matches_uncached_reference() {
+        // The cached Bernoulli changes the RNG stream, not the law: KS on
+        // cover times of the cached kernel vs the uncached WalkProcess.
+        let g = generators::cycle(16);
+        let trials = 300;
+        let cached: Vec<f64> = (0..trials)
+            .map(|t| {
+                Engine::new(
+                    &g,
+                    CompiledProcess::new(WalkProcess::Lazy(0.5), &g),
+                    FullCover::new(g.n()),
+                )
+                .run(&[0], &mut walk_rng(1000 + t))
+                .rounds as f64
+            })
+            .collect();
+        let reference: Vec<f64> = (0..trials)
+            .map(|t| {
+                crate::process::cover_time_process(
+                    &g,
+                    0,
+                    WalkProcess::Lazy(0.5),
+                    &mut walk_rng(90_000 + t),
+                ) as f64
+            })
+            .collect();
+        let ks = ks_two_sample(&cached, &reference);
+        assert!(
+            !ks.rejects_at(0.01),
+            "cached lazy law diverged: D = {}, p = {}",
+            ks.statistic,
+            ks.p_value
+        );
+    }
+
+    #[test]
+    fn cached_metropolis_matches_uncached_in_law() {
+        let g = generators::lollipop(14);
+        let trials = 300;
+        let cached: Vec<f64> = (0..trials)
+            .map(|t| {
+                Engine::new(
+                    &g,
+                    CompiledProcess::new(WalkProcess::Metropolis, &g),
+                    FullCover::new(g.n()),
+                )
+                .run(&[0], &mut walk_rng(t))
+                .rounds as f64
+            })
+            .collect();
+        let reference: Vec<f64> = (0..trials)
+            .map(|t| {
+                crate::process::cover_time_process(
+                    &g,
+                    0,
+                    WalkProcess::Metropolis,
+                    &mut walk_rng(40_000 + t),
+                ) as f64
+            })
+            .collect();
+        let ks = ks_two_sample(&cached, &reference);
+        assert!(
+            !ks.rejects_at(0.01),
+            "cached metropolis law diverged: D = {}, p = {}",
+            ks.statistic,
+            ks.p_value
+        );
+    }
+
+    #[test]
+    fn lazy_one_is_valid_under_a_cap() {
+        // p = 1 never moves — ill-defined for cover, but well-defined for
+        // fixed-horizon runs and capped meetings (legacy behavior).
+        let g = generators::cycle(8);
+        let vc = crate::visits::kwalk_visit_counts(
+            &g,
+            &[3],
+            10,
+            WalkProcess::Lazy(1.0),
+            &mut walk_rng(0),
+        );
+        assert_eq!(vc.counts()[3], 11, "token must hold at its start");
+        let met =
+            crate::meeting::meeting_rounds(&g, 0, 4, WalkProcess::Lazy(1.0), 50, &mut walk_rng(0));
+        assert_eq!(met, None, "frozen walkers at distinct starts never meet");
+    }
+
+    #[test]
+    fn pursuit_prey_draws_after_hunters() {
+        let g = generators::torus_2d(6);
+        let a = Engine::new(&g, SimpleStep, Pursuit::new(20, PreyMove::RandomWalk))
+            .cap(100_000)
+            .run(&[0, 0], &mut walk_rng(9));
+        let b = Engine::new(&g, SimpleStep, Pursuit::new(20, PreyMove::RandomWalk))
+            .cap(100_000)
+            .run(&[0, 0], &mut walk_rng(9));
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.stopped, b.stopped);
+    }
+
+    #[test]
+    fn meeting_detects_coincident_starts() {
+        let g = generators::cycle(8);
+        let out = Engine::new(&g, SimpleStep, Meeting::new()).run(&[3, 3], &mut walk_rng(0));
+        assert!(out.stopped);
+        assert_eq!(out.rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one walk")]
+    fn empty_starts_rejected() {
+        let g = generators::cycle(5);
+        let _ = Engine::new(&g, SimpleStep, FullCover::new(5)).run(&[], &mut walk_rng(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_start_rejected() {
+        let g = generators::cycle(5);
+        let _ = Engine::new(&g, SimpleStep, FullCover::new(5)).run(&[5], &mut walk_rng(0));
+    }
+}

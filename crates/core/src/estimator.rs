@@ -107,19 +107,17 @@ impl<'g> CoverTimeEstimator<'g> {
 
     /// Estimates `C^k_start`.
     pub fn run_from(&self, start: u32) -> CoverEstimate {
-        assert!((start as usize) < self.g.n(), "start {start} out of range");
+        self.run_from_each(&[start])
+            .pop()
+            .expect("one start probed")
+    }
+
+    /// One trial of the k-walk from `start`, on the stream every estimator
+    /// entry point derives identically: `seed → child(start+1) → trial`.
+    fn sample(&self, start: u32, trial: usize) -> f64 {
         let seq = SeedSequence::new(self.cfg.seed).child(start as u64 + 1);
-        let samples: Vec<f64> = par_map(self.cfg.trials, self.cfg.threads, |trial| {
-            let mut rng = walk_rng(seq.seed_for(trial as u64));
-            kwalk_cover_rounds_same_start(self.g, start, self.k, self.cfg.mode, &mut rng) as f64
-        });
-        let summary = Summary::from_slice(&samples);
-        CoverEstimate {
-            k: self.k,
-            start,
-            cover_time: summary,
-            ci: normal_ci(&summary, self.cfg.ci_level),
-        }
+        let mut rng = walk_rng(seq.seed_for(trial as u64));
+        kwalk_cover_rounds_same_start(self.g, start, self.k, self.cfg.mode, &mut rng) as f64
     }
 
     /// Estimates the paper's `C^k(G) = max_i C^k_i` over a set of candidate
@@ -150,8 +148,33 @@ impl<'g> CoverTimeEstimator<'g> {
     }
 
     /// Estimates `C^k_i` for each start in `starts`.
+    ///
+    /// The whole `starts × trials` grid fans out through `mrw_par` as one
+    /// flat job set, so a worst-start search keeps every core busy even
+    /// when `trials` alone is smaller than the machine. Each sample's RNG
+    /// stream depends only on `(seed, start, trial)` — the estimates are
+    /// identical to probing each start separately.
     pub fn run_from_each(&self, starts: &[u32]) -> Vec<CoverEstimate> {
-        starts.iter().map(|&s| self.run_from(s)).collect()
+        for &s in starts {
+            assert!((s as usize) < self.g.n(), "start {s} out of range");
+        }
+        let trials = self.cfg.trials;
+        let samples: Vec<f64> = par_map(starts.len() * trials, self.cfg.threads, |job| {
+            self.sample(starts[job / trials], job % trials)
+        });
+        starts
+            .iter()
+            .zip(samples.chunks_exact(trials))
+            .map(|(&start, chunk)| {
+                let summary = Summary::from_slice(chunk);
+                CoverEstimate {
+                    k: self.k,
+                    start,
+                    cover_time: summary,
+                    ci: normal_ci(&summary, self.cfg.ci_level),
+                }
+            })
+            .collect()
     }
 }
 
@@ -164,8 +187,9 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let g = generators::cycle(24);
-        let base = CoverTimeEstimator::new(&g, 2, EstimatorConfig::new(16).with_seed(5).with_threads(1))
-            .run_from(0);
+        let base =
+            CoverTimeEstimator::new(&g, 2, EstimatorConfig::new(16).with_seed(5).with_threads(1))
+                .run_from(0);
         for threads in [2, 4, 8] {
             let est = CoverTimeEstimator::new(
                 &g,
@@ -173,7 +197,11 @@ mod tests {
                 EstimatorConfig::new(16).with_seed(5).with_threads(threads),
             )
             .run_from(0);
-            assert_eq!(est.cover_time.mean(), base.cover_time.mean(), "threads={threads}");
+            assert_eq!(
+                est.cover_time.mean(),
+                base.cover_time.mean(),
+                "threads={threads}"
+            );
             assert_eq!(est.cover_time.min(), base.cover_time.min());
             assert_eq!(est.cover_time.max(), base.cover_time.max());
         }
@@ -207,8 +235,10 @@ mod tests {
     #[test]
     fn ci_shrinks_with_trials() {
         let g = generators::torus_2d(5);
-        let small = CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(16).with_seed(3)).run_from(0);
-        let large = CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(256).with_seed(3)).run_from(0);
+        let small =
+            CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(16).with_seed(3)).run_from(0);
+        let large =
+            CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(256).with_seed(3)).run_from(0);
         assert!(large.ci.half_width() < small.ci.half_width());
     }
 

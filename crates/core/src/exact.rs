@@ -91,11 +91,8 @@ pub fn exact_kwalk_cover_time(g: &Graph, start: u32, k: usize) -> f64 {
             e[mask as usize] = vec![f64::NAN; n_tuples];
             continue;
         }
-        let index_of: std::collections::HashMap<usize, usize> = tuples_in
-            .iter()
-            .enumerate()
-            .map(|(i, &t)| (t, i))
-            .collect();
+        let index_of: std::collections::HashMap<usize, usize> =
+            tuples_in.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         let dim = tuples_in.len();
         // (I − Q) x = 1 + r, where Q couples tuples staying in `mask` and
         // r accumulates transitions into strictly larger masks (already
@@ -184,10 +181,7 @@ mod tests {
             let g = generators::cycle(n);
             let exact = exact_kwalk_cover_time(&g, 0, 1);
             let expect = (n * (n - 1)) as f64 / 2.0;
-            assert!(
-                (exact - expect).abs() < 1e-7,
-                "n={n}: {exact} vs {expect}"
-            );
+            assert!((exact - expect).abs() < 1e-7, "n={n}: {exact} vs {expect}");
         }
     }
 
@@ -198,10 +192,7 @@ mod tests {
             let g = generators::complete(n);
             let exact = exact_kwalk_cover_time(&g, 0, 1);
             let expect = (n as f64 - 1.0) * harmonic(n as u64 - 1);
-            assert!(
-                (exact - expect).abs() < 1e-7,
-                "n={n}: {exact} vs {expect}"
-            );
+            assert!((exact - expect).abs() < 1e-7, "n={n}: {exact} vs {expect}");
         }
     }
 

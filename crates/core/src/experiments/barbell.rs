@@ -102,7 +102,10 @@ impl Report {
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) -> Report {
-    assert!(cfg.sizes.len() >= 2, "need ≥ 2 sizes to fit growth exponents");
+    assert!(
+        cfg.sizes.len() >= 2,
+        "need ≥ 2 sizes to fit growth exponents"
+    );
     let est_cfg = cfg.budget.estimator();
     let rows: Vec<Row> = cfg
         .sizes

@@ -27,11 +27,13 @@
 //! E2 still fires: E2 is a proof artifact, not a performance cliff.
 
 use mrw_graph::generators::{barbell, barbell_center};
-use mrw_graph::{Graph, NodeBitSet};
+use mrw_graph::Graph;
 use mrw_stats::Table;
+use rand::Rng;
 
+use crate::engine::{Engine, FullCover, Observer, SimpleStep};
 use crate::experiments::Budget;
-use crate::walk::{step, walk_rng};
+use crate::walk::walk_rng;
 
 /// Configuration for the barbell proof-events experiment.
 #[derive(Debug, Clone)]
@@ -142,6 +144,56 @@ fn bell_of(v: u32, m: usize) -> Option<usize> {
     }
 }
 
+/// Tracks the Theorem 26 proof events on top of the engine's cover
+/// bookkeeping: round-1 bell arrivals (E1), distinct center returns (E2),
+/// and — via the cover tracker's bitset — bell coverage at the horizon
+/// (E3). Never stops early; the horizon is the engine cap.
+struct EventsObserver {
+    m: usize,
+    center: u32,
+    cover: FullCover,
+    started: bool,
+    round: u64,
+    bell_counts: [usize; 2],
+    returned: Vec<bool>,
+    distinct_returns: usize,
+    cover_round: Option<u64>,
+}
+
+impl Observer for EventsObserver {
+    fn visit(&mut self, token: usize, v: u32) {
+        self.cover.visit(token, v);
+        if !self.started {
+            return; // initial placement at the center
+        }
+        if self.round == 0 {
+            // Round 1: where did each token leave the center to?
+            if let Some(bi) = bell_of(v, self.m) {
+                self.bell_counts[bi] += 1;
+            }
+        } else if v == self.center && !self.returned[token] {
+            self.returned[token] = true;
+            self.distinct_returns += 1;
+        }
+    }
+
+    fn done(&self) -> bool {
+        false
+    }
+
+    fn placed(&mut self, _g: &Graph, _positions: &[u32]) {
+        self.started = true;
+    }
+
+    fn end_round<R: Rng + ?Sized>(&mut self, _g: &Graph, _positions: &[u32], _rng: &mut R) -> bool {
+        self.round += 1;
+        if self.cover.done() && self.cover_round.is_none() {
+            self.cover_round = Some(self.round);
+        }
+        false
+    }
+}
+
 /// One trial: runs `k` tokens from the center for `10n` rounds and
 /// reports `(e1, e2, e3, cover_rounds_if_within_horizon)`.
 fn trial(g: &Graph, n: usize, k: usize, seed: u64) -> (bool, bool, bool, Option<u64>) {
@@ -152,54 +204,37 @@ fn trial(g: &Graph, n: usize, k: usize, seed: u64) -> (bool, bool, bool, Option<
     let horizon = 10 * n as u64;
 
     let mut rng = walk_rng(seed);
-    let mut pos = vec![center; k];
-    let mut visited = NodeBitSet::new(g.n());
-    visited.insert(center);
-    let mut remaining = g.n() - 1;
-
-    // Step 1: every token leaves the center to bell gateway 0 or m.
-    let mut bell_counts = [0usize; 2];
-    for p in pos.iter_mut() {
-        *p = step(g, *p, &mut rng);
-        if visited.insert(*p) {
-            remaining -= 1;
-        }
-        if let Some(bi) = bell_of(*p, m) {
-            bell_counts[bi] += 1;
-        }
-    }
-    let e1 = bell_counts[0] < threshold || bell_counts[1] < threshold;
-
-    let mut returned = vec![false; k];
-    let mut distinct_returns = 0usize;
-    let mut cover_round = if remaining == 0 { Some(1u64) } else { None };
-    for round in 2..=horizon {
-        for (i, p) in pos.iter_mut().enumerate() {
-            *p = step(g, *p, &mut rng);
-            if visited.insert(*p) {
-                remaining -= 1;
-            }
-            if *p == center && !returned[i] {
-                returned[i] = true;
-                distinct_returns += 1;
-            }
-        }
-        if remaining == 0 && cover_round.is_none() {
-            cover_round = Some(round);
-        }
-    }
-    let e2 = distinct_returns >= returns_cap;
+    let observer = EventsObserver {
+        m,
+        center,
+        cover: FullCover::new(g.n()),
+        started: false,
+        round: 0,
+        bell_counts: [0; 2],
+        returned: vec![false; k],
+        distinct_returns: 0,
+        cover_round: None,
+    };
+    let out = Engine::new(g, SimpleStep, observer)
+        .cap(horizon)
+        .run(&vec![center; k], &mut rng);
+    let o = out.observer;
+    let e1 = o.bell_counts[0] < threshold || o.bell_counts[1] < threshold;
+    let e2 = o.distinct_returns >= returns_cap;
     // E3: a bell not covered within the horizon — equivalently some bell
     // vertex unvisited.
-    let e3 = (0..(2 * m) as u32).any(|v| !visited.contains(v));
-    (e1, e2, e3, cover_round)
+    let e3 = (0..(2 * m) as u32).any(|v| !o.cover.visited().contains(v));
+    (e1, e2, e3, o.cover_round)
 }
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) -> Report {
     let mut rows = Vec::new();
     for &n in &cfg.ns {
-        assert!(n % 2 == 1 && n >= 65, "need odd n ≥ 65 so 4 ln n < k/2, got {n}");
+        assert!(
+            n % 2 == 1 && n >= 65,
+            "need odd n ≥ 65 so 4 ln n < k/2, got {n}"
+        );
         let g = barbell(n);
         let k = (20.0 * (n as f64).ln()).ceil() as usize;
         let k_control = (n as f64).ln().ceil() as usize;

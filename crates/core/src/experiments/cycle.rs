@@ -74,7 +74,10 @@ impl Report {
         ));
         for p in &self.sweep.points {
             let bound = if p.k >= 3 {
-                format!("{:.0}", bounds::cycle_kwalk_upper(self.n as u64, p.k as u64))
+                format!(
+                    "{:.0}",
+                    bounds::cycle_kwalk_upper(self.n as u64, p.k as u64)
+                )
             } else {
                 "—".to_string()
             };
@@ -173,7 +176,11 @@ mod tests {
         let report = run(&test_cfg());
         let exact = bounds::cycle_cover_exact(report.n as u64);
         let rel = (report.sweep.baseline.mean() - exact).abs() / exact;
-        assert!(rel < 0.15, "C measured {} vs exact {exact}", report.sweep.baseline.mean());
+        assert!(
+            rel < 0.15,
+            "C measured {} vs exact {exact}",
+            report.sweep.baseline.mean()
+        );
     }
 
     #[test]

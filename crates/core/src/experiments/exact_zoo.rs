@@ -125,7 +125,10 @@ impl Report {
 
     /// Worst relative error across cells.
     pub fn worst_relative_error(&self) -> f64 {
-        self.cells.iter().map(Cell::relative_error).fold(0.0, f64::max)
+        self.cells
+            .iter()
+            .map(Cell::relative_error)
+            .fold(0.0, f64::max)
     }
 
     /// Exact speed-up `S^k = C¹/C^k` for a graph, if both cells exist.
@@ -202,7 +205,10 @@ mod tests {
         let mut strict_violations = Vec::new();
         for g in &graphs {
             if let Some(s2) = report.exact_speedup(g, 2) {
-                assert!(s2 <= 2.1, "{g}: exact S² = {s2} breaks even the O(k) margin");
+                assert!(
+                    s2 <= 2.1,
+                    "{g}: exact S² = {s2} breaks even the O(k) margin"
+                );
                 assert!(s2 >= 1.0 - 1e-9, "{g}: exact S² = {s2} < 1");
                 if s2 > 2.0 + 1e-6 {
                     strict_violations.push(g.clone());

@@ -134,7 +134,10 @@ impl Report {
 
     /// Worst (most negative) slack across cells.
     pub fn worst_slack(&self) -> f64 {
-        self.cells.iter().map(Cell::slack).fold(f64::INFINITY, f64::min)
+        self.cells
+            .iter()
+            .map(Cell::slack)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

@@ -220,8 +220,7 @@ pub fn run(cfg: &Config) -> Report {
     let target = (cfg.n / 2) as u32;
     let mut corollary = Vec::new();
     for &k in &cfg.ks {
-        let t_len = (16.0 * (profile.b + 1.0) * cfg.n as f64 * (cfg.n as f64).ln()
-            / k as f64)
+        let t_len = (16.0 * (profile.b + 1.0) * cfg.n as f64 * (cfg.n as f64).ln() / k as f64)
             .ceil() as u64;
         let count_misses = |len: u64, salt: u64| -> usize {
             let mut misses = 0usize;

@@ -53,7 +53,11 @@ impl Default for Config {
     fn default() -> Self {
         use mrw_graph::generators as gen;
         Config {
-            graphs: vec![gen::complete_with_loops(256), gen::hypercube(8), gen::torus_2d(16)],
+            graphs: vec![
+                gen::complete_with_loops(256),
+                gen::hypercube(8),
+                gen::torus_2d(16),
+            ],
             ks: vec![2, 4, 8, 16, 32],
             budget: Budget::default(),
         }

@@ -20,12 +20,14 @@
 //! 3. **The Theorem 24 bound.** `C^k(torus) ≥ c·n^{2/d}/log k` across the
 //!    k ladder with a fixed small `c`.
 
-use mrw_graph::NodeBitSet;
+use mrw_graph::Graph;
 use mrw_stats::{ks_two_sample, KsTest, Summary, Table};
+use rand::Rng;
 
+use crate::engine::{Engine, FullCover, Observer, SimpleStep};
 use crate::experiments::Budget;
 use crate::process::{kwalk_cover_rounds_process, WalkProcess};
-use crate::walk::{step, walk_rng};
+use crate::walk::walk_rng;
 
 /// Configuration for the projection experiment.
 #[derive(Debug, Clone)]
@@ -145,42 +147,55 @@ impl Report {
     }
 }
 
+/// Couples each torus token to its axis-0 projection (`x = v mod side`,
+/// since `v = x + side·y`): the engine's one trajectory feeds two cover
+/// trackers, so domination is checked per trace, not in distribution.
+struct ProjectionObserver {
+    side: u32,
+    torus: FullCover,
+    column: FullCover,
+    round: u64,
+    torus_round: u64,
+    column_round: u64,
+}
+
+impl Observer for ProjectionObserver {
+    fn visit(&mut self, token: usize, v: u32) {
+        self.torus.visit(token, v);
+        self.column.visit(token, v % self.side);
+    }
+
+    fn done(&self) -> bool {
+        self.torus.done() && self.column.done()
+    }
+
+    fn end_round<R: Rng + ?Sized>(&mut self, _g: &Graph, _positions: &[u32], _rng: &mut R) -> bool {
+        self.round += 1;
+        if self.column.done() && self.column_round == 0 {
+            self.column_round = self.round;
+        }
+        if self.torus.done() && self.torus_round == 0 {
+            self.torus_round = self.round;
+        }
+        self.done()
+    }
+}
+
 /// One trial: k torus walks from vertex 0; returns
 /// `(torus_cover_round, projected_cycle_cover_round)`.
 fn coupled_trial(side: usize, k: usize, seed: u64) -> (u64, u64) {
     let g = mrw_graph::generators::torus_2d(side);
-    let n = g.n();
     let mut rng = walk_rng(seed);
-    let mut pos = vec![0u32; k];
-    let mut torus_visited = NodeBitSet::new(n);
-    let mut column_visited = NodeBitSet::new(side);
-    torus_visited.insert(0);
-    column_visited.insert(0);
-    let mut torus_remaining = n - 1;
-    let mut column_remaining = side - 1;
-    let mut torus_round = 0u64;
-    let mut column_round = 0u64;
-    let mut round = 0u64;
-    while torus_remaining > 0 || column_remaining > 0 {
-        round += 1;
-        for p in pos.iter_mut() {
-            *p = step(&g, *p, &mut rng);
-            if torus_visited.insert(*p) {
-                torus_remaining -= 1;
-            }
-            let x = *p % side as u32; // axis-0 coordinate (v = x + side·y)
-            if column_visited.insert(x) {
-                column_remaining -= 1;
-            }
-        }
-        if column_remaining == 0 && column_round == 0 {
-            column_round = round;
-        }
-        if torus_remaining == 0 && torus_round == 0 {
-            torus_round = round;
-        }
-    }
-    (torus_round, column_round)
+    let observer = ProjectionObserver {
+        side: side as u32,
+        torus: FullCover::new(g.n()),
+        column: FullCover::new(side),
+        round: 0,
+        torus_round: 0,
+        column_round: 0,
+    };
+    let out = Engine::new(&g, SimpleStep, observer).run(&vec![0u32; k], &mut rng);
+    (out.observer.torus_round, out.observer.column_round)
 }
 
 /// Runs the experiment. The per-graph trial loops reuse one generated
@@ -208,12 +223,8 @@ pub fn run(cfg: &Config) -> Report {
             }
             let starts = vec![0u32; k];
             let mut rng = walk_rng(seed ^ 0x1A2B);
-            let lazy = kwalk_cover_rounds_process(
-                &cycle,
-                &starts,
-                WalkProcess::Lazy(0.5),
-                &mut rng,
-            ) as f64;
+            let lazy = kwalk_cover_rounds_process(&cycle, &starts, WalkProcess::Lazy(0.5), &mut rng)
+                as f64;
             lazy_cycle_cover.push(lazy);
             lazy_samples.push(lazy);
         }

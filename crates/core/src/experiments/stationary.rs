@@ -121,7 +121,10 @@ impl Report {
 
     /// Rows for a graph whose name starts with `prefix`.
     pub fn rows_for(&self, prefix: &str) -> Vec<&Row> {
-        self.rows.iter().filter(|r| r.graph.starts_with(prefix)).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.graph.starts_with(prefix))
+            .collect()
     }
 }
 
@@ -154,8 +157,22 @@ pub fn run(cfg: &Config) -> Report {
         for &k in &cfg.ks {
             assert!(k >= 1);
             let seq = SeedSequence::new(cfg.budget.seed).child(k as u64);
-            let same = measure(g, k, cfg.budget.trials, cfg.budget.threads, seq.child(1), false);
-            let stat = measure(g, k, cfg.budget.trials, cfg.budget.threads, seq.child(2), true);
+            let same = measure(
+                g,
+                k,
+                cfg.budget.trials,
+                cfg.budget.threads,
+                seq.child(1),
+                false,
+            );
+            let stat = measure(
+                g,
+                k,
+                cfg.budget.trials,
+                cfg.budget.threads,
+                seq.child(2),
+                true,
+            );
             rows.push(Row {
                 graph: g.name().to_string(),
                 n: g.n(),
@@ -235,11 +252,7 @@ mod tests {
         let report = report();
         for r in report.rows_for("regular") {
             let ratio = r.stationary_start / r.paper_bound;
-            assert!(
-                ratio < 3.0,
-                "k={}: C^k_π/(n ln n / k) = {ratio}",
-                r.k
-            );
+            assert!(ratio < 3.0, "k={}: C^k_π/(n ln n / k) = {ratio}", r.k);
         }
     }
 }

@@ -1,4 +1,5 @@
-//! The k-parallel-walk engine.
+//! The k-parallel-walk entry points — thin wrappers over the unified
+//! [`engine`](crate::engine) that preserve the original seeded streams.
 //!
 //! §2.1 of the paper: `k` independent simple random walks all start at the
 //! same vertex at `t = 0`; `τ^k_i` is the first time every vertex has been
@@ -18,21 +19,17 @@
 //!   token `i mod k` (exactly the `X_i` indexing used in the paper's proof
 //!   of Theorem 9); the reported time is `⌈total/k⌉`.
 
-use mrw_graph::{algo, Graph, NodeBitSet};
+use mrw_graph::{algo, Graph};
 use rand::Rng;
 
-use crate::walk::step;
+use crate::engine::{Engine, FullCover, SimpleStep};
 
-/// Stepping discipline for the k-walk engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum KWalkMode {
-    /// All tokens advance once per round (the paper's model).
-    #[default]
-    RoundSynchronous,
-    /// Global interleaving: step `i` moves token `i mod k`
-    /// (Theorem 9's indexing); time = `⌈steps/k⌉`.
-    Interleaved,
-}
+/// Stepping discipline for the k-walk engine — an alias of
+/// [`engine::Discipline`](crate::engine::Discipline), kept under its
+/// historical name. `RoundSynchronous` advances all tokens once per round
+/// (the paper's model); `Interleaved` moves token `i mod k` at global
+/// step `i` (Theorem 9's indexing) and reports `⌈steps/k⌉`.
+pub use crate::engine::Discipline as KWalkMode;
 
 /// Number of parallel rounds for `k` walks starting at `starts` to cover
 /// the graph. `starts.len()` is `k`; the paper's setting is all-equal
@@ -53,58 +50,15 @@ pub fn kwalk_cover_rounds<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    debug_assert!(algo::is_connected(g), "cover time infinite: disconnected graph");
+    debug_assert!(
+        algo::is_connected(g),
+        "cover time infinite: disconnected graph"
+    );
 
-    let n = g.n();
-    let mut visited = NodeBitSet::new(n);
-    let mut remaining = n;
-    for &s in starts {
-        if visited.insert(s) {
-            remaining -= 1;
-        }
-    }
-    if remaining == 0 {
-        return 0;
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    let k = pos.len();
-
-    match mode {
-        KWalkMode::RoundSynchronous => {
-            let mut rounds = 0u64;
-            loop {
-                rounds += 1;
-                for p in pos.iter_mut() {
-                    *p = step(g, *p, rng);
-                    if visited.insert(*p) {
-                        remaining -= 1;
-                    }
-                }
-                if remaining == 0 {
-                    return rounds;
-                }
-            }
-        }
-        KWalkMode::Interleaved => {
-            let mut steps = 0u64;
-            let mut token = 0usize;
-            loop {
-                let p = &mut pos[token];
-                *p = step(g, *p, rng);
-                steps += 1;
-                if visited.insert(*p) {
-                    remaining -= 1;
-                    if remaining == 0 {
-                        return steps.div_ceil(k as u64);
-                    }
-                }
-                token += 1;
-                if token == k {
-                    token = 0;
-                }
-            }
-        }
-    }
+    Engine::new(g, SimpleStep, FullCover::new(g.n()))
+        .discipline(mode)
+        .run(starts, rng)
+        .rounds
 }
 
 /// Convenience: `k` walks all starting at `start` (the paper's canonical
@@ -138,29 +92,10 @@ pub fn kwalk_covers_within<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    let mut visited = NodeBitSet::new(g.n());
-    let mut remaining = g.n();
-    for &s in starts {
-        if visited.insert(s) {
-            remaining -= 1;
-        }
-    }
-    if remaining == 0 {
-        return true;
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    for _ in 0..rounds {
-        for p in pos.iter_mut() {
-            *p = step(g, *p, rng);
-            if visited.insert(*p) {
-                remaining -= 1;
-            }
-        }
-        if remaining == 0 {
-            return true;
-        }
-    }
-    false
+    Engine::new(g, SimpleStep, FullCover::new(g.n()))
+        .cap(rounds)
+        .run(starts, rng)
+        .stopped
 }
 
 /// Positions of `k` walks after `rounds` synchronous rounds — exposed for
@@ -172,13 +107,10 @@ pub fn kwalk_positions_after<R: Rng + ?Sized>(
     rounds: u64,
     rng: &mut R,
 ) -> Vec<u32> {
-    let mut pos: Vec<u32> = starts.to_vec();
-    for _ in 0..rounds {
-        for p in pos.iter_mut() {
-            *p = step(g, *p, rng);
-        }
-    }
-    pos
+    Engine::new(g, SimpleStep, ())
+        .cap(rounds)
+        .run(starts, rng)
+        .positions
 }
 
 #[cfg(test)]
@@ -191,7 +123,8 @@ mod tests {
     fn k1_matches_single_walk_distributionally() {
         // Same seed: k=1 round-synchronous IS the single-walk loop.
         let g = generators::torus_2d(5);
-        let a = kwalk_cover_rounds_same_start(&g, 0, 1, KWalkMode::RoundSynchronous, &mut walk_rng(3));
+        let a =
+            kwalk_cover_rounds_same_start(&g, 0, 1, KWalkMode::RoundSynchronous, &mut walk_rng(3));
         let b = cover_time_single(&g, 0, &mut walk_rng(3));
         assert_eq!(a, b);
     }
@@ -242,11 +175,14 @@ mod tests {
         let sync = mean(KWalkMode::RoundSynchronous);
         let inter = mean(KWalkMode::Interleaved);
         let rel = (sync - inter).abs() / sync;
-        assert!(rel < 0.1, "modes disagree: sync {sync} vs interleaved {inter}");
+        assert!(
+            rel < 0.1,
+            "modes disagree: sync {sync} vs interleaved {inter}"
+        );
     }
 
     #[test]
-    fn clique_speedup_is_coupon_collector(){
+    fn clique_speedup_is_coupon_collector() {
         // Lemma 12: on K_n(+loops) the k-walk is the k-kids coupon
         // collector; C^k ≈ n H_n / k. Check k = 4 on n = 32.
         let n = 32;
@@ -293,8 +229,10 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::hypercube(5);
-        let a = kwalk_cover_rounds_same_start(&g, 0, 8, KWalkMode::RoundSynchronous, &mut walk_rng(4));
-        let b = kwalk_cover_rounds_same_start(&g, 0, 8, KWalkMode::RoundSynchronous, &mut walk_rng(4));
+        let a =
+            kwalk_cover_rounds_same_start(&g, 0, 8, KWalkMode::RoundSynchronous, &mut walk_rng(4));
+        let b =
+            kwalk_cover_rounds_same_start(&g, 0, 8, KWalkMode::RoundSynchronous, &mut walk_rng(4));
         assert_eq!(a, b);
     }
 

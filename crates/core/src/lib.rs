@@ -4,10 +4,18 @@
 //! Tuttle, *Many Random Walks Are Faster Than One* (SPAA 2008), as a
 //! library:
 //!
+//! * **The unified walk engine** ([`engine`]) — the single entry point
+//!   for every simulation in this crate: `k` tokens of a pluggable
+//!   [`Process`](engine::Process) step synchronously (round-synchronous
+//!   or interleaved) while an [`Observer`](engine::Observer) accumulates
+//!   statistics and decides when to stop. Cover, partial cover,
+//!   multicover, hitting, meeting, pursuit, visit tallies, and coverage
+//!   curves are all observers over this one loop.
 //! * **k-walk cover times.** `k` independent simple random walks start at
 //!   the same vertex and advance in parallel rounds; the k-cover time
 //!   `C^k(G)` is the expected number of rounds until every vertex has been
-//!   visited by some walk ([`walk`], [`kwalk`]).
+//!   visited by some walk ([`walk`], [`kwalk`] — thin wrappers over the
+//!   engine that preserve the original seeded streams bit-for-bit).
 //! * **Monte-Carlo estimators** with deterministic parallel fan-out,
 //!   confidence intervals, and worst-start search ([`estimator`]), plus
 //!   Monte-Carlo hitting times ([`hitting_mc`]).
@@ -43,6 +51,7 @@
 
 pub mod bounds;
 pub mod coverage;
+pub mod engine;
 pub mod estimator;
 pub mod exact;
 pub mod experiments;
@@ -56,6 +65,7 @@ pub mod starts;
 pub mod visits;
 pub mod walk;
 
+pub use engine::{CompiledProcess, Discipline, Engine, Observer, Process, SimpleStep};
 pub use estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
 pub use kwalk::{
     kwalk_cover_rounds, kwalk_cover_rounds_same_start, kwalk_covers_within, KWalkMode,

@@ -28,7 +28,10 @@
 use mrw_graph::Graph;
 use rand::Rng;
 
+use crate::engine::{CompiledProcess, Engine, Meeting, Pursuit, SimpleStep};
 use crate::process::WalkProcess;
+
+pub use crate::engine::PreyMove;
 
 /// Rounds until two simultaneous walks of `process` collide (occupy the
 /// same vertex after a round), or `None` if `cap` rounds pass first.
@@ -44,20 +47,14 @@ pub fn meeting_rounds<R: Rng + ?Sized>(
     cap: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    assert!((a as usize) < g.n() && (b as usize) < g.n(), "start out of range");
-    if a == b {
-        return Some(0);
-    }
-    let mut pa = a;
-    let mut pb = b;
-    for round in 1..=cap {
-        pa = process.step(g, pa, rng);
-        pb = process.step(g, pb, rng);
-        if pa == pb {
-            return Some(round);
-        }
-    }
-    None
+    assert!(
+        (a as usize) < g.n() && (b as usize) < g.n(),
+        "start out of range"
+    );
+    let out = Engine::new(g, CompiledProcess::new(process, g), Meeting::new())
+        .cap(cap)
+        .run(&[a, b], rng);
+    out.stopped.then_some(out.rounds)
 }
 
 /// What the prey does each round.
@@ -100,30 +97,14 @@ pub fn pursuit_rounds<R: Rng + ?Sized>(
     for &h in hunters {
         assert!((h as usize) < g.n(), "hunter {h} out of range");
     }
-    if hunters.contains(&prey) {
-        return Some(0);
-    }
-    let mut pos: Vec<u32> = hunters.to_vec();
-    let mut prey_pos = prey;
-    for round in 1..=cap {
-        let mut caught = false;
-        for p in pos.iter_mut() {
-            *p = crate::walk::step(g, *p, rng);
-            if *p == prey_pos {
-                caught = true;
-            }
-        }
-        if caught {
-            return Some(round);
-        }
-        if strategy == PreyStrategy::RandomWalk {
-            prey_pos = crate::walk::step(g, prey_pos, rng);
-            if pos.contains(&prey_pos) {
-                return Some(round);
-            }
-        }
-    }
-    None
+    let prey_move = match strategy {
+        PreyStrategy::Hide => PreyMove::Hide,
+        PreyStrategy::RandomWalk => PreyMove::RandomWalk,
+    };
+    let out = Engine::new(g, SimpleStep, Pursuit::new(prey, prey_move))
+        .cap(cap)
+        .run(hunters, rng);
+    out.stopped.then_some(out.rounds)
 }
 
 /// Monte-Carlo mean catch time for `k` hunters all starting at
@@ -133,6 +114,7 @@ pub fn pursuit_rounds<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// If `trials == 0` or `k == 0`.
+#[allow(clippy::too_many_arguments)] // public signature predates the engine refactor
 pub fn mean_catch_time(
     g: &Graph,
     hunter_start: u32,
@@ -228,8 +210,7 @@ mod tests {
         // One hunter on K_n+loops: catch prob 1/n per round ⇒ mean ≈ n.
         let n = 20;
         let g = generators::complete_with_loops(n);
-        let (mean, censored) =
-            mean_catch_time(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
+        let (mean, censored) = mean_catch_time(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
         assert_eq!(censored, 0);
         assert!((mean - n as f64).abs() < n as f64 * 0.1, "mean {mean}");
     }
@@ -255,8 +236,7 @@ mod tests {
         let n = 24;
         let g = generators::complete_with_loops(n);
         let (hide, _) = mean_catch_time(&g, 0, 5, 2, PreyStrategy::Hide, 1_000_000, 1500, 4);
-        let (run, _) =
-            mean_catch_time(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5);
+        let (run, _) = mean_catch_time(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5);
         assert!(
             run < hide * 1.1,
             "moving prey survived longer: {run} vs hider {hide}"
@@ -280,7 +260,14 @@ mod tests {
     fn start_on_prey_is_instant_catch() {
         let g = generators::cycle(6);
         assert_eq!(
-            pursuit_rounds(&g, &[2, 4], 4, PreyStrategy::RandomWalk, 10, &mut walk_rng(0)),
+            pursuit_rounds(
+                &g,
+                &[2, 4],
+                4,
+                PreyStrategy::RandomWalk,
+                10,
+                &mut walk_rng(0)
+            ),
             Some(0)
         );
     }
@@ -288,8 +275,22 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::torus_2d(6);
-        let a = pursuit_rounds(&g, &[0, 0], 20, PreyStrategy::RandomWalk, 100_000, &mut walk_rng(9));
-        let b = pursuit_rounds(&g, &[0, 0], 20, PreyStrategy::RandomWalk, 100_000, &mut walk_rng(9));
+        let a = pursuit_rounds(
+            &g,
+            &[0, 0],
+            20,
+            PreyStrategy::RandomWalk,
+            100_000,
+            &mut walk_rng(9),
+        );
+        let b = pursuit_rounds(
+            &g,
+            &[0, 0],
+            20,
+            PreyStrategy::RandomWalk,
+            100_000,
+            &mut walk_rng(9),
+        );
         assert_eq!(a, b);
     }
 }

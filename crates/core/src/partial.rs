@@ -13,10 +13,10 @@
 //! constant fraction `k` times faster (each token sweeps its own arc) even
 //! though full cover only improves by `Θ(log k)`.
 
-use mrw_graph::{algo, Graph, NodeBitSet};
+use mrw_graph::{algo, Graph};
 use rand::Rng;
 
-use crate::walk::step;
+use crate::engine::{Engine, PartialCover, SimpleStep};
 
 /// Rounds until `k` round-synchronous walks from `starts` have visited at
 /// least `target` distinct vertices (start vertices count as visited at
@@ -48,32 +48,14 @@ pub fn kwalk_partial_cover_rounds<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    debug_assert!(algo::is_connected(g), "partial cover unreachable: disconnected graph");
+    debug_assert!(
+        algo::is_connected(g),
+        "partial cover unreachable: disconnected graph"
+    );
 
-    let mut visited = NodeBitSet::new(g.n());
-    let mut seen = 0usize;
-    for &s in starts {
-        if visited.insert(s) {
-            seen += 1;
-        }
-    }
-    if seen >= target {
-        return 0;
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    let mut rounds = 0u64;
-    loop {
-        rounds += 1;
-        for p in pos.iter_mut() {
-            *p = step(g, *p, rng);
-            if visited.insert(*p) {
-                seen += 1;
-            }
-        }
-        if seen >= target {
-            return rounds;
-        }
-    }
+    Engine::new(g, SimpleStep, PartialCover::new(g.n(), target))
+        .run(starts, rng)
+        .rounds
 }
 
 /// Converts a coverage fraction `γ ∈ (0, 1]` to a vertex target
@@ -193,8 +175,7 @@ mod tests {
             total += kwalk_partial_cover_rounds(&g, &[0], target, &mut walk_rng(t));
         }
         let mean = total as f64 / trials as f64;
-        let expect =
-            n as f64 * (harmonic(n as u64 - 1) - harmonic((n - target) as u64));
+        let expect = n as f64 * (harmonic(n as u64 - 1) - harmonic((n - target) as u64));
         assert!(
             (mean - expect).abs() < expect * 0.08,
             "mean {mean} vs truncated collector {expect}"
@@ -208,12 +189,8 @@ mod tests {
         let mut p90 = 0u64;
         let mut full = 0u64;
         for t in 0..trials {
-            p90 += kwalk_partial_cover_rounds(
-                &g,
-                &[0],
-                fraction_target(g.n(), 0.9),
-                &mut walk_rng(t),
-            );
+            p90 +=
+                kwalk_partial_cover_rounds(&g, &[0], fraction_target(g.n(), 0.9), &mut walk_rng(t));
             full += kwalk_partial_cover_rounds(&g, &[0], g.n(), &mut walk_rng(10_000 + t));
         }
         assert!(

@@ -21,12 +21,23 @@
 //!
 //! [`WalkProcess::Simple`] reproduces [`walk::step`](crate::walk::step)
 //! exactly (same RNG consumption), so process-parameterized experiment
-//! code can replace direct engine calls without changing any seedled
+//! code can replace direct engine calls without changing any seeded
 //! result.
+//!
+//! [`WalkProcess::step`] is the *uncached reference* kernel. The engine
+//! runs [`CompiledProcess`](crate::engine::CompiledProcess) instead,
+//! which pre-builds per-process state: a cached `Bernoulli` for lazy
+//! holds (one integer compare per step instead of an `f64` conversion —
+//! ~35% faster on the torus, see `benches/engine.rs`) and
+//! degree-reciprocal tables for Metropolis acceptance. The lazy cache
+//! changes which RNG bits decide a hold, so seeded `Lazy` traces differ
+//! from the pre-engine seed implementation — an intentional change; the
+//! law is unchanged (KS-tested in `engine::tests`).
 
-use mrw_graph::{algo, Graph, NodeBitSet};
+use mrw_graph::{algo, Graph};
 use rand::Rng;
 
+use crate::engine::{CompiledProcess, Engine, FullCover};
 use crate::walk::step;
 
 /// A single-token walk process on a graph.
@@ -125,23 +136,17 @@ pub fn cover_time_process<R: Rng + ?Sized>(
 ) -> u64 {
     assert!(g.n() > 0, "cover time of the empty graph");
     assert!((start as usize) < g.n(), "start {start} out of range");
-    debug_assert!(algo::is_connected(g), "cover time infinite: disconnected graph");
+    debug_assert!(
+        algo::is_connected(g),
+        "cover time infinite: disconnected graph"
+    );
     if let WalkProcess::Lazy(p) = process {
+        // p = 1 never moves: the cover time is infinite.
         assert!((0.0..1.0).contains(&p), "hold probability {p} not in [0,1)");
     }
-    let mut visited = NodeBitSet::new(g.n());
-    visited.insert(start);
-    let mut remaining = g.n() - 1;
-    let mut pos = start;
-    let mut steps = 0u64;
-    while remaining > 0 {
-        pos = process.step(g, pos, rng);
-        steps += 1;
-        if visited.insert(pos) {
-            remaining -= 1;
-        }
-    }
-    steps
+    Engine::new(g, CompiledProcess::new(process, g), FullCover::new(g.n()))
+        .run(&[start], rng)
+        .rounds
 }
 
 /// Parallel rounds for `k` tokens of `process` (round-synchronous, one
@@ -161,34 +166,17 @@ pub fn kwalk_cover_rounds_process<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    debug_assert!(algo::is_connected(g), "cover time infinite: disconnected graph");
+    debug_assert!(
+        algo::is_connected(g),
+        "cover time infinite: disconnected graph"
+    );
     if let WalkProcess::Lazy(p) = process {
+        // p = 1 never moves: the cover time is infinite.
         assert!((0.0..1.0).contains(&p), "hold probability {p} not in [0,1)");
     }
-    let mut visited = NodeBitSet::new(g.n());
-    let mut remaining = g.n();
-    for &s in starts {
-        if visited.insert(s) {
-            remaining -= 1;
-        }
-    }
-    if remaining == 0 {
-        return 0;
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    let mut rounds = 0u64;
-    loop {
-        rounds += 1;
-        for p in pos.iter_mut() {
-            *p = process.step(g, *p, rng);
-            if visited.insert(*p) {
-                remaining -= 1;
-            }
-        }
-        if remaining == 0 {
-            return rounds;
-        }
-    }
+    Engine::new(g, CompiledProcess::new(process, g), FullCover::new(g.n()))
+        .run(starts, rng)
+        .rounds
 }
 
 #[cfg(test)]
@@ -221,7 +209,10 @@ mod tests {
         let simple = mean(WalkProcess::Simple, 100);
         let lazy = mean(WalkProcess::Lazy(0.5), 9000);
         let ratio = lazy / simple;
-        assert!((ratio - 2.0).abs() < 0.25, "lazy/simple = {ratio}, want ≈ 2");
+        assert!(
+            (ratio - 2.0).abs() < 0.25,
+            "lazy/simple = {ratio}, want ≈ 2"
+        );
     }
 
     #[test]
@@ -295,7 +286,11 @@ mod tests {
     #[test]
     fn stationary_vectors() {
         let g = generators::barbell(11);
-        for process in [WalkProcess::Simple, WalkProcess::Lazy(0.3), WalkProcess::Metropolis] {
+        for process in [
+            WalkProcess::Simple,
+            WalkProcess::Lazy(0.3),
+            WalkProcess::Metropolis,
+        ] {
             let pi = process.stationary(&g);
             let sum: f64 = pi.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "{}: Σπ = {sum}", process.label());
@@ -316,7 +311,12 @@ mod tests {
         let mut a = 0u64;
         let mut b = 0u64;
         for t in 0..trials {
-            a += kwalk_cover_rounds_process(&g, &[0, 0, 0, 0], WalkProcess::Simple, &mut walk_rng(t));
+            a += kwalk_cover_rounds_process(
+                &g,
+                &[0, 0, 0, 0],
+                WalkProcess::Simple,
+                &mut walk_rng(t),
+            );
             b += crate::kwalk::kwalk_cover_rounds(
                 &g,
                 &[0, 0, 0, 0],

@@ -16,7 +16,10 @@ use rand::Rng;
 /// (`O(n + k log n)`).
 pub fn sample_stationary_starts<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Vec<u32> {
     assert!(k >= 1, "need at least one start");
-    assert!(g.degree_sum() > 0, "stationary distribution undefined on an edgeless graph");
+    assert!(
+        g.degree_sum() > 0,
+        "stationary distribution undefined on an edgeless graph"
+    );
     // Prefix sums of degrees; total = degree_sum.
     let mut prefix = Vec::with_capacity(g.n());
     let mut acc = 0u64;
@@ -74,10 +77,7 @@ mod tests {
         }
         for (v, &c) in counts.iter().enumerate() {
             let frac = c as f64 / draws as f64;
-            assert!(
-                (frac - 1.0 / 16.0).abs() < 0.01,
-                "vertex {v}: frac {frac}"
-            );
+            assert!((frac - 1.0 / 16.0).abs() < 0.01, "vertex {v}: frac {frac}");
         }
     }
 

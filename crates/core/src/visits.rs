@@ -15,9 +15,10 @@
 //! [`Metropolis`](crate::process::WalkProcess::Metropolis) walk equalizes
 //! rates on any topology.
 
-use mrw_graph::{Graph, NodeBitSet};
+use mrw_graph::Graph;
 use rand::Rng;
 
+use crate::engine::{CompiledProcess, Engine, Multicover, SimpleStep, VisitTally};
 use crate::process::WalkProcess;
 
 /// Per-vertex visit counts from a fixed-horizon k-walk run.
@@ -129,19 +130,11 @@ pub fn kwalk_visit_counts<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    let mut counts = vec![0u64; g.n()];
-    for &s in starts {
-        counts[s as usize] += 1;
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    for _ in 0..rounds {
-        for p in pos.iter_mut() {
-            *p = process.step(g, *p, rng);
-            counts[*p as usize] += 1;
-        }
-    }
+    let out = Engine::new(g, CompiledProcess::new(process, g), VisitTally::new(g.n()))
+        .cap(rounds)
+        .run(starts, rng);
     VisitCounts {
-        counts,
+        counts: out.observer.into_counts(),
         rounds,
         k: starts.len(),
     }
@@ -170,37 +163,9 @@ pub fn kwalk_multicover_rounds<R: Rng + ?Sized>(
         mrw_graph::algo::is_connected(g),
         "multicover unreachable: disconnected graph"
     );
-    let n = g.n();
-    let mut counts = vec![0u64; n];
-    let mut lacking = NodeBitSet::new(n);
-    for v in 0..n as u32 {
-        lacking.insert(v);
-    }
-    let mut remaining = n;
-    let credit = |v: u32, counts: &mut Vec<u64>, lacking: &mut NodeBitSet, remaining: &mut usize| {
-        counts[v as usize] += 1;
-        if counts[v as usize] == b && lacking.remove(v) {
-            *remaining -= 1;
-        }
-    };
-    for &s in starts {
-        credit(s, &mut counts, &mut lacking, &mut remaining);
-    }
-    if remaining == 0 {
-        return 0;
-    }
-    let mut pos: Vec<u32> = starts.to_vec();
-    let mut rounds = 0u64;
-    loop {
-        rounds += 1;
-        for p in pos.iter_mut() {
-            *p = crate::walk::step(g, *p, rng);
-            credit(*p, &mut counts, &mut lacking, &mut remaining);
-        }
-        if remaining == 0 {
-            return rounds;
-        }
-    }
+    Engine::new(g, SimpleStep, Multicover::new(g.n(), b))
+        .run(starts, rng)
+        .rounds
 }
 
 #[cfg(test)]
@@ -234,8 +199,13 @@ mod tests {
     #[test]
     fn frequencies_converge_to_uniform_metropolis() {
         let g = generators::barbell(13);
-        let vc =
-            kwalk_visit_counts(&g, &[6, 6], 200_000, WalkProcess::Metropolis, &mut walk_rng(3));
+        let vc = kwalk_visit_counts(
+            &g,
+            &[6, 6],
+            200_000,
+            WalkProcess::Metropolis,
+            &mut walk_rng(3),
+        );
         let uniform = vec![1.0 / 13.0; 13];
         assert!(
             vc.tv_distance_to(&uniform) < 0.02,
@@ -249,8 +219,13 @@ mod tests {
         let g = generators::lollipop(16);
         let simple =
             kwalk_visit_counts(&g, &[0, 0], 100_000, WalkProcess::Simple, &mut walk_rng(4));
-        let metro =
-            kwalk_visit_counts(&g, &[0, 0], 100_000, WalkProcess::Metropolis, &mut walk_rng(5));
+        let metro = kwalk_visit_counts(
+            &g,
+            &[0, 0],
+            100_000,
+            WalkProcess::Metropolis,
+            &mut walk_rng(5),
+        );
         assert!(
             metro.coefficient_of_variation() < simple.coefficient_of_variation(),
             "Metropolis CV {} not below simple CV {}",

@@ -1,14 +1,19 @@
-//! The single simple-random-walk engine.
+//! Single-walk primitives: the one-step sampler and convenience wrappers
+//! over the unified [`engine`](crate::engine).
 //!
 //! A walk step picks a uniformly random neighbor of the current vertex —
-//! `Pr(v → u) = 1/δ(v)` for `(v,u) ∈ E` (§2 of the paper). These are the
-//! innermost loops of every experiment: no allocation per step, one
-//! `gen_range` per step, visited set as a bitset with an explicit
-//! remaining-counter so coverage detection is O(1).
+//! `Pr(v → u) = 1/δ(v)` for `(v,u) ∈ E` (§2 of the paper). [`step`] is
+//! that sampler (no allocation, one `gen_range` — or a mask on
+//! power-of-two degrees). Everything else here ([`cover_time_single`],
+//! [`steps_to_hit`], [`walk_trace`]) is the k = 1 specialization of the
+//! engine and consumes the RNG stream identically to the pre-engine
+//! hand-rolled loops.
 
-use mrw_graph::{algo, Graph, NodeBitSet};
+use mrw_graph::{algo, Graph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::engine::{Engine, FullCover, Hit, SimpleStep, Trace};
 
 /// The RNG used by all walk engines (`SmallRng`: xoshiro256++ — fast,
 /// seedable, good enough statistical quality for Monte-Carlo physics, and
@@ -44,20 +49,13 @@ pub fn step<R: Rng + ?Sized>(g: &Graph, pos: u32, rng: &mut R) -> u32 {
 pub fn cover_time_single<R: Rng + ?Sized>(g: &Graph, start: u32, rng: &mut R) -> u64 {
     assert!(g.n() > 0, "cover time of the empty graph");
     assert!((start as usize) < g.n(), "start {start} out of range");
-    debug_assert!(algo::is_connected(g), "cover time infinite: disconnected graph");
-    let mut visited = NodeBitSet::new(g.n());
-    visited.insert(start);
-    let mut remaining = g.n() - 1;
-    let mut pos = start;
-    let mut steps = 0u64;
-    while remaining > 0 {
-        pos = step(g, pos, rng);
-        steps += 1;
-        if visited.insert(pos) {
-            remaining -= 1;
-        }
-    }
-    steps
+    debug_assert!(
+        algo::is_connected(g),
+        "cover time infinite: disconnected graph"
+    );
+    Engine::new(g, SimpleStep, FullCover::new(g.n()))
+        .run(&[start], rng)
+        .rounds
 }
 
 /// Number of steps for a walk from `from` to first reach `to`
@@ -73,30 +71,24 @@ pub fn steps_to_hit<R: Rng + ?Sized>(
     cap: u64,
     rng: &mut R,
 ) -> Option<u64> {
-    assert!((from as usize) < g.n() && (to as usize) < g.n(), "vertex out of range");
-    let mut pos = from;
-    let mut steps = 0u64;
-    while pos != to {
-        if steps >= cap {
-            return None;
-        }
-        pos = step(g, pos, rng);
-        steps += 1;
-    }
-    Some(steps)
+    assert!(
+        (from as usize) < g.n() && (to as usize) < g.n(),
+        "vertex out of range"
+    );
+    let out = Engine::new(g, SimpleStep, Hit::new(to))
+        .cap(cap)
+        .run(&[from], rng);
+    out.stopped.then_some(out.rounds)
 }
 
 /// Records the first `len` positions of a walk (including the start) —
 /// used by tests to validate that walks respect the edge set.
 pub fn walk_trace<R: Rng + ?Sized>(g: &Graph, start: u32, len: usize, rng: &mut R) -> Vec<u32> {
-    let mut trace = Vec::with_capacity(len + 1);
-    trace.push(start);
-    let mut pos = start;
-    for _ in 0..len {
-        pos = step(g, pos, rng);
-        trace.push(pos);
-    }
-    trace
+    Engine::new(g, SimpleStep, Trace::new(len))
+        .cap(len as u64)
+        .run(&[start], rng)
+        .observer
+        .into_positions()
 }
 
 #[cfg(test)]

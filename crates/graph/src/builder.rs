@@ -18,7 +18,10 @@ impl GraphBuilder {
     /// A builder for a graph on `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "too many vertices for u32 ids");
-        GraphBuilder { n, arcs: Vec::new() }
+        GraphBuilder {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Pre-allocates space for `edges` undirected edges.

@@ -140,12 +140,18 @@ impl Graph {
 
     /// Maximum degree.
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree.
     pub fn min_degree(&self) -> usize {
-        (0..self.n() as u32).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as u32)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// True if every vertex has the same degree; returns that degree.

@@ -39,8 +39,7 @@ pub use compound::{barbell, barbell_center, lollipop};
 pub use grid::{grid, grid_2d, torus, torus_2d};
 pub use hypercube::hypercube;
 pub use random::{
-    erdos_renyi, erdos_renyi_connected_regime, random_geometric, random_regular,
-    RandomRegularError,
+    erdos_renyi, erdos_renyi_connected_regime, random_geometric, random_regular, RandomRegularError,
 };
 pub use smallworld::{barabasi_albert, watts_strogatz};
 pub use tree::balanced_tree;

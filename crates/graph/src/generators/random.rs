@@ -271,7 +271,10 @@ mod tests {
     fn gnp_connected_regime_is_connected() {
         // c = 3 ⇒ connected w.h.p.; with a fixed seed this is deterministic.
         let g = erdos_renyi_connected_regime(500, 3.0, &mut rng(42));
-        assert!(algo::is_connected(&g), "G(n, 3 ln n / n) came out disconnected");
+        assert!(
+            algo::is_connected(&g),
+            "G(n, 3 ln n / n) came out disconnected"
+        );
     }
 
     #[test]

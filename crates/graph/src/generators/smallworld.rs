@@ -55,7 +55,10 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
         "base_degree must be even and ≥ 2, got {base_degree}"
     );
     assert!(base_degree < n, "base_degree {base_degree} ≥ n {n}");
-    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+    assert!(
+        (0.0..=1.0).contains(&beta),
+        "beta must be in [0,1], got {beta}"
+    );
 
     let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
     let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(n * base_degree / 2);
@@ -102,7 +105,9 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     for (u, v) in sorted {
         b.add_edge(u, v);
     }
-    b.build(format!("watts_strogatz(n={n},d={base_degree},beta={beta:.2})"))
+    b.build(format!(
+        "watts_strogatz(n={n},d={base_degree},beta={beta:.2})"
+    ))
 }
 
 /// Barabási–Albert preferential attachment: starts from a clique on

@@ -11,7 +11,10 @@ use crate::csr::Graph;
 /// family for which Matthews' bound is tight, so Theorem 4 applies:
 /// `S^k = Ω(k)` for `k ≤ log n`.
 pub fn balanced_tree(branching: usize, height: u32) -> Graph {
-    assert!(branching >= 2, "branching factor must be ≥ 2, got {branching}");
+    assert!(
+        branching >= 2,
+        "branching factor must be ≥ 2, got {branching}"
+    );
     // n = (b^{h+1} - 1) / (b - 1), computed with overflow checks.
     let mut n: usize = 1;
     let mut level = 1usize;

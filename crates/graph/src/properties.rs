@@ -86,7 +86,11 @@ impl std::fmt::Display for GraphProperties {
                 Some(d) => format!(" {d}-regular"),
                 None => String::new(),
             },
-            if self.connected { " connected" } else { " DISCONNECTED" },
+            if self.connected {
+                " connected"
+            } else {
+                " DISCONNECTED"
+            },
             match self.diameter {
                 Some(d) => d.to_string(),
                 None => "∞".to_string(),

@@ -112,9 +112,7 @@ where
     F: Fn(usize) -> R + Sync,
     Op: Fn(R, R) -> R,
 {
-    par_map(items, threads, f)
-        .into_iter()
-        .fold(identity, op)
+    par_map(items, threads, f).into_iter().fold(identity, op)
 }
 
 #[cfg(test)]
@@ -162,13 +160,7 @@ mod tests {
     #[test]
     fn reduce_non_commutative_op_still_ordered() {
         // String concatenation is associative but not commutative.
-        let s = par_reduce(
-            10,
-            4,
-            String::new(),
-            |i| i.to_string(),
-            |a, b| a + &b,
-        );
+        let s = par_reduce(10, 4, String::new(), |i| i.to_string(), |a, b| a + &b);
         assert_eq!(s, "0123456789");
     }
 

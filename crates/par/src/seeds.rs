@@ -105,7 +105,10 @@ mod tests {
         let seq = SeedSequence::new(0);
         let s: HashSet<u64> = (0..64).map(|i| seq.seed_for(i)).collect();
         assert_eq!(s.len(), 64);
-        assert!(!s.contains(&0), "derived seed should not be the weak value 0");
+        assert!(
+            !s.contains(&0),
+            "derived seed should not be the weak value 0"
+        );
     }
 
     #[test]

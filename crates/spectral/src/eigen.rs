@@ -198,7 +198,11 @@ pub fn summarize_spectrum(spectrum: &[f64]) -> WalkSpectrumSummary {
         lambda_star,
         gap: 1.0 - lambda2,
         abs_gap,
-        relaxation_time: if abs_gap > 0.0 { 1.0 / abs_gap } else { f64::INFINITY },
+        relaxation_time: if abs_gap > 0.0 {
+            1.0 / abs_gap
+        } else {
+            f64::INFINITY
+        },
     }
 }
 
@@ -311,7 +315,9 @@ mod tests {
         // P on the n-cycle: eigenvalues cos(2πj/n), j = 0..n−1.
         let n = 12;
         let got = walk_spectrum(&generators::cycle(n));
-        let want: Vec<f64> = (0..n).map(|j| (2.0 * PI * j as f64 / n as f64).cos()).collect();
+        let want: Vec<f64> = (0..n)
+            .map(|j| (2.0 * PI * j as f64 / n as f64).cos())
+            .collect();
         assert_spectra_match(&got, want, "cycle");
     }
 

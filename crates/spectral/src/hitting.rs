@@ -189,7 +189,11 @@ mod tests {
         for u in 0..8u32 {
             for v in 0..8u32 {
                 if u != v {
-                    assert!((ht.get(u, v) - 7.0).abs() < TOL, "h({u},{v})={}", ht.get(u, v));
+                    assert!(
+                        (ht.get(u, v) - 7.0).abs() < TOL,
+                        "h({u},{v})={}",
+                        ht.get(u, v)
+                    );
                 }
             }
         }

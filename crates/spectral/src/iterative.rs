@@ -326,10 +326,13 @@ mod tests {
     fn cg_solves_definite_diagonal_system() {
         // 4x + 0 = b — CG on a diagonal SPD operator converges in n steps.
         let b = vec![4.0, 8.0, 12.0];
-        let (x, report) =
-            conjugate_gradient(|p, out| out.iter_mut().zip(p).for_each(|(o, &v)| *o = 4.0 * v),
-                &b, 1e-12, 10)
-            .expect("converges");
+        let (x, report) = conjugate_gradient(
+            |p, out| out.iter_mut().zip(p).for_each(|(o, &v)| *o = 4.0 * v),
+            &b,
+            1e-12,
+            10,
+        )
+        .expect("converges");
         for (i, &xi) in x.iter().enumerate() {
             assert!((xi - b[i] / 4.0).abs() < 1e-10);
         }
@@ -399,7 +402,10 @@ mod tests {
         let loops = generators::complete_with_loops(8);
         let rp = effective_resistance_cg(&plain, 0, 3, 1e-12, 10_000).expect("cg");
         let rl = effective_resistance_cg(&loops, 0, 3, 1e-12, 10_000).expect("cg");
-        assert!((rp - rl).abs() < 1e-9, "loop changed resistance: {rp} vs {rl}");
+        assert!(
+            (rp - rl).abs() < 1e-9,
+            "loop changed resistance: {rp} vs {rl}"
+        );
         // Commute times differ exactly by the degree-sum ratio.
         let cp = commute_time_cg(&plain, 0, 3, 1e-12, 10_000).unwrap();
         let cl = commute_time_cg(&loops, 0, 3, 1e-12, 10_000).unwrap();

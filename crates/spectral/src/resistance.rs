@@ -112,9 +112,7 @@ mod tests {
         let g = generators::barbell(13);
         let ht = hitting_times_all(&g);
         for (u, v) in [(0u32, 12u32), (3, 9), (1, 7)] {
-            assert!(
-                (commute_time(&ht, u, v) - commute_time(&ht, v, u)).abs() < TOL
-            );
+            assert!((commute_time(&ht, u, v) - commute_time(&ht, v, u)).abs() < TOL);
         }
     }
 

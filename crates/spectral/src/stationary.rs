@@ -14,7 +14,10 @@ use mrw_graph::Graph;
 /// If the graph has no edges (the walk is undefined).
 pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
     let total = g.degree_sum();
-    assert!(total > 0, "stationary distribution undefined on an edgeless graph");
+    assert!(
+        total > 0,
+        "stationary distribution undefined on an edgeless graph"
+    );
     (0..g.n() as u32)
         .map(|v| g.degree(v) as f64 / total as f64)
         .collect()

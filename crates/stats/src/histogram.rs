@@ -109,7 +109,10 @@ impl Histogram {
             let l = self.lo.ln();
             let h = self.hi.ln();
             let step = (h - l) / b;
-            ((l + step * i as f64).exp(), (l + step * (i + 1) as f64).exp())
+            (
+                (l + step * i as f64).exp(),
+                (l + step * (i + 1) as f64).exp(),
+            )
         } else {
             let step = (self.hi - self.lo) / b;
             (self.lo + step * i as f64, self.lo + step * (i + 1) as f64)

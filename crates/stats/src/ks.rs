@@ -109,7 +109,9 @@ mod tests {
     use super::*;
 
     fn lcg_stream(seed: u64, n: usize, scale: f64, shift: f64) -> Vec<f64> {
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (0..n)
             .map(|_| {
                 state = state
@@ -142,7 +144,12 @@ mod tests {
         let a = lcg_stream(1, 500, 1.0, 0.0);
         let b = lcg_stream(2, 500, 1.0, 0.0);
         let t = ks_two_sample(&a, &b);
-        assert!(!t.rejects_at(0.01), "false rejection: D = {}, p = {}", t.statistic, t.p_value);
+        assert!(
+            !t.rejects_at(0.01),
+            "false rejection: D = {}, p = {}",
+            t.statistic,
+            t.p_value
+        );
     }
 
     #[test]
@@ -150,7 +157,11 @@ mod tests {
         let a = lcg_stream(1, 500, 1.0, 0.0);
         let b = lcg_stream(2, 500, 1.0, 0.35);
         let t = ks_two_sample(&a, &b);
-        assert!(t.rejects_at(0.001), "missed a 0.35 shift: p = {}", t.p_value);
+        assert!(
+            t.rejects_at(0.001),
+            "missed a 0.35 shift: p = {}",
+            t.p_value
+        );
     }
 
     #[test]
@@ -160,7 +171,11 @@ mod tests {
         let a = lcg_stream(3, 800, 1.0, 0.0); // U[0, 1]
         let b = lcg_stream(4, 800, 3.0, -1.0); // U[−1, 2], same mean 0.5
         let t = ks_two_sample(&a, &b);
-        assert!(t.rejects_at(0.001), "missed a scale change: p = {}", t.p_value);
+        assert!(
+            t.rejects_at(0.001),
+            "missed a scale change: p = {}",
+            t.p_value
+        );
     }
 
     #[test]

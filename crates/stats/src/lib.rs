@@ -25,8 +25,8 @@
 
 pub mod ci;
 pub mod harmonic;
-pub mod ks;
 pub mod histogram;
+pub mod ks;
 pub mod ladder;
 pub mod quantile;
 pub mod regression;
@@ -34,8 +34,8 @@ pub mod summary;
 pub mod table;
 
 pub use ci::ConfidenceInterval;
-pub use ks::{kolmogorov_q, ks_two_sample, KsTest};
 pub use histogram::Histogram;
+pub use ks::{kolmogorov_q, ks_two_sample, KsTest};
 pub use regression::{LinearFit, PowerLawFit};
 pub use summary::Summary;
 pub use table::{Align, Table};

@@ -11,7 +11,10 @@
 /// Sorts a copy; O(n log n). Panics on an empty sample or NaN values.
 pub fn quantile(sample: &[f64], q: f64) -> f64 {
     assert!(!sample.is_empty(), "quantile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile level must be in [0,1], got {q}"
+    );
     let mut xs = sample.to_vec();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
     quantile_sorted(&xs, q)

@@ -54,7 +54,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     assert!(sxx > 0.0, "all x values identical; slope undefined");
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     LinearFit {
         slope,
         intercept,
@@ -68,7 +72,10 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
 pub fn power_law_fit(xs: &[f64], ys: &[f64]) -> PowerLawFit {
     assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
     for (&x, &y) in xs.iter().zip(ys) {
-        assert!(x > 0.0 && y > 0.0, "power-law fit needs positive data, got ({x}, {y})");
+        assert!(
+            x > 0.0 && y > 0.0,
+            "power-law fit needs positive data, got ({x}, {y})"
+        );
     }
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
     let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();

@@ -56,7 +56,10 @@ impl Summary {
 
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
-        debug_assert!(x.is_finite(), "Summary::push requires finite values, got {x}");
+        debug_assert!(
+            x.is_finite(),
+            "Summary::push requires finite values, got {x}"
+        );
         self.count += 1;
         let delta = x - self.mean;
         self.mean += delta / self.count as f64;
@@ -202,7 +205,9 @@ mod tests {
 
     #[test]
     fn matches_naive_two_pass() {
-        let xs: Vec<f64> = (0..1000).map(|i| ((i * 2654435761u64 % 1000) as f64).sqrt()).collect();
+        let xs: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64).sqrt())
+            .collect();
         let s = Summary::from_slice(&xs);
         let (mean, var) = naive_mean_var(&xs);
         assert!((s.mean() - mean).abs() < 1e-10);

@@ -159,7 +159,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -241,7 +245,7 @@ mod tests {
     #[test]
     fn fmt_num_modes() {
         assert_eq!(fmt_num(3.0), "3");
-        assert_eq!(fmt_num(3.1416), "3.142");
+        assert_eq!(fmt_num(4.5678), "4.568");
         assert_eq!(fmt_num(1234.5), "1234.5");
         assert!(fmt_num(1.0e9).contains('e'));
         assert_eq!(fmt_num(f64::INFINITY), "inf");

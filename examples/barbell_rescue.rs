@@ -37,7 +37,10 @@ fn main() {
             let mut rng = walk_rng(900 + t);
             let pos = kwalk_positions_after(&g, &vec![vc; k], 1, &mut rng);
             in_a += pos.iter().filter(|&&p| (p as usize) < m).count();
-            in_b += pos.iter().filter(|&&p| (p as usize) >= m && p != vc).count();
+            in_b += pos
+                .iter()
+                .filter(|&&p| (p as usize) >= m && p != vc)
+                .count();
         }
         println!(
             "{:>4} {:>10.2} {:>10.2}",
@@ -50,19 +53,29 @@ fn main() {
     // The cover-time phase change.
     let k_paper = (20.0 * (n as f64).ln()).ceil() as usize;
     println!("\ncover time from the center (mean over {trials} trials):");
-    println!("{:>6} {:>14} {:>10} {:>10}", "k", "C^k rounds", "S^k", "S^k/k");
+    println!(
+        "{:>6} {:>14} {:>10} {:>10}",
+        "k", "C^k rounds", "S^k", "S^k/k"
+    );
     let mut baseline = 0.0;
     for k in [1usize, 2, 4, 8, 16, 32, 64, k_paper] {
         let mut s = Summary::new();
         for t in 0..trials as u64 {
             let mut rng = walk_rng(7000 + 101 * k as u64 + t);
-            s.push(kwalk_cover_rounds_same_start(&g, vc, k, KWalkMode::RoundSynchronous, &mut rng) as f64);
+            s.push(
+                kwalk_cover_rounds_same_start(&g, vc, k, KWalkMode::RoundSynchronous, &mut rng)
+                    as f64,
+            );
         }
         if k == 1 {
             baseline = s.mean();
         }
         let speedup = baseline / s.mean();
-        let marker = if k == k_paper { "  <- k = 20 ln n (Theorem 26)" } else { "" };
+        let marker = if k == k_paper {
+            "  <- k = 20 ln n (Theorem 26)"
+        } else {
+            ""
+        };
         println!(
             "{:>6} {:>14.0} {:>10.1} {:>10.2}{marker}",
             k,

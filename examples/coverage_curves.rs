@@ -20,7 +20,10 @@ const WIDTH: usize = 64;
 const KS: [usize; 3] = [1, 4, 16];
 
 fn plot(g: &Graph, start: u32, rounds: usize, trials: usize) {
-    println!("\n{} — coverage vs rounds (mean of {trials} trials)", g.name());
+    println!(
+        "\n{} — coverage vs rounds (mean of {trials} trials)",
+        g.name()
+    );
     let mut curves = Vec::new();
     for k in KS {
         curves.push((k, mean_coverage_curve(g, start, k, rounds, trials, 11, 4)));

@@ -18,9 +18,7 @@
 //! Run with: `cargo run --release --example fair_patrol`
 
 use many_walks::graph::generators;
-use many_walks::walks::{
-    kwalk_multicover_rounds, kwalk_visit_counts, walk_rng, WalkProcess,
-};
+use many_walks::walks::{kwalk_multicover_rounds, kwalk_visit_counts, walk_rng, WalkProcess};
 
 fn main() {
     let k = 8;

@@ -28,7 +28,11 @@ fn main() {
     let origin = 0u32;
     let trials = 64u64;
 
-    println!("arena: {} ({} cells), prey hidden uniformly at random\n", g.name(), n);
+    println!(
+        "arena: {} ({} cells), prey hidden uniformly at random\n",
+        g.name(),
+        n
+    );
     println!(
         "{:>4} {:>16} {:>8} {:>14} {:>8}",
         "k", "catch rounds", "S^k", "sweep rounds", "S^k"
@@ -59,10 +63,13 @@ fn main() {
 
             // Sweep: cover the whole arena.
             let mut rng2 = walk_rng(77_000 + 31 * k as u64 + t);
-            sweep.push(
-                kwalk_cover_rounds_same_start(&g, origin, k, KWalkMode::RoundSynchronous, &mut rng2)
-                    as f64,
-            );
+            sweep.push(kwalk_cover_rounds_same_start(
+                &g,
+                origin,
+                k,
+                KWalkMode::RoundSynchronous,
+                &mut rng2,
+            ) as f64);
         }
         if k == 1 {
             catch_base = catch.mean();

@@ -22,7 +22,10 @@ fn main() {
     ];
 
     println!("k = {k} parallel walks, all starting at vertex 0\n");
-    println!("{:<22} {:>12} {:>12} {:>8} {:>8}", "graph", "C (1 walk)", "C^k", "S^k", "S^k/k");
+    println!(
+        "{:<22} {:>12} {:>12} {:>8} {:>8}",
+        "graph", "C (1 walk)", "C^k", "S^k", "S^k/k"
+    );
     println!("{}", "-".repeat(66));
     for g in &graphs {
         let sweep = speedup_sweep(g, 0, &[k], &cfg);

@@ -18,8 +18,8 @@
 //! Run with: `cargo run --release --example sensor_network_query`
 
 use many_walks::graph::{algo, generators, Graph};
-use many_walks::walks::{kwalk_cover_rounds_same_start, walk_rng, KWalkMode};
 use many_walks::stats::Summary;
+use many_walks::walks::{kwalk_cover_rounds_same_start, walk_rng, KWalkMode};
 use rand::Rng;
 
 /// Rounds until one of k walkers from `start` first reaches `target`.
@@ -70,7 +70,10 @@ fn main() {
     let sink = 0u32;
     let trials = 48;
 
-    println!("{:>4} {:>16} {:>10} {:>18} {:>10}", "k", "sweep rounds", "speed-up", "search rounds", "speed-up");
+    println!(
+        "{:>4} {:>16} {:>10} {:>18} {:>10}",
+        "k", "sweep rounds", "speed-up", "search rounds", "speed-up"
+    );
     println!("{}", "-".repeat(64));
     let mut sweep_base = 0.0;
     let mut search_base = 0.0;
@@ -79,7 +82,13 @@ fn main() {
         let mut search = Summary::new();
         for t in 0..trials {
             let mut r1 = walk_rng(1000 + t);
-            sweep.push(kwalk_cover_rounds_same_start(&g, sink, k, KWalkMode::RoundSynchronous, &mut r1) as f64);
+            sweep.push(kwalk_cover_rounds_same_start(
+                &g,
+                sink,
+                k,
+                KWalkMode::RoundSynchronous,
+                &mut r1,
+            ) as f64);
             // The "needle": a uniformly random sensor holds the answer.
             let mut r2 = walk_rng(5000 + t);
             let target = r2.gen_range(0..g.n()) as u32;

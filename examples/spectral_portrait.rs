@@ -20,9 +20,8 @@
 
 use many_walks::graph::generators;
 use many_walks::spectral::{
-    hitting_times_all, lazy_spectrum, max_effective_resistance, mixing_time,
-    mixing_time_sandwich, stationary_distribution, summarize_spectrum, walk_spectrum,
-    MixingConfig,
+    hitting_times_all, lazy_spectrum, max_effective_resistance, mixing_time, mixing_time_sandwich,
+    stationary_distribution, summarize_spectrum, walk_spectrum, MixingConfig,
 };
 use many_walks::walks::walk_rng;
 

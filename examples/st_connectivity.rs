@@ -18,8 +18,8 @@
 //!
 //! Run with: `cargo run --release --example st_connectivity`
 
-use many_walks::graph::{Graph, GraphBuilder};
 use many_walks::graph::generators;
+use many_walks::graph::{Graph, GraphBuilder};
 use many_walks::walks::{walk_rng, WalkRng};
 use rand::Rng;
 
@@ -79,9 +79,10 @@ fn main() {
 
     for (g, truly_connected) in [(&connected, true), (&split, false)] {
         let (s, t) = (0u32, (g.n() - 1) as u32);
-        for (label, walks, deadline) in
-            [("1 long walk", 1usize, serial_rounds), ("k short walks", k, budget_rounds)]
-        {
+        for (label, walks, deadline) in [
+            ("1 long walk", 1usize, serial_rounds),
+            ("k short walks", k, budget_rounds),
+        ] {
             let mut detected = 0usize;
             let mut rounds_sum = 0u64;
             for trial in 0..trials {

@@ -8,11 +8,13 @@
 //! * [`graph`] — CSR graph store and the paper's graph families
 //!   (cycle, grids/tori, hypercube, complete graph, trees, barbell,
 //!   Erdős–Rényi, random-regular expanders, …).
-//! * [`walks`] — the paper's contribution: k-parallel random walks, cover
-//!   time `C^k(G)`, speed-up `S^k(G) = C(G)/C^k(G)`, every theoretical
-//!   bound stated in the paper, generalized processes (lazy, Metropolis),
-//!   partial/multicover stopping rules, pursuit games, and an exact
-//!   small-graph DP that ground-truths the estimators.
+//! * [`walks`] — the paper's contribution: the unified walk **engine**
+//!   (`walks::engine` — one k-token stepping loop driving pluggable
+//!   processes and observers), cover time `C^k(G)`, speed-up
+//!   `S^k(G) = C(G)/C^k(G)`, every theoretical bound stated in the paper,
+//!   generalized processes (lazy, Metropolis), partial/multicover
+//!   stopping rules, pursuit games, and an exact small-graph DP that
+//!   ground-truths the estimators.
 //! * [`spectral`] — exact Markov-chain computations: hitting times (dense
 //!   and Gauss–Seidel), effective resistances (CG), mixing times, the full
 //!   walk spectrum (Jacobi), stationary distributions, spectral gap.
@@ -27,11 +29,30 @@
 //! use many_walks::walks::{CoverTimeEstimator, EstimatorConfig};
 //!
 //! // Cover time of a 64-vertex cycle by 1 walk vs 4 parallel walks.
+//! // Estimator trials fan out over all cores; results depend only on the
+//! // seed, never on the thread count.
 //! let g = generators::cycle(64);
 //! let cfg = EstimatorConfig::new(32).with_seed(7);
 //! let single = CoverTimeEstimator::new(&g, 1, cfg.clone()).run_worst_start();
 //! let four = CoverTimeEstimator::new(&g, 4, cfg).run_worst_start();
 //! assert!(four.cover_time.mean() < single.cover_time.mean());
+//! ```
+//!
+//! Every simulation in the crate is one primitive observed through a
+//! different lens: `k` tokens stepping over a graph until a stopping rule
+//! fires. The engine exposes that primitive directly — pick a process,
+//! pick an observer, run:
+//!
+//! ```
+//! use many_walks::graph::generators;
+//! use many_walks::walks::engine::{Engine, PartialCover, SimpleStep};
+//! use many_walks::walks::walk_rng;
+//!
+//! // Rounds for 8 walks to touch half of a 16×16 torus.
+//! let g = generators::torus_2d(16);
+//! let out = Engine::new(&g, SimpleStep, PartialCover::new(g.n(), g.n() / 2))
+//!     .run(&[0; 8], &mut walk_rng(1));
+//! assert!(out.stopped && out.rounds > 0);
 //! ```
 
 pub use mrw_graph as graph;

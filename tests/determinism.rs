@@ -21,7 +21,11 @@ fn estimates_identical_across_thread_counts() {
     let base = run(1);
     for threads in [2, 3, 8, 13] {
         let est = run(threads);
-        assert_eq!(est.cover_time.mean(), base.cover_time.mean(), "threads={threads}");
+        assert_eq!(
+            est.cover_time.mean(),
+            base.cover_time.mean(),
+            "threads={threads}"
+        );
         assert_eq!(est.cover_time.variance(), base.cover_time.variance());
         assert_eq!(est.cover_time.min(), base.cover_time.min());
         assert_eq!(est.cover_time.max(), base.cover_time.max());

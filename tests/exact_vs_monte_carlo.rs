@@ -7,7 +7,7 @@
 use many_walks::graph::generators;
 use many_walks::spectral::{hitting_times_all, mixing_time, MixingConfig, TransitionOp};
 use many_walks::walks::hitting_mc::hitting_time_mc;
-use many_walks::walks::{walk_rng, walk::walk_trace};
+use many_walks::walks::{walk::walk_trace, walk_rng};
 
 #[test]
 fn hitting_time_mc_matches_fundamental_matrix() {

@@ -54,8 +54,14 @@ fn relaxation_time_orders_families_like_table1_mixing_column() {
     let hypercube = trel(&generators::hypercube(6));
     let torus = trel(&generators::torus_2d(8));
     let cycle = trel(&generators::cycle(64));
-    assert!(complete < expander, "complete {complete} vs expander {expander}");
-    assert!(expander < hypercube, "expander {expander} vs hypercube {hypercube}");
+    assert!(
+        complete < expander,
+        "complete {complete} vs expander {expander}"
+    );
+    assert!(
+        expander < hypercube,
+        "expander {expander} vs hypercube {hypercube}"
+    );
     assert!(hypercube < torus, "hypercube {hypercube} vs torus {torus}");
     assert!(torus < cycle, "torus {torus} vs cycle {cycle}");
 }
@@ -93,7 +99,10 @@ fn resistance_diameter_predicts_cover_difficulty() {
     let torus = generators::torus_2d(7);
     let r_barbell = max_effective_resistance(&barbell, &hitting_times_all(&barbell));
     let r_torus = max_effective_resistance(&torus, &hitting_times_all(&torus));
-    assert!(r_barbell > r_torus, "resistance order: {r_barbell} vs {r_torus}");
+    assert!(
+        r_barbell > r_torus,
+        "resistance order: {r_barbell} vs {r_torus}"
+    );
     let cfg = EstimatorConfig::new(48).with_seed(11);
     let c_barbell = CoverTimeEstimator::new(&barbell, 1, cfg.clone())
         .run_from(0)
@@ -106,7 +115,11 @@ fn resistance_diameter_predicts_cover_difficulty() {
 fn metropolis_cover_time_finite_and_bounded_on_irregular_zoo() {
     // The uniform-target walk still covers; on strongly irregular graphs
     // it can even beat the simple walk (it refuses to drown in the bell).
-    for g in [generators::lollipop(20), generators::barbell(21), generators::star(16)] {
+    for g in [
+        generators::lollipop(20),
+        generators::barbell(21),
+        generators::star(16),
+    ] {
         let trials = 60u64;
         let mut simple = 0u64;
         let mut metro = 0u64;
@@ -132,12 +145,8 @@ fn partial_cover_beats_full_cover_proportionally_harder_on_cycle() {
     let mut p90 = 0u64;
     let mut full = 0u64;
     for t in 0..trials {
-        p90 += kwalk_partial_cover_rounds(
-            &clique,
-            &[0],
-            fraction_target(64, 0.9),
-            &mut walk_rng(t),
-        );
+        p90 +=
+            kwalk_partial_cover_rounds(&clique, &[0], fraction_target(64, 0.9), &mut walk_rng(t));
         full += kwalk_partial_cover_rounds(&clique, &[0], 64, &mut walk_rng(5_000 + t));
     }
     let ratio = p90 as f64 / full as f64;
@@ -191,7 +200,9 @@ fn new_generators_cover_and_speed_up_sanely() {
     for g in [&ws, &ba] {
         assert!(algo::is_connected(g), "{} disconnected", g.name());
         let cfg = EstimatorConfig::new(48).with_seed(5);
-        let c1 = CoverTimeEstimator::new(g, 1, cfg.clone()).run_from(0).mean();
+        let c1 = CoverTimeEstimator::new(g, 1, cfg.clone())
+            .run_from(0)
+            .mean();
         let c4 = CoverTimeEstimator::new(g, 4, cfg).run_from(0).mean();
         let s4 = c1 / c4;
         assert!(
@@ -211,8 +222,12 @@ fn small_world_interpolates_cover_time_between_cycle_and_random() {
     let mut rng = walk_rng(21);
     let lattice = generators::watts_strogatz(n, 4, 0.0, &mut rng);
     let small_world = generators::watts_strogatz(n, 4, 0.5, &mut rng);
-    let c_lattice = CoverTimeEstimator::new(&lattice, 1, cfg.clone()).run_from(0).mean();
-    let c_sw = CoverTimeEstimator::new(&small_world, 1, cfg).run_from(0).mean();
+    let c_lattice = CoverTimeEstimator::new(&lattice, 1, cfg.clone())
+        .run_from(0)
+        .mean();
+    let c_sw = CoverTimeEstimator::new(&small_world, 1, cfg)
+        .run_from(0)
+        .mean();
     assert!(
         c_lattice > 1.5 * c_sw,
         "rewiring did not accelerate cover: {c_lattice} vs {c_sw}"
@@ -239,8 +254,7 @@ fn lazy_walk_speedup_structure_is_preserved() {
         total as f64 / trials as f64
     };
     let s_simple = mean(WalkProcess::Simple, 1, 0) / mean(WalkProcess::Simple, 4, 10_000);
-    let s_lazy =
-        mean(WalkProcess::Lazy(0.5), 1, 20_000) / mean(WalkProcess::Lazy(0.5), 4, 30_000);
+    let s_lazy = mean(WalkProcess::Lazy(0.5), 1, 20_000) / mean(WalkProcess::Lazy(0.5), 4, 30_000);
     assert!(
         (s_simple - s_lazy).abs() < 0.35,
         "speed-up not lazy-invariant: {s_simple} vs {s_lazy}"

@@ -18,12 +18,7 @@ fn lemma12_clique_linear_speedup() {
     let sweep = speedup_sweep(&g, 0, &[2, 4, 8, 16], &cfg(160, 1));
     for p in &sweep.points {
         let eff = p.speedup.point / p.k as f64;
-        assert!(
-            (eff - 1.0).abs() < 0.25,
-            "clique S^{}/{} = {eff}",
-            p.k,
-            p.k
-        );
+        assert!((eff - 1.0).abs() < 0.25, "clique S^{}/{} = {eff}", p.k, p.k);
     }
 }
 
@@ -47,8 +42,12 @@ fn theorem7_barbell_exponential_speedup() {
     let g = generators::barbell(n);
     let vc = generators::barbell_center(n);
     let k = (20.0 * (n as f64).ln()).ceil() as usize;
-    let c1 = CoverTimeEstimator::new(&g, 1, cfg(32, 3)).run_from(vc).mean();
-    let ck = CoverTimeEstimator::new(&g, k, cfg(32, 3)).run_from(vc).mean();
+    let c1 = CoverTimeEstimator::new(&g, 1, cfg(32, 3))
+        .run_from(vc)
+        .mean();
+    let ck = CoverTimeEstimator::new(&g, k, cfg(32, 3))
+        .run_from(vc)
+        .mean();
     let speedup = c1 / ck;
     // Exponential regime: speed-up far beyond k.
     assert!(
@@ -77,7 +76,10 @@ fn theorem8_torus_two_regimes() {
     let low = sweep.speedup_at(4).unwrap() / 4.0;
     let high = sweep.speedup_at(128).unwrap() / 128.0;
     assert!(low > 0.55, "low-regime efficiency {low}");
-    assert!(high < 0.6 * low, "no regime separation: low {low}, high {high}");
+    assert!(
+        high < 0.6 * low,
+        "no regime separation: low {low}, high {high}"
+    );
 }
 
 #[test]
@@ -90,7 +92,9 @@ fn matthews_sandwich_with_exact_hitting_times() {
     ] {
         let ht = many_walks::spectral::hitting_times_all(&g);
         let n = g.n() as u64;
-        let c = CoverTimeEstimator::new(&g, 1, cfg(64, 6)).run_worst_start().mean();
+        let c = CoverTimeEstimator::new(&g, 1, cfg(64, 6))
+            .run_worst_start()
+            .mean();
         let upper = ht.hmax() * harmonic(n);
         let lower = ht.hmin() * harmonic(n - 1);
         assert!(
@@ -111,8 +115,13 @@ fn baby_matthews_bound_honored_at_k_log_n() {
     let g = generators::hypercube(6); // n = 64, ln n ≈ 4.16 -> k ≤ 4
     let ht = many_walks::spectral::hitting_times_all(&g);
     let bound = many_walks::walks::bounds::baby_matthews_upper(ht.hmax(), 64, 4);
-    let ck = CoverTimeEstimator::new(&g, 4, cfg(96, 7)).run_from(0).mean();
-    assert!(ck <= bound, "C^4 = {ck} exceeds Baby Matthews bound {bound}");
+    let ck = CoverTimeEstimator::new(&g, 4, cfg(96, 7))
+        .run_from(0)
+        .mean();
+    assert!(
+        ck <= bound,
+        "C^4 = {ck} exceeds Baby Matthews bound {bound}"
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! of them.
 
 use many_walks::graph::{algo, generators, Graph, GraphBuilder};
-use many_walks::walks::{kwalk_cover_rounds, walk_rng, walk::walk_trace, KWalkMode};
+use many_walks::walks::{kwalk_cover_rounds, walk::walk_trace, walk_rng, KWalkMode};
 use proptest::prelude::*;
 
 /// Structural invariants every graph in this workspace must satisfy.

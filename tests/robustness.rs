@@ -31,7 +31,12 @@ fn cover_start_out_of_range() {
 #[should_panic(expected = "at least one walk")]
 fn kwalk_empty_starts() {
     let g = generators::cycle(5);
-    walks::kwalk_cover_rounds(&g, &[], walks::KWalkMode::RoundSynchronous, &mut walk_rng(0));
+    walks::kwalk_cover_rounds(
+        &g,
+        &[],
+        walks::KWalkMode::RoundSynchronous,
+        &mut walk_rng(0),
+    );
 }
 
 #[test]

@@ -1,0 +1,337 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the `mrw-bench` suite uses — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a deliberately
+//! simple wall-clock measurement: a calibration pass sizes the iteration
+//! count to a time budget, then a fixed number of samples report
+//! mean/min/max per iteration (plus derived throughput when declared).
+//! No statistics beyond that, no HTML reports, no comparisons to saved
+//! baselines; the numbers are honest and the harness compiles and runs
+//! everywhere `std` does, which is what an offline CI needs from
+//! `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with an explicit name and parameter, rendered `name/param`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value (the group supplies the name).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    result: Option<Measurement>,
+}
+
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Bencher {
+    /// Measures `f`, timing batches sized so one sample meets the time
+    /// budget. The closure's output is `black_box`ed so the work is not
+    /// optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: find an iteration count that takes ≥ budget/samples.
+        let target = self.budget.max(Duration::from_millis(10)) / self.samples as u32;
+        let mut iters = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= target || iters >= 1 << 30 {
+                break;
+            }
+            // Grow geometrically toward the target.
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = target.as_secs_f64() / elapsed.as_secs_f64();
+                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+            };
+        }
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed() / iters as u32;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += per_iter;
+        }
+        self.result = Some(Measurement {
+            mean: total / self.samples as u32,
+            min,
+            max,
+        });
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 10,
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.samples, self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            budget: self.budget,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    budget: Duration,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Sets the per-sample time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let m = run_one(&name, self.samples, self.budget, f);
+        self.report_throughput(&m);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let m = run_one(&name, self.samples, self.budget, |b| f(b, input));
+        self.report_throughput(&m);
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; kept for API parity).
+    pub fn finish(self) {}
+
+    fn report_throughput(&self, m: &Option<Measurement>) {
+        let (Some(t), Some(m)) = (self.throughput, m.as_ref()) else {
+            return;
+        };
+        let secs = m.mean.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        let line = match t {
+            Throughput::Elements(n) => fmt_rate(n as f64 / secs, "elem"),
+            Throughput::Bytes(n) => fmt_rate(n as f64 / secs, "B"),
+        };
+        println!("{:>46}  thrpt: {}", "", line);
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, budget: Duration, mut f: F) -> Option<Measurement>
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        samples,
+        budget,
+        result: None,
+    };
+    f(&mut b);
+    match &b.result {
+        Some(m) => println!(
+            "{name:<44} time: [{} {} {}]",
+            fmt_duration(m.min),
+            fmt_duration(m.mean),
+            fmt_duration(m.max),
+        ),
+        None => println!("{name:<44} (no measurement: Bencher::iter never called)"),
+    }
+    b.result
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` (and libtest-style smoke runs) just
+            // need the binary to run; the measurement loop is identical.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion {
+            samples: 3,
+            budget: Duration::from_millis(20),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_with_input_and_throughput() {
+        let mut c = Criterion {
+            samples: 3,
+            budget: Duration::from_millis(20),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("solve", 64).to_string(), "solve/64");
+        assert_eq!(BenchmarkId::from_parameter("cycle").to_string(), "cycle");
+    }
+}

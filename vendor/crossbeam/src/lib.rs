@@ -1,0 +1,183 @@
+//! Offline stand-in for `crossbeam`, exposing only the [`deque`] API the
+//! `mrw-par` thread pool consumes: `Injector`, `Worker`, `Stealer`, and
+//! `Steal`.
+//!
+//! The real crate's lock-free Chase–Lev deques need `unsafe`; this
+//! stand-in keeps the same interface over `Mutex<VecDeque>` queues. That
+//! trades peak contention behavior for simplicity — correct for every
+//! caller, and the pool's own benchmarks measure the difference rather
+//! than assuming it away.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deque {
+    //! Work-stealing deque interfaces.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A job was stolen.
+        Success(T),
+        /// The queue was empty.
+        Empty,
+        /// Transient contention; retry.
+        Retry,
+    }
+
+    /// A FIFO queue that any thread may push into and steal from.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// An empty injector.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a job.
+        pub fn push(&self, job: T) {
+            self.q.lock().expect("injector poisoned").push_back(job);
+        }
+
+        /// True when no jobs are queued.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Pops one job for the caller and moves a batch of additional
+        /// jobs onto `dest`'s local deque.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.q.lock().expect("injector poisoned");
+            let Some(first) = q.pop_front() else {
+                return Steal::Empty;
+            };
+            // Move up to half the remaining queue (capped) to the local
+            // deque, mirroring the real crate's batching heuristic.
+            let batch = (q.len() / 2).min(32);
+            if batch > 0 {
+                let mut local = dest.q.lock().expect("worker poisoned");
+                for _ in 0..batch {
+                    match q.pop_front() {
+                        Some(job) => local.push_back(job),
+                        None => break,
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A worker-owned deque; the owner pops LIFO, thieves steal FIFO.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// A new empty LIFO worker deque.
+        pub fn new_lifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes onto the owner's end.
+        pub fn push(&self, job: T) {
+            self.q.lock().expect("worker poisoned").push_back(job);
+        }
+
+        /// Pops from the owner's end (LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().expect("worker poisoned").pop_back()
+        }
+
+        /// True when the local deque is empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("worker poisoned").is_empty()
+        }
+
+        /// A handle siblings use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    /// A handle for stealing from another worker's deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals from the opposite end the owner pops (FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("worker poisoned").pop_front() {
+                Some(job) => Steal::Success(job),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn injector_fifo_and_batch() {
+            let inj: Injector<u32> = Injector::new();
+            let w = Worker::new_lifo();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(0)));
+            // Some of the remainder moved to the local deque.
+            assert!(!w.is_empty() || !inj.is_empty());
+            let mut drained = Vec::new();
+            while let Some(j) = w.pop() {
+                drained.push(j);
+            }
+            while let Steal::Success(j) = inj.steal_batch_and_pop(&w) {
+                drained.push(j);
+                while let Some(x) = w.pop() {
+                    drained.push(x);
+                }
+            }
+            drained.sort_unstable();
+            assert_eq!(drained, (1..10).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn worker_lifo_stealer_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3), "owner pops LIFO");
+            assert!(matches!(s.steal(), Steal::Success(1)), "thief steals FIFO");
+            assert_eq!(w.pop(), Some(2));
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+    }
+}
