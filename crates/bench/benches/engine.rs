@@ -1,8 +1,13 @@
 //! Bench: raw engine throughput — walk steps per second on graphs with
-//! different degree profiles, and thread-pool scaling of the trial fan-out.
+//! different degree profiles, thread-pool scaling of the trial fan-out,
+//! and the batched-vs-scalar stepping comparison, which additionally
+//! emits `BENCH_engine.json` at the workspace root so CI tracks the
+//! perf trajectory (see `.github/workflows/ci.yml`, bench-smoke step).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mrw_core::engine::{CompiledProcess, Engine, FullCover, Process, SimpleStep};
+use mrw_core::engine::{
+    BatchMode, CompiledProcess, Engine, EngineArena, FullCover, Process, SimpleStep,
+};
 use mrw_core::{walk_rng, CoverTimeEstimator, EstimatorConfig, WalkProcess};
 use mrw_graph::generators;
 use mrw_par::ThreadPool;
@@ -149,11 +154,85 @@ fn bench_unified_engine_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Best-of-`reps` ns/step for one engine path (pure horizon run, so the
+/// two paths differ only in stepping machinery).
+fn engine_ns_per_step(
+    g: &mrw_graph::Graph,
+    k: usize,
+    batch: BatchMode,
+    rounds: u64,
+    reps: usize,
+) -> f64 {
+    let starts = vec![0u32; k];
+    let mut arena = EngineArena::new();
+    // Warmup: sizes the arena and faults the graph into cache.
+    let _ = Engine::new(g, SimpleStep, ())
+        .batch(batch)
+        .cap(rounds)
+        .run_with(&starts, &mut walk_rng(1), &mut arena);
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        let t0 = std::time::Instant::now();
+        let out = Engine::new(g, SimpleStep, ())
+            .batch(batch)
+            .cap(rounds)
+            .run_with(&starts, &mut walk_rng(2 + rep as u64), &mut arena);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt * 1e9 / (out.rounds * k as u64) as f64);
+    }
+    best
+}
+
+/// The perf-trajectory measurement: batched vs scalar ns/step on the
+/// cycle, torus, and barbell at `k ≥ 256`, written to `BENCH_engine.json`
+/// (workspace root, or `$BENCH_ENGINE_JSON`) for CI to archive.
+fn bench_batched_vs_scalar(_c: &mut Criterion) {
+    const ROUNDS: u64 = 1_500;
+    const REPS: usize = 7;
+    let cases: Vec<(mrw_graph::Graph, Vec<usize>)> = vec![
+        (generators::cycle(1 << 14), vec![256]),
+        (generators::torus_2d(256), vec![256, 1024]),
+        (generators::barbell(201), vec![256]),
+    ];
+    let mut rows = Vec::new();
+    for (g, ks) in &cases {
+        for &k in ks {
+            let scalar = engine_ns_per_step(g, k, BatchMode::Never, ROUNDS, REPS);
+            let batched = engine_ns_per_step(g, k, BatchMode::Always, ROUNDS, REPS);
+            let speedup = scalar / batched;
+            println!(
+                "engine_batched_vs_scalar/{}/k={k}     scalar {scalar:.2} ns/step  \
+                 batched {batched:.2} ns/step  speedup {speedup:.2}x",
+                g.name()
+            );
+            rows.push(format!(
+                "    {{\"graph\": \"{}\", \"k\": {k}, \"scalar_ns_per_step\": {scalar:.3}, \
+                 \"batched_ns_per_step\": {batched:.3}, \"speedup\": {speedup:.3}}}",
+                g.name()
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"engine_batched_vs_scalar\",\n  \"unit\": \"ns_per_step\",\n  \
+         \"rounds\": {ROUNDS},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = std::env::var("BENCH_ENGINE_JSON").unwrap_or_else(|_| {
+        // crates/bench/../../ == the workspace root.
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_step_throughput,
     bench_trial_scaling,
     bench_pool_dispatch,
-    bench_unified_engine_ablation
+    bench_unified_engine_ablation,
+    bench_batched_vs_scalar
 );
 criterion_main!(benches);

@@ -34,6 +34,9 @@ options:
   --trials N      override Monte-Carlo trials per estimate
   --seed S        override the master seed
   --threads T     override worker-thread count
+  --batch         force the engine's batched stepping sweep at any k
+  --no-batch      force the scalar stepping loop (legacy seeded streams)
+                  (default: auto - batch k >= 64 round-synchronous walks)
   --format F      output format: ascii (default) | markdown | csv";
 
 /// Output format for tables.
@@ -60,6 +63,10 @@ pub struct Options {
     pub seed: Option<u64>,
     /// `--threads T`.
     pub threads: Option<usize>,
+    /// `--batch` (`Some(true)`) / `--no-batch` (`Some(false)`); `None`
+    /// keeps the engine's automatic selection. When both are passed, the
+    /// last one wins (conventional override order).
+    pub batch: Option<bool>,
     /// `--format F`.
     pub format: Format,
 }
@@ -75,11 +82,14 @@ impl Options {
             trials: None,
             seed: None,
             threads: None,
+            batch: None,
             format: Format::Ascii,
         };
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
+                "--batch" => opts.batch = Some(true),
+                "--no-batch" => opts.batch = Some(false),
                 "--trials" => {
                     let v = it.next().ok_or("--trials needs a value")?;
                     opts.trials = Some(v.parse().map_err(|_| format!("bad --trials '{v}'"))?);
@@ -127,6 +137,18 @@ mod tests {
         assert!(!o.quick);
         assert_eq!(o.format, Format::Ascii);
         assert_eq!(o.trials, None);
+        assert_eq!(o.batch, None);
+    }
+
+    #[test]
+    fn batch_flags() {
+        assert_eq!(parse(&["x", "--batch"]).unwrap().batch, Some(true));
+        assert_eq!(parse(&["x", "--no-batch"]).unwrap().batch, Some(false));
+        // Last one wins.
+        assert_eq!(
+            parse(&["x", "--batch", "--no-batch"]).unwrap().batch,
+            Some(false)
+        );
     }
 
     #[test]

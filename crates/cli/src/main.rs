@@ -58,6 +58,13 @@ fn apply_overrides(b: &mut Budget, opts: &Options) {
     if let Some(t) = opts.threads {
         b.threads = t;
     }
+    if let Some(batch) = opts.batch {
+        b.batch = if batch {
+            mrw_core::BatchMode::Always
+        } else {
+            mrw_core::BatchMode::Never
+        };
+    }
 }
 
 fn budget(opts: &Options) -> Budget {
@@ -66,15 +73,7 @@ fn budget(opts: &Options) -> Budget {
     } else {
         Budget::default()
     };
-    if let Some(t) = opts.trials {
-        b.trials = t;
-    }
-    if let Some(s) = opts.seed {
-        b.seed = s;
-    }
-    if let Some(t) = opts.threads {
-        b.threads = t;
-    }
+    apply_overrides(&mut b, opts);
     b
 }
 

@@ -28,6 +28,60 @@
 //! [`coverage`](crate::coverage) are thin shims over this engine and keep
 //! their exact pre-refactor signatures.
 //!
+//! ## Batched vs scalar stepping
+//!
+//! The engine owns two inner loops and picks between them per run:
+//!
+//! * **Scalar** — tokens advance one at a time in index order, one RNG
+//!   draw sequence per token per round. This is the legacy stream the
+//!   equivalence suite pins bit-for-bit.
+//! * **Batched** — each round, *one* word of the master stream is
+//!   expanded into a whole block of per-token draws through a
+//!   counter-mode `SplitMix64` (no loop-carried multiply chain, so the
+//!   core overlaps many tokens' draws where xoshiro serializes them), and
+//!   the tokens are swept in one tight pass with the per-step kernel
+//!   consuming pre-drawn words through [`Process::step_bits`]. Row access
+//!   is specialized per run: on a regular graph (cycle, torus, hypercube,
+//!   clique — every Table 1 family) the CSR row of `v` is addressed
+//!   directly as `adjacency[v·d..(v+1)·d]` with **zero** offset loads and
+//!   the degree hoisted out of the loop; irregular graphs go through
+//!   [`Graph::neighbors_unchecked`], which still elides the redundant
+//!   bound checks of `neighbors()`.
+//!
+//! An earlier sorted-bucket design (re-sort tokens by vertex each round,
+//! one row fetch and RNG block per co-located bucket) was measured and
+//! rejected: on every hostable graph size the per-round sort costs
+//! 5–30 ns/token (insertion on the nearly-sorted carried-over order, or
+//! `O(k log k)` pdqsort) against a ~2.3 ns scalar step, a 2–10× *loss*;
+//! co-location is also rare outside the first rounds of a same-start run
+//! (`k ≪ n` makes buckets singletons). The counter-expansion sweep keeps
+//! the batching wins that survive measurement — block RNG, hoisted
+//! degree/bounds logic, branch-free row addressing — without paying for
+//! an ordering the access pattern cannot exploit.
+//!
+//! Selection is governed by [`BatchMode`] ([`Engine::batch`]):
+//! the default [`BatchMode::Auto`] batches only when **all** of
+//!
+//! 1. the discipline is [`Discipline::RoundSynchronous`] (the interleaved
+//!    discipline checks its stopping rule after every *step*, which a
+//!    batched sweep cannot honor),
+//! 2. the process has a batched kernel
+//!    ([`Process::bits_per_step`] is `Some` — true for [`SimpleStep`] and
+//!    every [`CompiledProcess`], false for the uncached
+//!    [`WalkProcess`](crate::process::WalkProcess) reference), and
+//! 3. `k ≥` [`BATCH_AUTO_MIN_K`] tokens (below that the per-round
+//!    block-expansion bookkeeping is not worth routing off the pinned
+//!    legacy stream),
+//!
+//! hold. [`BatchMode::Never`] forces the scalar loop (the CLI's
+//! `--no-batch`); [`BatchMode::Always`] lifts the `k` threshold but still
+//! yields to conditions 1–2. The batched path consumes the RNG stream
+//! differently from the scalar path (counter-expanded `u64` blocks
+//! instead of per-token master-stream draws), so seeded results differ
+//! between the two paths; the *law* of every process is unchanged
+//! (KS-tested below). Trial fan-outs reuse an [`EngineArena`] via
+//! [`Engine::run_with`] so a warmed-up trial performs no heap allocation.
+//!
 //! ## Determinism contract
 //!
 //! For [`SimpleStep`] (and `CompiledProcess::Simple`) the engine consumes
@@ -71,6 +125,53 @@ pub enum Discipline {
 pub trait Process {
     /// Advances one token by one step.
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32;
+
+    /// Uniform `u64` words consumed per token by [`step_bits`]
+    /// (`Self::step_bits`), or `None` when the process has only a scalar
+    /// kernel (the engine then keeps the scalar loop even when batching is
+    /// requested). Currently `Some(1)` or `Some(2)`.
+    fn bits_per_step(&self) -> Option<usize> {
+        None
+    }
+
+    /// Advances one token using pre-drawn uniform words instead of the
+    /// RNG — the batched-sweep kernel. `row` is the CSR neighbor row of
+    /// `pos`, fetched by the engine with the per-shape fast path (direct
+    /// regular-row addressing or `neighbors_unchecked`); `b0`/`b1` are
+    /// the token's words from the round's counter-expanded draw block
+    /// (`b1` is garbage when [`bits_per_step`](Self::bits_per_step) is
+    /// `Some(1)`).
+    ///
+    /// Only called when `bits_per_step` returns `Some`; the default
+    /// panics so a scalar-only process that is accidentally routed here
+    /// fails loudly instead of stepping wrong.
+    fn step_bits(&mut self, row: &[u32], pos: u32, b0: u64, b1: u64) -> u32 {
+        let _ = (row, pos, b0, b1);
+        unreachable!("process advertises no batched kernel (bits_per_step() == None)")
+    }
+}
+
+/// Uniform pick from a neighbor row using 64 pre-drawn bits: a mask on
+/// power-of-two rows (the predictable common case — torus, hypercube,
+/// cycle), else Lemire's widening-multiply map (uniform up to `2⁻⁶⁴`
+/// bias).
+#[inline]
+fn pick(row: &[u32], bits: u64) -> u32 {
+    let d = row.len();
+    debug_assert!(d > 0, "walk stuck at isolated vertex");
+    if d.is_power_of_two() {
+        row[(bits & (d as u64 - 1)) as usize]
+    } else {
+        row[((bits as u128 * d as u128) >> 64) as usize]
+    }
+}
+
+/// `[0,1)` float from 64 pre-drawn bits — same mapping as the vendored
+/// `Standard` distribution, so batched acceptance tests agree in law with
+/// their scalar `rng.gen::<f64>()` counterparts.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// The paper's simple random walk: uniform over neighbors, stateless.
@@ -81,6 +182,16 @@ impl Process for SimpleStep {
     #[inline]
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32 {
         step(g, pos, rng)
+    }
+
+    #[inline]
+    fn bits_per_step(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    #[inline]
+    fn step_bits(&mut self, row: &[u32], _pos: u32, b0: u64, _b1: u64) -> u32 {
+        pick(row, b0)
     }
 }
 
@@ -138,6 +249,9 @@ impl CompiledProcess {
 /// The uncached reference kernel: every call re-derives hold/acceptance
 /// state. Kept for ablations and as the semantic ground truth the cached
 /// [`CompiledProcess`] is tested against; engine users should compile.
+/// Deliberately scalar-only (`bits_per_step` stays `None`): the reference
+/// must never be silently routed onto the batched path it is meant to
+/// check.
 impl Process for WalkProcess {
     #[inline]
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32 {
@@ -165,6 +279,44 @@ impl Process for CompiledProcess {
                 let dv = deg[pos as usize];
                 let du = deg[proposal as usize];
                 if du <= dv || rng.gen::<f64>() < dv * inv_deg[proposal as usize] {
+                    proposal
+                } else {
+                    pos
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn bits_per_step(&self) -> Option<usize> {
+        Some(match self {
+            CompiledProcess::Simple => 1,
+            // One word decides the hold / proposal, one the move / accept.
+            CompiledProcess::Lazy { .. } | CompiledProcess::Metropolis { .. } => 2,
+        })
+    }
+
+    #[inline]
+    fn step_bits(&mut self, row: &[u32], pos: u32, b0: u64, b1: u64) -> u32 {
+        match self {
+            CompiledProcess::Simple => pick(row, b0),
+            // The hold decision reuses the Bernoulli threshold compiled
+            // once in `CompiledProcess::new` — never re-derived per step.
+            CompiledProcess::Lazy { hold } => {
+                if hold.sample_bits(b0) {
+                    pos
+                } else {
+                    pick(row, b1)
+                }
+            }
+            CompiledProcess::Metropolis { deg, inv_deg } => {
+                let proposal = pick(row, b0);
+                if proposal == pos {
+                    return pos; // self-loop proposal: always "accepted"
+                }
+                let dv = deg[pos as usize];
+                let du = deg[proposal as usize];
+                if du <= dv || unit_f64(b1) < dv * inv_deg[proposal as usize] {
                     proposal
                 } else {
                     pos
@@ -216,6 +368,32 @@ impl Observer for () {
     }
 }
 
+/// Forwarding impl so an engine can borrow its observer instead of owning
+/// it — the zero-alloc trial pattern: a worker keeps one reusable observer
+/// (e.g. a [`FullCover`] reset between trials) alongside its
+/// [`EngineArena`] and lends it to each run.
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn visit(&mut self, token: usize, v: u32) {
+        (**self).visit(token, v);
+    }
+
+    #[inline]
+    fn done(&self) -> bool {
+        (**self).done()
+    }
+
+    #[inline]
+    fn placed(&mut self, g: &Graph, positions: &[u32]) {
+        (**self).placed(g, positions);
+    }
+
+    #[inline]
+    fn end_round<R: Rng + ?Sized>(&mut self, g: &Graph, positions: &[u32], rng: &mut R) -> bool {
+        (**self).end_round(g, positions, rng)
+    }
+}
+
 /// The result of an [`Engine`] run.
 #[derive(Debug, Clone)]
 pub struct Outcome<O> {
@@ -230,6 +408,75 @@ pub struct Outcome<O> {
     pub positions: Vec<u32>,
     /// The observer, carrying whatever statistics it accumulated.
     pub observer: O,
+}
+
+/// The result of an [`Engine::run_with`] run: like [`Outcome`] but without
+/// the owned position vector — final positions stay in the arena
+/// ([`EngineArena::positions`]), so a trial returns nothing heap-allocated.
+#[derive(Debug, Clone)]
+pub struct ArenaOutcome<O> {
+    /// Rounds elapsed when the run ended (see [`Outcome::rounds`]).
+    pub rounds: u64,
+    /// `true` when the stopping rule fired (see [`Outcome::stopped`]).
+    pub stopped: bool,
+    /// The observer, carrying whatever statistics it accumulated.
+    pub observer: O,
+}
+
+/// When the engine routes a run onto the batched stepping sweep.
+///
+/// Whatever the mode, batching additionally requires a round-synchronous
+/// discipline and a process with a batched kernel
+/// ([`Process::bits_per_step`]` != None`) — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Batch when profitable: `k ≥` [`BATCH_AUTO_MIN_K`] tokens (below
+    /// that, staying on the pinned legacy stream costs nothing, so small
+    /// runs keep bit-for-bit seed compatibility for free).
+    #[default]
+    Auto,
+    /// Always keep the scalar loop (the CLI's `--no-batch`; also the mode
+    /// that preserves legacy seeded streams at any `k`).
+    Never,
+    /// Batch at any `k` the discipline and process allow (the CLI's
+    /// `--batch`; also how tests exercise the sweep at small `k`).
+    Always,
+}
+
+/// Token count at which [`BatchMode::Auto`] switches to the batched sweep.
+pub const BATCH_AUTO_MIN_K: usize = 64;
+
+/// Reusable engine buffers — today the token position vector; the one
+/// growable allocation the stepping loop touches (per-round draw blocks
+/// are expanded from a counter in registers, not buffered).
+///
+/// Allocated once per worker (the estimators do this through
+/// [`mrw_par::par_map_with`]) and handed to every [`Engine::run_with`]
+/// call; after the first run at a given `k` no further heap allocation
+/// happens in the stepping loop. Each run fully re-initializes the buffers
+/// it reads, so outcomes are byte-identical to a fresh engine regardless
+/// of what previous runs left behind (property-tested in
+/// `tests/engine_arena.rs`). Observer-side state (visited bitsets, tally
+/// buffers) lives in the observers themselves; reuse those by lending
+/// `&mut observer` to the engine and calling e.g. [`FullCover::reset`]
+/// between trials.
+#[derive(Debug, Clone, Default)]
+pub struct EngineArena {
+    /// Current token positions (`pos[token]`).
+    pos: Vec<u32>,
+}
+
+impl EngineArena {
+    /// An empty arena; buffers grow on first use and are then retained.
+    pub fn new() -> Self {
+        EngineArena::default()
+    }
+
+    /// Final token positions of the last [`Engine::run_with`] on this
+    /// arena (token `i` at index `i`).
+    pub fn positions(&self) -> &[u32] {
+        &self.pos
+    }
 }
 
 /// The unified k-token stepping loop.
@@ -252,11 +499,13 @@ pub struct Engine<'g, P, O> {
     observer: O,
     discipline: Discipline,
     cap: Option<u64>,
+    batch: BatchMode,
 }
 
 impl<'g, P: Process, O: Observer> Engine<'g, P, O> {
     /// An engine on `g` with the default discipline
-    /// ([`Discipline::RoundSynchronous`]) and no round cap.
+    /// ([`Discipline::RoundSynchronous`]), no round cap, and
+    /// [`BatchMode::Auto`] path selection.
     pub fn new(g: &'g Graph, process: P, observer: O) -> Self {
         Engine {
             g,
@@ -264,6 +513,7 @@ impl<'g, P: Process, O: Observer> Engine<'g, P, O> {
             observer,
             discipline: Discipline::RoundSynchronous,
             cap: None,
+            batch: BatchMode::Auto,
         }
     }
 
@@ -280,73 +530,203 @@ impl<'g, P: Process, O: Observer> Engine<'g, P, O> {
         self
     }
 
+    /// Sets the batched-vs-scalar path selection (see the module docs).
+    pub fn batch(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
+        self
+    }
+
     /// Runs the loop from `starts` (token `i` starts at `starts[i]`).
     ///
     /// # Panics
     /// If `starts` is empty or any start is out of range.
     pub fn run<R: Rng + ?Sized>(mut self, starts: &[u32], rng: &mut R) -> Outcome<O> {
+        let mut arena = EngineArena::new();
+        let (rounds, stopped) = self.drive(starts, rng, &mut arena);
+        Outcome {
+            rounds,
+            stopped,
+            positions: arena.pos,
+            observer: self.observer,
+        }
+    }
+
+    /// Like [`run`](Self::run), reusing `arena`'s buffers: after the first
+    /// run at a given token count the stepping loop performs no heap
+    /// allocation (asserted by the counting-allocator test
+    /// `tests/zero_alloc.rs`). Final positions are left in
+    /// [`EngineArena::positions`] instead of being returned.
+    ///
+    /// # Panics
+    /// If `starts` is empty or any start is out of range.
+    pub fn run_with<R: Rng + ?Sized>(
+        mut self,
+        starts: &[u32],
+        rng: &mut R,
+        arena: &mut EngineArena,
+    ) -> ArenaOutcome<O> {
+        let (rounds, stopped) = self.drive(starts, rng, arena);
+        ArenaOutcome {
+            rounds,
+            stopped,
+            observer: self.observer,
+        }
+    }
+
+    /// The shared driver: places tokens, selects a path, runs to the
+    /// stopping rule or cap. Returns `(rounds, stopped)`; final positions
+    /// are in `arena.pos`.
+    fn drive<R: Rng + ?Sized>(
+        &mut self,
+        starts: &[u32],
+        rng: &mut R,
+        arena: &mut EngineArena,
+    ) -> (u64, bool) {
         assert!(!starts.is_empty(), "need at least one walk");
         for &s in starts {
             assert!((s as usize) < self.g.n(), "start {s} out of range");
         }
 
-        let mut pos: Vec<u32> = starts.to_vec();
+        arena.pos.clear();
+        arena.pos.extend_from_slice(starts);
         for (token, &s) in starts.iter().enumerate() {
             self.observer.visit(token, s);
         }
-        self.observer.placed(self.g, &pos);
+        self.observer.placed(self.g, &arena.pos);
         if self.observer.done() {
-            return self.finish(0, true, pos);
+            return (0, true);
         }
 
-        match self.discipline {
-            Discipline::RoundSynchronous => {
-                let mut rounds = 0u64;
-                loop {
-                    if Some(rounds) == self.cap {
-                        return self.finish(rounds, false, pos);
-                    }
-                    rounds += 1;
-                    for (token, p) in pos.iter_mut().enumerate() {
-                        *p = self.process.step(self.g, *p, rng);
-                        self.observer.visit(token, *p);
-                    }
-                    if self.observer.end_round(self.g, &pos, rng) {
-                        return self.finish(rounds, true, pos);
-                    }
+        let batched_bits = match (self.discipline, self.batch) {
+            (Discipline::Interleaved, _) | (_, BatchMode::Never) => None,
+            (Discipline::RoundSynchronous, BatchMode::Always) => self.process.bits_per_step(),
+            (Discipline::RoundSynchronous, BatchMode::Auto) => {
+                if starts.len() >= BATCH_AUTO_MIN_K {
+                    self.process.bits_per_step()
+                } else {
+                    None
                 }
             }
-            Discipline::Interleaved => {
-                let k = pos.len() as u64;
-                let mut rounds = 0u64;
-                let mut steps = 0u64;
-                loop {
-                    if Some(rounds) == self.cap {
-                        return self.finish(rounds, false, pos);
-                    }
-                    for token in 0..pos.len() {
-                        pos[token] = self.process.step(self.g, pos[token], rng);
-                        steps += 1;
-                        self.observer.visit(token, pos[token]);
-                        if self.observer.done() {
-                            return self.finish(steps.div_ceil(k), true, pos);
-                        }
-                    }
-                    rounds += 1;
-                    if self.observer.end_round(self.g, &pos, rng) {
-                        return self.finish(rounds, true, pos);
-                    }
-                }
+        };
+
+        match self.discipline {
+            Discipline::RoundSynchronous => match batched_bits {
+                Some(bpt) => self.drive_batched(rng, arena, bpt),
+                None => self.drive_scalar_sync(rng, arena),
+            },
+            Discipline::Interleaved => self.drive_interleaved(rng, arena),
+        }
+    }
+
+    /// The legacy scalar round-synchronous loop — bit-for-bit the seed's
+    /// RNG stream (pinned by `tests/engine_equivalence.rs`).
+    fn drive_scalar_sync<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        arena: &mut EngineArena,
+    ) -> (u64, bool) {
+        let mut rounds = 0u64;
+        loop {
+            if Some(rounds) == self.cap {
+                return (rounds, false);
+            }
+            rounds += 1;
+            for (token, p) in arena.pos.iter_mut().enumerate() {
+                *p = self.process.step(self.g, *p, rng);
+                self.observer.visit(token, *p);
+            }
+            if self.observer.end_round(self.g, &arena.pos, rng) {
+                return (rounds, true);
             }
         }
     }
 
-    fn finish(self, rounds: u64, stopped: bool, positions: Vec<u32>) -> Outcome<O> {
-        Outcome {
-            rounds,
-            stopped,
-            positions,
-            observer: self.observer,
+    /// The batched counter-expansion sweep: per round, draw **one** word
+    /// of the master stream and expand it into per-token draws through a
+    /// counter-mode `SplitMix64` block RNG, then step every token in one
+    /// tight pass through [`Process::step_bits`] with the row access
+    /// specialized for the graph's shape (regular rows addressed directly,
+    /// no offset loads).
+    fn drive_batched<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        arena: &mut EngineArena,
+        bpt: usize,
+    ) -> (u64, bool) {
+        use rand::rngs::SplitMix64;
+        use rand::{RngCore, SeedableRng};
+
+        let g = self.g;
+        let adj = g.adjacency();
+        // Regular graphs with non-empty rows take the direct-row path;
+        // `d = 0` (edgeless) would only arise alongside an isolated-vertex
+        // walk, which the scalar path also rejects (debug) — route it to
+        // the general accessor so the panic surfaces there.
+        let regular = g.regular_degree().filter(|&d| d > 0);
+
+        let mut rounds = 0u64;
+        loop {
+            if Some(rounds) == self.cap {
+                return (rounds, false);
+            }
+            rounds += 1;
+            let mut block = SplitMix64::seed_from_u64(rng.next_u64());
+            match regular {
+                Some(d) => {
+                    for (token, p) in arena.pos.iter_mut().enumerate() {
+                        let b0 = block.next_u64();
+                        let b1 = if bpt == 2 { block.next_u64() } else { 0 };
+                        let start = *p as usize * d;
+                        let next = self.process.step_bits(&adj[start..start + d], *p, b0, b1);
+                        *p = next;
+                        self.observer.visit(token, next);
+                    }
+                }
+                None => {
+                    for (token, p) in arena.pos.iter_mut().enumerate() {
+                        let b0 = block.next_u64();
+                        let b1 = if bpt == 2 { block.next_u64() } else { 0 };
+                        let next = self
+                            .process
+                            .step_bits(g.neighbors_unchecked(*p), *p, b0, b1);
+                        *p = next;
+                        self.observer.visit(token, next);
+                    }
+                }
+            }
+            if self.observer.end_round(g, &arena.pos, rng) {
+                return (rounds, true);
+            }
+        }
+    }
+
+    /// The interleaved loop (always scalar: its stopping rule is checked
+    /// after every step, which a whole-round batched sweep cannot honor).
+    fn drive_interleaved<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        arena: &mut EngineArena,
+    ) -> (u64, bool) {
+        let pos = &mut arena.pos;
+        let k = pos.len() as u64;
+        let mut rounds = 0u64;
+        let mut steps = 0u64;
+        loop {
+            if Some(rounds) == self.cap {
+                return (rounds, false);
+            }
+            for (token, p) in pos.iter_mut().enumerate() {
+                *p = self.process.step(self.g, *p, rng);
+                steps += 1;
+                self.observer.visit(token, *p);
+                if self.observer.done() {
+                    return (steps.div_ceil(k), true);
+                }
+            }
+            rounds += 1;
+            if self.observer.end_round(self.g, pos, rng) {
+                return (rounds, true);
+            }
         }
     }
 }
@@ -375,6 +755,23 @@ impl FullCover {
     /// Vertices not yet visited.
     pub fn remaining(&self) -> usize {
         self.remaining
+    }
+
+    /// Resets to "nothing visited over `n` vertices", reusing the bitset
+    /// allocation when the universe size is unchanged — the zero-alloc
+    /// trial-reuse hook (estimator workers keep one `FullCover` per
+    /// worker and reset it between trials).
+    ///
+    /// # Panics
+    /// If `n == 0`.
+    pub fn reset(&mut self, n: usize) {
+        assert!(n > 0, "cover time of the empty graph");
+        if self.visited.len() == n {
+            self.visited.clear();
+        } else {
+            self.visited = NodeBitSet::new(n);
+        }
+        self.remaining = n;
     }
 
     /// The visited set (for observers layering extra statistics on top).
@@ -936,6 +1333,214 @@ mod tests {
         let out = Engine::new(&g, SimpleStep, Meeting::new()).run(&[3, 3], &mut walk_rng(0));
         assert!(out.stopped);
         assert_eq!(out.rounds, 0);
+    }
+
+    // -- batched path ------------------------------------------------------
+
+    /// Cover-time samples from the batched sweep vs the scalar loop.
+    fn cover_samples(
+        g: &mrw_graph::Graph,
+        process: WalkProcess,
+        k: usize,
+        batch: BatchMode,
+        seed0: u64,
+        trials: u64,
+    ) -> Vec<f64> {
+        let starts = vec![0u32; k];
+        (0..trials)
+            .map(|t| {
+                Engine::new(g, CompiledProcess::new(process, g), FullCover::new(g.n()))
+                    .batch(batch)
+                    .run(&starts, &mut walk_rng(seed0 + t))
+                    .rounds as f64
+            })
+            .collect()
+    }
+
+    fn assert_batched_law_matches_scalar(g: &mrw_graph::Graph, process: WalkProcess, k: usize) {
+        let trials = 300;
+        let batched = cover_samples(g, process, k, BatchMode::Always, 1_000, trials);
+        let scalar = cover_samples(g, process, k, BatchMode::Never, 500_000, trials);
+        let ks = ks_two_sample(&batched, &scalar);
+        assert!(
+            !ks.rejects_at(0.01),
+            "{} batched law diverged on {}: D = {}, p = {}",
+            process.label(),
+            g.name(),
+            ks.statistic,
+            ks.p_value
+        );
+    }
+
+    #[test]
+    fn batched_simple_matches_scalar_in_law() {
+        assert_batched_law_matches_scalar(&generators::torus_2d(6), WalkProcess::Simple, 4);
+    }
+
+    #[test]
+    fn batched_simple_matches_scalar_in_law_irregular() {
+        // Odd degrees (barbell: 1, 2, and bell-interior) exercise the
+        // Lemire pick against the scalar path's rejection/mask sampling.
+        assert_batched_law_matches_scalar(&generators::barbell(13), WalkProcess::Simple, 3);
+    }
+
+    #[test]
+    fn batched_lazy_matches_scalar_in_law() {
+        assert_batched_law_matches_scalar(&generators::cycle(16), WalkProcess::Lazy(0.5), 2);
+    }
+
+    #[test]
+    fn batched_metropolis_matches_scalar_in_law() {
+        assert_batched_law_matches_scalar(&generators::lollipop(14), WalkProcess::Metropolis, 2);
+    }
+
+    #[test]
+    fn auto_batches_exactly_at_threshold() {
+        let g = generators::torus_2d(5);
+        let run = |k: usize, batch: BatchMode, seed: u64| {
+            let starts = vec![0u32; k];
+            Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+                .batch(batch)
+                .run(&starts, &mut walk_rng(seed))
+        };
+        // At k = BATCH_AUTO_MIN_K, Auto consumes the Always stream...
+        let k = BATCH_AUTO_MIN_K;
+        let auto = run(k, BatchMode::Auto, 3);
+        let always = run(k, BatchMode::Always, 3);
+        assert_eq!(auto.rounds, always.rounds);
+        assert_eq!(auto.positions, always.positions);
+        // ...and one token below it, the Never stream.
+        let auto = run(k - 1, BatchMode::Auto, 3);
+        let never = run(k - 1, BatchMode::Never, 3);
+        assert_eq!(auto.rounds, never.rounds);
+        assert_eq!(auto.positions, never.positions);
+    }
+
+    #[test]
+    fn batched_deterministic_per_seed() {
+        let g = generators::hypercube(5);
+        let starts = vec![0u32; 7];
+        let run = || {
+            Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+                .batch(BatchMode::Always)
+                .run(&starts, &mut walk_rng(11))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn interleaved_discipline_never_batches() {
+        // BatchMode::Always must yield to the discipline: per-step
+        // stopping checks are incompatible with a whole-round sweep.
+        let g = generators::torus_2d(5);
+        let starts = vec![0u32; 6];
+        let run = |batch: BatchMode| {
+            Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+                .discipline(Discipline::Interleaved)
+                .batch(batch)
+                .run(&starts, &mut walk_rng(21))
+        };
+        let forced = run(BatchMode::Always);
+        let never = run(BatchMode::Never);
+        assert_eq!(forced.rounds, never.rounds);
+        assert_eq!(forced.positions, never.positions);
+    }
+
+    #[test]
+    fn scalar_only_process_never_batches() {
+        // The uncached WalkProcess reference has no batched kernel; even
+        // BatchMode::Always must keep it on the scalar loop (same stream).
+        let g = generators::cycle(12);
+        let starts = vec![0u32; 4];
+        let forced = Engine::new(&g, WalkProcess::Lazy(0.3), FullCover::new(g.n()))
+            .batch(BatchMode::Always)
+            .run(&starts, &mut walk_rng(5));
+        let never = Engine::new(&g, WalkProcess::Lazy(0.3), FullCover::new(g.n()))
+            .batch(BatchMode::Never)
+            .run(&starts, &mut walk_rng(5));
+        assert_eq!(forced.rounds, never.rounds);
+        assert_eq!(forced.positions, never.positions);
+    }
+
+    #[test]
+    fn batched_pursuit_prey_stream_stable() {
+        // The prey draws from the same RNG after the hunters each round;
+        // the batched path must keep that interleaving deterministic.
+        let g = generators::torus_2d(6);
+        let run = || {
+            Engine::new(&g, SimpleStep, Pursuit::new(20, PreyMove::RandomWalk))
+                .batch(BatchMode::Always)
+                .cap(100_000)
+                .run(&[0; 8], &mut walk_rng(9))
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.stopped, b.stopped);
+        assert!(a.stopped, "8 hunters on a 36-torus must catch the prey");
+    }
+
+    #[test]
+    fn run_with_matches_run_on_both_paths() {
+        let g = generators::torus_2d(5);
+        let starts = vec![0u32; 5];
+        for batch in [BatchMode::Never, BatchMode::Always] {
+            let owned = Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+                .batch(batch)
+                .run(&starts, &mut walk_rng(17));
+            let mut arena = EngineArena::new();
+            let lent = Engine::new(&g, SimpleStep, FullCover::new(g.n()))
+                .batch(batch)
+                .run_with(&starts, &mut walk_rng(17), &mut arena);
+            assert_eq!(owned.rounds, lent.rounds, "{batch:?}");
+            assert_eq!(owned.stopped, lent.stopped, "{batch:?}");
+            assert_eq!(owned.positions, arena.positions(), "{batch:?}");
+        }
+    }
+
+    #[test]
+    fn full_cover_reset_equals_fresh() {
+        let mut reused = FullCover::new(9);
+        for v in [0u32, 3, 8] {
+            reused.visit(0, v);
+        }
+        reused.reset(9);
+        let fresh = FullCover::new(9);
+        assert_eq!(reused.remaining(), fresh.remaining());
+        assert_eq!(reused.visited(), fresh.visited());
+        // Resizing reset also works.
+        reused.reset(4);
+        assert_eq!(reused.remaining(), 4);
+        assert_eq!(reused.visited().len(), 4);
+    }
+
+    #[test]
+    fn batched_regular_and_irregular_rows_agree_with_neighbors() {
+        // The direct-row fast path (regular graphs) and the general
+        // accessor must produce legal moves everywhere: every batched
+        // step lands on a neighbor of the previous position.
+        for g in [generators::torus_2d(4), generators::barbell(11)] {
+            let starts = vec![0u32; 5];
+            let mut arena = EngineArena::new();
+            let mut prev = starts.clone();
+            for round in 0..50u64 {
+                let _ = Engine::new(&g, SimpleStep, ())
+                    .batch(BatchMode::Always)
+                    .cap(round)
+                    .run_with(&starts, &mut walk_rng(3), &mut arena);
+                for (a, b) in prev.iter().zip(arena.positions()) {
+                    if round > 0 {
+                        assert!(
+                            g.has_edge(*a, *b),
+                            "{}: illegal batched move {a} -> {b}",
+                            g.name()
+                        );
+                    }
+                }
+                prev = arena.positions().to_vec();
+            }
+        }
     }
 
     #[test]

@@ -5,13 +5,21 @@
 //! RNG streams derived from the master seed by counter (never by thread),
 //! so an estimate is a pure function of `(graph, k, config)` regardless of
 //! the machine's core count.
+//!
+//! Each worker thread owns one [`TrialWorkspace`] — an
+//! [`EngineArena`] plus a reusable [`FullCover`] observer and start
+//! buffer — allocated once via [`mrw_par::par_map_with`] and
+//! reset-and-reused across the whole `(start × trial)` fan-out, so a trial
+//! after warmup performs zero heap allocations in the stepping loop
+//! (asserted by `tests/zero_alloc.rs`).
 
 use mrw_graph::{algo, Graph};
-use mrw_par::{par_map, SeedSequence};
+use mrw_par::{par_map_with, SeedSequence};
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::Summary;
 
-use crate::kwalk::{kwalk_cover_rounds_same_start, KWalkMode};
+use crate::engine::{BatchMode, Engine, EngineArena, FullCover, SimpleStep};
+use crate::kwalk::KWalkMode;
 use crate::walk::walk_rng;
 
 /// Configuration shared by all Monte-Carlo estimators.
@@ -27,10 +35,14 @@ pub struct EstimatorConfig {
     pub mode: KWalkMode,
     /// Confidence level for the reported interval.
     pub ci_level: f64,
+    /// Batched-vs-scalar engine path selection (default
+    /// [`BatchMode::Auto`]: batch at `k ≥ 64` round-synchronous walks).
+    pub batch: BatchMode,
 }
 
 impl EstimatorConfig {
-    /// `trials` trials, seed 0, all threads, round-synchronous, 95% CI.
+    /// `trials` trials, seed 0, all threads, round-synchronous, 95% CI,
+    /// automatic engine-path selection.
     pub fn new(trials: usize) -> Self {
         EstimatorConfig {
             trials,
@@ -38,6 +50,7 @@ impl EstimatorConfig {
             threads: mrw_par::available_threads(),
             mode: KWalkMode::RoundSynchronous,
             ci_level: 0.95,
+            batch: BatchMode::Auto,
         }
     }
 
@@ -58,6 +71,32 @@ impl EstimatorConfig {
     pub fn with_mode(mut self, mode: KWalkMode) -> Self {
         self.mode = mode;
         self
+    }
+
+    /// Sets the batched-vs-scalar engine path selection.
+    pub fn with_batch(mut self, batch: BatchMode) -> Self {
+        self.batch = batch;
+        self
+    }
+}
+
+/// Per-worker scratch state for the trial fan-out: engine buffers, a
+/// reusable cover observer, and the repeated-start vector. One of these is
+/// created per worker thread and reused for every trial that worker
+/// claims.
+struct TrialWorkspace {
+    arena: EngineArena,
+    cover: FullCover,
+    starts: Vec<u32>,
+}
+
+impl TrialWorkspace {
+    fn new(n: usize) -> Self {
+        TrialWorkspace {
+            arena: EngineArena::new(),
+            cover: FullCover::new(n),
+            starts: Vec::new(),
+        }
     }
 }
 
@@ -114,10 +153,21 @@ impl<'g> CoverTimeEstimator<'g> {
 
     /// One trial of the k-walk from `start`, on the stream every estimator
     /// entry point derives identically: `seed → child(start+1) → trial`.
-    fn sample(&self, start: u32, trial: usize) -> f64 {
+    /// Reuses `ws`'s buffers; the result is a pure function of
+    /// `(graph, k, config, start, trial)` regardless of which worker's
+    /// workspace serves the trial (scalar path: bit-for-bit the legacy
+    /// `kwalk_cover_rounds_same_start` stream).
+    fn sample(&self, ws: &mut TrialWorkspace, start: u32, trial: usize) -> f64 {
         let seq = SeedSequence::new(self.cfg.seed).child(start as u64 + 1);
         let mut rng = walk_rng(seq.seed_for(trial as u64));
-        kwalk_cover_rounds_same_start(self.g, start, self.k, self.cfg.mode, &mut rng) as f64
+        ws.starts.clear();
+        ws.starts.resize(self.k, start);
+        ws.cover.reset(self.g.n());
+        let out = Engine::new(self.g, SimpleStep, &mut ws.cover)
+            .discipline(self.cfg.mode)
+            .batch(self.cfg.batch)
+            .run_with(&ws.starts, &mut rng, &mut ws.arena);
+        out.rounds as f64
     }
 
     /// Estimates the paper's `C^k(G) = max_i C^k_i` over a set of candidate
@@ -153,15 +203,19 @@ impl<'g> CoverTimeEstimator<'g> {
     /// flat job set, so a worst-start search keeps every core busy even
     /// when `trials` alone is smaller than the machine. Each sample's RNG
     /// stream depends only on `(seed, start, trial)` — the estimates are
-    /// identical to probing each start separately.
+    /// identical to probing each start separately. Workers allocate one
+    /// [`TrialWorkspace`] each and reuse it across every trial they claim.
     pub fn run_from_each(&self, starts: &[u32]) -> Vec<CoverEstimate> {
         for &s in starts {
             assert!((s as usize) < self.g.n(), "start {s} out of range");
         }
         let trials = self.cfg.trials;
-        let samples: Vec<f64> = par_map(starts.len() * trials, self.cfg.threads, |job| {
-            self.sample(starts[job / trials], job % trials)
-        });
+        let samples: Vec<f64> = par_map_with(
+            starts.len() * trials,
+            self.cfg.threads,
+            || TrialWorkspace::new(self.g.n()),
+            |ws, job| self.sample(ws, starts[job / trials], job % trials),
+        );
         starts
             .iter()
             .zip(samples.chunks_exact(trials))
@@ -205,6 +259,47 @@ mod tests {
             assert_eq!(est.cover_time.min(), base.cover_time.min());
             assert_eq!(est.cover_time.max(), base.cover_time.max());
         }
+    }
+
+    #[test]
+    fn batched_estimates_deterministic_across_thread_counts() {
+        // k = 64 crosses the Auto threshold, so this exercises the batched
+        // sweep inside the worker-reused arenas.
+        let g = generators::cycle(24);
+        let cfg = |threads| EstimatorConfig::new(12).with_seed(9).with_threads(threads);
+        let base = CoverTimeEstimator::new(&g, 64, cfg(1)).run_from(0);
+        for threads in [2, 4, 8] {
+            let est = CoverTimeEstimator::new(&g, 64, cfg(threads)).run_from(0);
+            assert_eq!(est.cover_time.mean(), base.cover_time.mean());
+            assert_eq!(est.cover_time.min(), base.cover_time.min());
+            assert_eq!(est.cover_time.max(), base.cover_time.max());
+        }
+    }
+
+    #[test]
+    fn batch_mode_selects_engine_path() {
+        use crate::engine::BatchMode;
+        let g = generators::cycle(24);
+        let run = |batch| {
+            CoverTimeEstimator::new(
+                &g,
+                64,
+                EstimatorConfig::new(12).with_seed(9).with_batch(batch),
+            )
+            .run_from(0)
+        };
+        // Auto at k = 64 takes the batched stream; Never the scalar one.
+        // Same law, different draws — the samples differ with overwhelming
+        // probability, while each mode stays internally deterministic.
+        let auto = run(BatchMode::Auto);
+        let always = run(BatchMode::Always);
+        let never = run(BatchMode::Never);
+        assert_eq!(auto.cover_time.mean(), always.cover_time.mean());
+        assert_ne!(auto.cover_time.min(), never.cover_time.min());
+        assert_eq!(
+            never.cover_time.mean(),
+            run(BatchMode::Never).cover_time.mean()
+        );
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub struct Budget {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Engine path selection (`--batch` / `--no-batch`; default: batch
+    /// round-synchronous runs of `k ≥ 64` walks).
+    pub batch: crate::BatchMode,
 }
 
 impl Default for Budget {
@@ -75,6 +78,7 @@ impl Default for Budget {
             trials: 64,
             seed: 0x5EED,
             threads: mrw_par::available_threads(),
+            batch: crate::BatchMode::Auto,
         }
     }
 }
@@ -93,5 +97,6 @@ impl Budget {
         crate::EstimatorConfig::new(self.trials)
             .with_seed(self.seed)
             .with_threads(self.threads)
+            .with_batch(self.batch)
     }
 }

@@ -1,5 +1,12 @@
 //! The k-parallel-walk entry points — thin wrappers over the unified
-//! [`engine`](crate::engine) that preserve the original seeded streams.
+//! [`engine`](crate::engine) that preserve the original seeded streams
+//! for `k <` [`BATCH_AUTO_MIN_K`](crate::engine::BATCH_AUTO_MIN_K);
+//! larger round-synchronous fan-outs route onto the engine's batched
+//! bucket sweep, which draws the same walk *law* from a different RNG
+//! stream (see the engine's module docs). Construct an
+//! [`Engine`](crate::engine::Engine) directly with
+//! [`BatchMode::Never`](crate::engine::BatchMode) to pin the legacy
+//! stream at any `k`.
 //!
 //! §2.1 of the paper: `k` independent simple random walks all start at the
 //! same vertex at `t = 0`; `τ^k_i` is the first time every vertex has been

@@ -65,7 +65,10 @@ pub mod starts;
 pub mod visits;
 pub mod walk;
 
-pub use engine::{CompiledProcess, Discipline, Engine, Observer, Process, SimpleStep};
+pub use engine::{
+    BatchMode, CompiledProcess, Discipline, Engine, EngineArena, Observer, Process, SimpleStep,
+    BATCH_AUTO_MIN_K,
+};
 pub use estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
 pub use kwalk::{
     kwalk_cover_rounds, kwalk_cover_rounds_same_start, kwalk_covers_within, KWalkMode,

@@ -32,7 +32,13 @@
 //! degree-reciprocal tables for Metropolis acceptance. The lazy cache
 //! changes which RNG bits decide a hold, so seeded `Lazy` traces differ
 //! from the pre-engine seed implementation — an intentional change; the
-//! law is unchanged (KS-tested in `engine::tests`).
+//! law is unchanged (KS-tested in `engine::tests`). Compilation happens
+//! once per run (regression-pinned by `tests/zero_alloc.rs`), and every
+//! compiled kernel additionally carries a batched `step_bits` twin that
+//! consumes pre-drawn RNG blocks on the engine's bucket sweep — the
+//! cached Bernoulli threshold and reciprocal tables are reused there,
+//! never re-derived. `WalkProcess` itself stays scalar-only so the
+//! reference can never be routed onto the path it is meant to check.
 
 use mrw_graph::{algo, Graph};
 use rand::Rng;

@@ -18,6 +18,9 @@ pub struct Graph {
     adjacency: Vec<u32>,
     /// Number of undirected edges (self-loops count once).
     edges: usize,
+    /// `Some(d)` when every vertex has degree `d`, cached at construction
+    /// so the walk engine's regular-row fast path costs `O(1)` per run.
+    regular: Option<usize>,
     /// Human-readable family name, e.g. `"cycle(64)"`; used in tables.
     name: String,
 }
@@ -56,10 +59,19 @@ impl Graph {
                 }
             }
         }
+        let regular = if n == 0 {
+            None
+        } else {
+            let d = offsets[1] - offsets[0];
+            (1..n)
+                .all(|v| offsets[v + 1] - offsets[v] == d)
+                .then_some(d)
+        };
         let g = Graph {
             edges: (adjacency.len() - loops) / 2 + loops,
             offsets,
             adjacency,
+            regular,
             name,
         };
         // Symmetry: every directed arc must have its reverse.
@@ -116,6 +128,34 @@ impl Graph {
         self.adjacency[self.offsets[v as usize] + i]
     }
 
+    /// Sorted neighbor slice of `v` with a single up-front bound check.
+    ///
+    /// [`neighbors`](Self::neighbors) pays three redundant checks per call
+    /// (two offset indexings plus the adjacency range slice); this accessor
+    /// checks `v` once and then relies on the CSR invariants — validated
+    /// exhaustively at construction ([`from_csr`](Self::from_csr)):
+    /// `offsets.len() == n + 1`, offsets non-decreasing, and
+    /// `offsets[n] == adjacency.len()` — to elide the rest. The batched
+    /// engine sweep fetches every irregular-graph row through this (its
+    /// regular-graph path skips offsets entirely via
+    /// [`adjacency`](Self::adjacency)). A debug assert additionally
+    /// re-states the offsets invariant on the fetched window.
+    #[inline]
+    pub fn neighbors_unchecked(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        assert!(v < self.n(), "vertex {v} out of range");
+        // SAFETY: `v < n` was just checked, so `v + 1 <= n < offsets.len()`
+        // and both offset loads are in bounds; `from_csr` guarantees
+        // `s <= e <= adjacency.len()` for every consecutive offset pair.
+        #[allow(unsafe_code)]
+        unsafe {
+            let s = *self.offsets.get_unchecked(v);
+            let e = *self.offsets.get_unchecked(v + 1);
+            debug_assert!(s <= e && e <= self.adjacency.len());
+            self.adjacency.get_unchecked(s..e)
+        }
+    }
+
     /// Whether the undirected edge `{u, v}` exists (binary search).
     #[inline]
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
@@ -155,16 +195,20 @@ impl Graph {
     }
 
     /// True if every vertex has the same degree; returns that degree.
+    /// `O(1)`: cached at construction (the engine's batched sweep keys its
+    /// regular-row fast path off this every run).
+    #[inline]
     pub fn regular_degree(&self) -> Option<usize> {
-        if self.n() == 0 {
-            return None;
-        }
-        let d = self.degree(0);
-        if (1..self.n() as u32).all(|v| self.degree(v) == d) {
-            Some(d)
-        } else {
-            None
-        }
+        self.regular
+    }
+
+    /// The full CSR adjacency array: the concatenation of every sorted
+    /// neighbor row. On a [`regular`](Self::regular_degree) graph of
+    /// degree `d`, row `v` is `adjacency()[v*d .. (v+1)*d]` — the batched
+    /// sweep uses that identity to skip the offsets loads entirely.
+    #[inline]
+    pub fn adjacency(&self) -> &[u32] {
+        &self.adjacency
     }
 
     /// Sum of degrees (= arc count = `2m − loops`... exactly
@@ -218,6 +262,26 @@ mod tests {
         assert!(g.has_edge(1, 0));
         assert!(!g.has_edge(0, 0));
         assert_eq!(g.neighbor(0, 1), 2);
+    }
+
+    #[test]
+    fn neighbors_unchecked_matches_neighbors() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.add_edge(3, 3); // self-loop
+                          // vertices 4 and 5 isolated (empty rows, incl. the last row)
+        let g = b.build("mixed");
+        for v in 0..g.n() as u32 {
+            assert_eq!(g.neighbors_unchecked(v), g.neighbors(v), "row {v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn neighbors_unchecked_rejects_oob_vertex() {
+        let _ = triangle().neighbors_unchecked(3);
     }
 
     #[test]
@@ -282,5 +346,27 @@ mod tests {
     fn memory_accounting_positive() {
         let g = triangle();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn cached_regular_degree_matches_scan() {
+        let g = triangle();
+        assert_eq!(g.regular_degree(), Some(2));
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let path = b.build("path3");
+        assert_eq!(path.regular_degree(), None);
+        assert_eq!(GraphBuilder::new(0).build("empty").regular_degree(), None);
+    }
+
+    #[test]
+    fn adjacency_is_row_concatenation() {
+        let g = triangle();
+        assert_eq!(g.adjacency(), &[1, 2, 0, 2, 0, 1]);
+        let d = g.regular_degree().unwrap();
+        for v in 0..g.n() {
+            assert_eq!(&g.adjacency()[v * d..(v + 1) * d], g.neighbors(v as u32));
+        }
     }
 }

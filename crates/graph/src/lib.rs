@@ -20,7 +20,10 @@
 //! (the convention under which a clique-with-loops walk is exactly the
 //! coupon-collector process of the paper's Lemma 12).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one scoped exception is the CSR row-window
+// accessor (`Graph::neighbors_unchecked`), whose safety rests on the
+// construction-time CSR invariants — see the comment at its definition.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;

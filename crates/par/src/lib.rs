@@ -28,5 +28,5 @@ pub mod scope;
 pub mod seeds;
 
 pub use pool::ThreadPool;
-pub use scope::{available_threads, par_for_each, par_map, par_reduce};
+pub use scope::{available_threads, par_for_each, par_map, par_map_with, par_reduce};
 pub use seeds::SeedSequence;

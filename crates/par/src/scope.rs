@@ -46,13 +46,49 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    par_map_with(items, threads, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with a per-worker scratch workspace: each worker thread
+/// calls `init` exactly once, then threads its workspace mutably through
+/// every item it processes. This is how the walk estimators keep one
+/// `EngineArena` (position buffers, visited bitsets, RNG blocks) per
+/// worker and reuse it across the whole `(start × trial)` fan-out instead
+/// of reallocating per trial.
+///
+/// Determinism contract: which worker (and therefore which workspace
+/// instance) processes an item is scheduling-dependent, so `f`'s *result*
+/// must be a pure function of the index alone — the workspace is scratch
+/// memory, never a carrier of information between items. Results are
+/// returned in index order, as with [`par_map`].
+///
+/// ```
+/// let squares = mrw_par::par_map_with(
+///     5,
+///     2,
+///     || Vec::<u64>::new(),
+///     |scratch, i| {
+///         scratch.clear(); // reused allocation, same answer every time
+///         scratch.extend((0..=i as u64).map(|x| x * x));
+///         *scratch.last().unwrap()
+///     },
+/// );
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn par_map_with<S, R, I, F>(items: usize, threads: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
     assert!(threads >= 1, "need at least one thread");
     if items == 0 {
         return Vec::new();
     }
     let threads = threads.min(items);
     if threads == 1 {
-        return (0..items).map(f).collect();
+        let mut state = init();
+        return (0..items).map(|i| f(&mut state, i)).collect();
     }
     let chunk = default_chunk(items, threads);
     let cursor = AtomicUsize::new(0);
@@ -63,6 +99,7 @@ where
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
+                let mut state = init();
                 let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
@@ -72,7 +109,7 @@ where
                     let end = (start + chunk).min(items);
                     let mut out = Vec::with_capacity(end - start);
                     for i in start..end {
-                        out.push(f(i));
+                        out.push(f(&mut state, i));
                     }
                     local.push((start, out));
                 }
@@ -185,6 +222,37 @@ mod tests {
         // only if the host really has a single core.
         if available_threads() > 1 {
             assert!(ids.lock().unwrap().len() > 1, "work never parallelized");
+        }
+    }
+
+    #[test]
+    fn map_with_reuses_worker_state() {
+        // Count how many times `init` ran: at most once per worker.
+        let inits = AtomicU64::new(0);
+        let v = par_map_with(
+            100,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64 // scratch accumulator, never read into results
+            },
+            |scratch, i| {
+                *scratch += 1;
+                i * 3
+            },
+        );
+        assert_eq!(v, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        let ran = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&ran), "init ran {ran} times");
+    }
+
+    #[test]
+    fn map_with_matches_map_across_thread_counts() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e3779b97f4a7c15) >> 9;
+        let base = par_map(257, 1, f);
+        for threads in [1, 2, 3, 8] {
+            let got = par_map_with(257, threads, || (), |(), i| f(i));
+            assert_eq!(got, base, "threads={threads}");
         }
     }
 

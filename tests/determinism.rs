@@ -83,6 +83,7 @@ fn experiment_reports_reproducible() {
             trials: 16,
             seed: 21,
             threads: 4,
+            ..Budget::default()
         };
         clique::run(&cfg)
     };

@@ -67,6 +67,24 @@ pub trait Rng: RngCore {
             .expect("probability out of range")
             .sample(self)
     }
+
+    /// Fills `dst` with independent uniform 64-bit words, consuming the
+    /// stream exactly as `dst.len()` sequential [`RngCore::next_u64`]
+    /// calls would.
+    ///
+    /// Workspace extension: upstream `rand` spells bulk generation
+    /// `fill`/`fill_bytes` over byte slices; this typed variant avoids a
+    /// re-assembly loop at every call site. Note the walk engine's
+    /// batched sweep does **not** buffer blocks through this — it
+    /// expands draws in registers from a counter-mode
+    /// [`rngs::SplitMix64`], which measured faster than a store/reload
+    /// round-trip; this facade remains for callers that want a buffered
+    /// block with the sequential-draw equivalence guarantee.
+    fn fill_u64_block(&mut self, dst: &mut [u64]) {
+        for slot in dst.iter_mut() {
+            *slot = self.next_u64();
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
@@ -203,6 +221,47 @@ pub mod rngs {
         }
     }
 
+    /// SplitMix64 (Steele, Lea & Flood) — a Weyl sequence through an
+    /// avalanche finalizer, i.e. a counter-mode generator: successive
+    /// draws share **no loop-carried dependency beyond one addition**, so
+    /// out-of-order cores overlap many draws where xoshiro's state update
+    /// serializes them. The walk engine's batched sweep expands one
+    /// [`SmallRng`] word per round into a whole block of per-token draws
+    /// through this (the same algorithm — and constants — that
+    /// `seed_from_u64` uses to expand seeds). Passes BigCrush; not
+    /// intended as a general-purpose default, which is why upstream
+    /// `rand` keeps it internal.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl RngCore for SplitMix64 {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    impl SeedableRng for SplitMix64 {
+        type Seed = [u8; 8];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            SplitMix64 {
+                state: u64::from_le_bytes(seed),
+            }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            SplitMix64 { state }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
@@ -328,6 +387,18 @@ pub mod distributions {
                 always: false,
             })
         }
+
+        /// Decides a sample from pre-drawn uniform bits: `true` iff `bits`
+        /// falls below the compiled threshold. The pre-drawn twin of
+        /// [`Distribution::sample`] — callers that batch their draws
+        /// (e.g. the walk engine's sweep, which counter-expands one word
+        /// per decision from [`rngs::SplitMix64`](crate::rngs::SplitMix64))
+        /// feed each word here, reusing the same compiled threshold
+        /// (never re-deriving it from `p`).
+        #[inline]
+        pub fn sample_bits(&self, bits: u64) -> bool {
+            self.always || bits < self.threshold
+        }
     }
 
     impl Distribution<bool> for Bernoulli {
@@ -336,7 +407,7 @@ pub mod distributions {
             // Always consume one draw so a Bernoulli in a walk loop keeps
             // RNG consumption independent of the outcome.
             let v = rng.next_u64();
-            self.always || v < self.threshold
+            self.sample_bits(v)
         }
     }
 }
@@ -420,5 +491,51 @@ mod tests {
     fn empty_range_rejected() {
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = rng.gen_range(5u32..5);
+    }
+
+    #[test]
+    fn splitmix_matches_seed_expansion() {
+        // SplitMix64 is exactly the expander behind seed_from_u64: the
+        // first four draws are SmallRng's seed words.
+        use super::rngs::SplitMix64;
+        let mut sm = SplitMix64::seed_from_u64(99);
+        let mut state = 99u64;
+        for _ in 0..4 {
+            assert_eq!(sm.next_u64(), super::splitmix64(&mut state));
+        }
+        // Deterministic and uniform-ish: mean of the unit floats.
+        let mut sm = SplitMix64::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| sm.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_u64_block_matches_sequential_draws() {
+        let mut a = SmallRng::seed_from_u64(77);
+        let mut b = SmallRng::seed_from_u64(77);
+        let mut block = [0u64; 37];
+        a.fill_u64_block(&mut block);
+        for (i, &w) in block.iter().enumerate() {
+            assert_eq!(w, b.next_u64(), "word {i} diverged");
+        }
+        // The streams stay aligned afterwards.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bernoulli_sample_bits_agrees_with_sample() {
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let d = Bernoulli::new(p).unwrap();
+            let mut via_sample = SmallRng::seed_from_u64(9);
+            let mut via_bits = SmallRng::seed_from_u64(9);
+            for _ in 0..1000 {
+                assert_eq!(
+                    d.sample(&mut via_sample),
+                    d.sample_bits(via_bits.next_u64()),
+                    "p = {p}"
+                );
+            }
+        }
     }
 }
