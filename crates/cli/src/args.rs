@@ -27,6 +27,7 @@ experiments:
   hunting         Sec 1: k hunters vs prey - catch-time vs cover-time speed-up
   smallworld      Sec 8: Watts-Strogatz beta-sweep, Theorem 6 -> Theorem 18
   figure1         Figure 1: DOT rendering of the barbell B_13
+  estimate        one C^k estimate on a chosen family (see estimate options)
   all             run everything
 
 options:
@@ -37,7 +38,25 @@ options:
   --batch         force the engine's batched stepping sweep at any k
   --no-batch      force the scalar stepping loop (legacy seeded streams)
                   (default: auto - batch k >= 64 round-synchronous walks)
-  --format F      output format: ascii (default) | markdown | csv";
+  --format F      output format: ascii (default) | markdown | csv
+
+adaptive stopping (any estimator-driven experiment):
+  --precision H      stop each estimate once the CI half-width <= H rounds
+  --rel-precision R  stop once the half-width <= R * mean (e.g. 0.05 = 5%)
+  --confidence L     CI level for the stopping rule (default 0.95)
+  --min-trials N     minimum trials before the rule may fire (default 32)
+  --max-trials N     hard trial cap for adaptive runs (default 4096)
+                     (--precision / --rel-precision are mutually exclusive;
+                      without one of them, estimates run a fixed --trials)
+
+estimate options:
+  --family F      graph family: cycle | path | torus | hypercube | clique |
+                  clique-loops | barbell (default: cycle)
+  --n N           graph size parameter: vertices (default 64); the side for
+                  torus (default 16); the dimension, 1..=30, for hypercube
+                  (default 6); the bell size for barbell (default 65)
+  --k K           number of parallel walks (default 4)
+  --start V       start vertex (default 0)";
 
 /// Output format for tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +86,24 @@ pub struct Options {
     /// keeps the engine's automatic selection. When both are passed, the
     /// last one wins (conventional override order).
     pub batch: Option<bool>,
+    /// `--precision H`: absolute CI half-width target (rounds).
+    pub precision: Option<f64>,
+    /// `--rel-precision R`: relative CI half-width target.
+    pub rel_precision: Option<f64>,
+    /// `--confidence L` for the adaptive stopping rule.
+    pub confidence: Option<f64>,
+    /// `--min-trials N`: adaptive minimum-sample floor.
+    pub min_trials: Option<usize>,
+    /// `--max-trials N`: adaptive hard trial cap.
+    pub max_trials: Option<usize>,
+    /// `--family F` (the `estimate` verb's graph family).
+    pub family: Option<String>,
+    /// `--n N` (the `estimate` verb's size parameter).
+    pub n: Option<usize>,
+    /// `--k K` (the `estimate` verb's walk count).
+    pub k: Option<usize>,
+    /// `--start V` (the `estimate` verb's start vertex).
+    pub start: Option<u32>,
     /// `--format F`.
     pub format: Format,
 }
@@ -83,6 +120,15 @@ impl Options {
             seed: None,
             threads: None,
             batch: None,
+            precision: None,
+            rel_precision: None,
+            confidence: None,
+            min_trials: None,
+            max_trials: None,
+            family: None,
+            n: None,
+            k: None,
+            start: None,
             format: Format::Ascii,
         };
         while let Some(arg) = it.next() {
@@ -106,6 +152,65 @@ impl Options {
                     }
                     opts.threads = Some(t);
                 }
+                "--precision" => {
+                    let v = it.next().ok_or("--precision needs a value")?;
+                    let h: f64 = v.parse().map_err(|_| format!("bad --precision '{v}'"))?;
+                    if !(h > 0.0 && h.is_finite()) {
+                        return Err("--precision must be a positive number".into());
+                    }
+                    opts.precision = Some(h);
+                }
+                "--rel-precision" => {
+                    let v = it.next().ok_or("--rel-precision needs a value")?;
+                    let r: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad --rel-precision '{v}'"))?;
+                    if !(r > 0.0 && r.is_finite()) {
+                        return Err("--rel-precision must be a positive number".into());
+                    }
+                    opts.rel_precision = Some(r);
+                }
+                "--confidence" => {
+                    let v = it.next().ok_or("--confidence needs a value")?;
+                    let l: f64 = v.parse().map_err(|_| format!("bad --confidence '{v}'"))?;
+                    if !(l > 0.0 && l < 1.0) {
+                        return Err("--confidence must be in (0, 1)".into());
+                    }
+                    opts.confidence = Some(l);
+                }
+                "--min-trials" => {
+                    let v = it.next().ok_or("--min-trials needs a value")?;
+                    opts.min_trials =
+                        Some(v.parse().map_err(|_| format!("bad --min-trials '{v}'"))?);
+                }
+                "--max-trials" => {
+                    let v = it.next().ok_or("--max-trials needs a value")?;
+                    let m: usize = v.parse().map_err(|_| format!("bad --max-trials '{v}'"))?;
+                    if m == 0 {
+                        return Err("--max-trials must be >= 1".into());
+                    }
+                    opts.max_trials = Some(m);
+                }
+                "--family" => {
+                    let v = it.next().ok_or("--family needs a value")?;
+                    opts.family = Some(v);
+                }
+                "--n" => {
+                    let v = it.next().ok_or("--n needs a value")?;
+                    opts.n = Some(v.parse().map_err(|_| format!("bad --n '{v}'"))?);
+                }
+                "--k" => {
+                    let v = it.next().ok_or("--k needs a value")?;
+                    let k: usize = v.parse().map_err(|_| format!("bad --k '{v}'"))?;
+                    if k == 0 {
+                        return Err("--k must be >= 1".into());
+                    }
+                    opts.k = Some(k);
+                }
+                "--start" => {
+                    let v = it.next().ok_or("--start needs a value")?;
+                    opts.start = Some(v.parse().map_err(|_| format!("bad --start '{v}'"))?);
+                }
                 "--format" => {
                     let v = it.next().ok_or("--format needs a value")?;
                     opts.format = match v.as_str() {
@@ -118,7 +223,50 @@ impl Options {
                 other => return Err(format!("unknown option '{other}'")),
             }
         }
+        if opts.precision.is_some() && opts.rel_precision.is_some() {
+            return Err("--precision and --rel-precision are mutually exclusive".into());
+        }
         Ok(opts)
+    }
+
+    /// The adaptive stopping rule requested on the command line, if any:
+    /// `--precision`/`--rel-precision` pick the target, with
+    /// `--confidence`, `--min-trials`, and `--max-trials` refining it.
+    pub fn precision_rule(&self) -> Result<Option<mrw_stats::Precision>, String> {
+        let mut rule = match (self.precision, self.rel_precision) {
+            (Some(h), None) => mrw_stats::Precision::absolute(h),
+            (None, Some(r)) => mrw_stats::Precision::relative(r),
+            (None, None) => {
+                if self.confidence.is_some()
+                    || self.min_trials.is_some()
+                    || self.max_trials.is_some()
+                {
+                    return Err(
+                        "--confidence/--min-trials/--max-trials need --precision or \
+                                --rel-precision"
+                            .into(),
+                    );
+                }
+                return Ok(None);
+            }
+            (Some(_), Some(_)) => unreachable!("rejected at parse time"),
+        };
+        if let Some(l) = self.confidence {
+            rule = rule.with_confidence(l);
+        }
+        if let Some(m) = self.min_trials {
+            rule = rule.with_min_trials(m);
+        }
+        if let Some(m) = self.max_trials {
+            if m < rule.min_trials {
+                return Err(format!(
+                    "--max-trials {m} is below the minimum-sample floor {}",
+                    rule.min_trials
+                ));
+            }
+            rule = rule.with_max_trials(m);
+        }
+        Ok(Some(rule))
     }
 }
 
@@ -189,5 +337,81 @@ mod tests {
         assert!(parse(&["x", "--threads", "0"]).is_err());
         assert!(parse(&["x", "--format", "xml"]).is_err());
         assert!(parse(&["x", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn precision_flags_build_a_rule() {
+        let o = parse(&[
+            "estimate",
+            "--rel-precision",
+            "0.05",
+            "--confidence",
+            "0.99",
+            "--min-trials",
+            "16",
+            "--max-trials",
+            "512",
+        ])
+        .unwrap();
+        let rule = o.precision_rule().unwrap().expect("adaptive");
+        assert_eq!(
+            rule.target,
+            mrw_stats::precision::PrecisionTarget::Relative(0.05)
+        );
+        assert_eq!(rule.confidence, 0.99);
+        assert_eq!(rule.min_trials, 16);
+        assert_eq!(rule.max_trials, 512);
+    }
+
+    #[test]
+    fn absolute_precision_flag() {
+        let o = parse(&["estimate", "--precision", "2.5"]).unwrap();
+        let rule = o.precision_rule().unwrap().expect("adaptive");
+        assert_eq!(
+            rule.target,
+            mrw_stats::precision::PrecisionTarget::Absolute(2.5)
+        );
+        assert_eq!(rule.confidence, 0.95); // default
+    }
+
+    #[test]
+    fn no_precision_flags_means_fixed() {
+        let o = parse(&["cycle", "--trials", "32"]).unwrap();
+        assert!(o.precision_rule().unwrap().is_none());
+    }
+
+    #[test]
+    fn precision_flag_errors() {
+        // Mutually exclusive targets.
+        assert!(parse(&["x", "--precision", "1", "--rel-precision", "0.1"]).is_err());
+        // Refinements without a target.
+        let o = parse(&["x", "--confidence", "0.9"]).unwrap();
+        assert!(o.precision_rule().is_err());
+        let o = parse(&["x", "--max-trials", "10"]).unwrap();
+        assert!(
+            o.precision_rule().is_err(),
+            "--max-trials alone must not be silently ignored"
+        );
+        // Bad values.
+        assert!(parse(&["x", "--precision", "-1"]).is_err());
+        assert!(parse(&["x", "--rel-precision", "0"]).is_err());
+        assert!(parse(&["x", "--confidence", "1.5"]).is_err());
+        assert!(parse(&["x", "--max-trials", "0"]).is_err());
+        // Cap below floor.
+        let o = parse(&["x", "--rel-precision", "0.1", "--max-trials", "4"]).unwrap();
+        assert!(o.precision_rule().is_err());
+    }
+
+    #[test]
+    fn estimate_options() {
+        let o = parse(&[
+            "estimate", "--family", "torus", "--n", "12", "--k", "8", "--start", "3",
+        ])
+        .unwrap();
+        assert_eq!(o.family.as_deref(), Some("torus"));
+        assert_eq!(o.n, Some(12));
+        assert_eq!(o.k, Some(8));
+        assert_eq!(o.start, Some(3));
+        assert!(parse(&["estimate", "--k", "0"]).is_err());
     }
 }

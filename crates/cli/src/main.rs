@@ -21,8 +21,16 @@
 //!   exact           exact DP vs Monte-Carlo validation zoo
 //!   projection      Theorem 24: the projection coupling
 //!   figure1         Figure 1: DOT rendering of the barbell B_13
+//!   estimate        one C^k estimate on a chosen family
 //!   all             every experiment above, in order
 //! ```
+//!
+//! Any estimator-driven experiment accepts an adaptive trial budget:
+//! `--precision H` or `--rel-precision R` (with `--confidence`,
+//! `--min-trials`, `--max-trials`) switches every estimate from a fixed
+//! trial count to sequential stopping — sample until the CI half-width
+//! crosses the target, and report the half-width achieved plus the trials
+//! actually consumed.
 
 use std::process::ExitCode;
 
@@ -65,6 +73,8 @@ fn apply_overrides(b: &mut Budget, opts: &Options) {
             mrw_core::BatchMode::Never
         };
     }
+    // Flag combinations are validated up front in main().
+    b.precision = opts.precision_rule().expect("validated in main");
 }
 
 fn budget(opts: &Options) -> Budget {
@@ -429,6 +439,101 @@ fn run_figure1() {
     print!("{}", mrw_graph::dot::figure1());
 }
 
+/// `mrw estimate`: one `C^k` estimate on a chosen family, with either a
+/// fixed trial count (`--trials`) or an adaptive precision target
+/// (`--precision` / `--rel-precision`). The output table reports the
+/// achieved CI half-width and the trial count actually consumed, so an
+/// adaptive run shows exactly where the sequential rule stopped.
+fn run_estimate(opts: &Options) -> Result<(), String> {
+    use mrw_graph::generators;
+
+    let family = opts.family.as_deref().unwrap_or("cycle");
+    // `--n` is the family's natural size parameter: vertices for most,
+    // the side for the torus, the *dimension* for the hypercube — so the
+    // hypercube gets its own default and bound.
+    let k = opts.k.unwrap_or(4);
+    let g = match family {
+        "cycle" => generators::cycle(opts.n.unwrap_or(64)),
+        "path" => generators::path(opts.n.unwrap_or(64)),
+        "torus" => generators::torus_2d(opts.n.unwrap_or(16)),
+        "hypercube" => {
+            let d = opts.n.unwrap_or(6);
+            if d == 0 || d >= 31 {
+                return Err(format!(
+                    "--n {d} is the hypercube *dimension* and must be in 1..=30"
+                ));
+            }
+            generators::hypercube(d as u32)
+        }
+        "clique" => generators::complete(opts.n.unwrap_or(64)),
+        "clique-loops" => generators::complete_with_loops(opts.n.unwrap_or(64)),
+        "barbell" => generators::barbell(opts.n.unwrap_or(65)),
+        other => {
+            return Err(format!(
+                "unknown family '{other}' (cycle | path | torus | hypercube | clique | \
+                 clique-loops | barbell)"
+            ))
+        }
+    };
+    let start = opts.start.unwrap_or(0);
+    if start as usize >= g.n() {
+        return Err(format!("--start {start} out of range (n = {})", g.n()));
+    }
+    let b = budget(opts);
+    let est = mrw_core::CoverTimeEstimator::new(&g, k, b.estimator()).run_from(start);
+
+    let (budget_desc, stop_desc) = match b.trials_budget() {
+        mrw_stats::Trials::Fixed(t) => (format!("fixed {t}"), "fixed".to_string()),
+        mrw_stats::Trials::Adaptive(rule) => {
+            let target = match rule.target {
+                mrw_stats::precision::PrecisionTarget::Absolute(h) => format!("±{h}"),
+                mrw_stats::precision::PrecisionTarget::Relative(r) => {
+                    format!("±{}%", r * 100.0)
+                }
+            };
+            let desc = format!(
+                "{target} @ {:.0}%, cap {}",
+                rule.confidence * 100.0,
+                rule.max_trials
+            );
+            let stop = if rule.satisfied_by(&est.cover_time) {
+                format!("precision @ {} trials", est.consumed_trials())
+            } else {
+                format!("cap @ {} trials", est.consumed_trials())
+            };
+            (desc, stop)
+        }
+    };
+
+    let mut t = mrw_stats::Table::new(vec![
+        "graph",
+        "k",
+        "start",
+        "budget",
+        "trials used",
+        "mean C^k",
+        "half-width",
+        "rel",
+        "CI",
+        "stopped",
+    ])
+    .with_title(format!("mrw estimate — {} (n = {})", g.name(), g.n()));
+    t.push_row(vec![
+        g.name().to_string(),
+        k.to_string(),
+        start.to_string(),
+        budget_desc,
+        est.consumed_trials().to_string(),
+        format!("{:.2}", est.mean()),
+        format!("{:.2}", est.ci.half_width()),
+        format!("{:.1}%", est.relative_half_width() * 100.0),
+        format!("[{:.2}, {:.2}]", est.ci.lo, est.ci.hi),
+        stop_desc,
+    ]);
+    print_table(&t, opts.format);
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match Options::parse(std::env::args().skip(1)) {
         Ok(o) => o,
@@ -439,8 +544,22 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Err(e) = opts.precision_rule() {
+        eprintln!("error: {e}\n");
+        eprintln!("{}", args::USAGE);
+        return ExitCode::FAILURE;
+    }
+
     let command = opts.command.as_str();
     match command {
+        "estimate" => {
+            if let Err(e) = run_estimate(&opts) {
+                eprintln!("error: {e}\n");
+                eprintln!("{}", args::USAGE);
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
         "table1" => run_table1(&opts),
         "clique" => run_clique(&opts),
         "cycle" => run_cycle(&opts),

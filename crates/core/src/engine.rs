@@ -13,7 +13,7 @@
 //!   decides when to stop. An optional round cap bounds every run.
 //! * [`Process`] is the per-step kernel. [`SimpleStep`] is the paper's
 //!   simple random walk; [`CompiledProcess`] is a
-//!   [`WalkProcess`](crate::process::WalkProcess) compiled against a graph
+//!   [`crate::process::WalkProcess`] compiled against a graph
 //!   with its per-run state cached — a pre-built `Bernoulli` for lazy
 //!   holds (one integer compare per step instead of a float conversion)
 //!   and degree/reciprocal tables for Metropolis acceptance (multiply
@@ -68,7 +68,7 @@
 //! 2. the process has a batched kernel
 //!    ([`Process::bits_per_step`] is `Some` — true for [`SimpleStep`] and
 //!    every [`CompiledProcess`], false for the uncached
-//!    [`WalkProcess`](crate::process::WalkProcess) reference), and
+//!    [`crate::process::WalkProcess`] reference), and
 //! 3. `k ≥` [`BATCH_AUTO_MIN_K`] tokens (below that the per-round
 //!    block-expansion bookkeeping is not worth routing off the pinned
 //!    legacy stream),
@@ -126,8 +126,8 @@ pub trait Process {
     /// Advances one token by one step.
     fn step<R: Rng + ?Sized>(&mut self, g: &Graph, pos: u32, rng: &mut R) -> u32;
 
-    /// Uniform `u64` words consumed per token by [`step_bits`]
-    /// (`Self::step_bits`), or `None` when the process has only a scalar
+    /// Uniform `u64` words consumed per token by
+    /// [`step_bits`](Self::step_bits), or `None` when the process has only a scalar
     /// kernel (the engine then keeps the scalar loop even when batching is
     /// requested). Currently `Some(1)` or `Some(2)`.
     fn bits_per_step(&self) -> Option<usize> {

@@ -1,21 +1,29 @@
 //! Monte-Carlo cover-time estimation with deterministic parallel fan-out.
 //!
 //! An estimator owns a graph reference, a walk count `k`, and an
-//! [`EstimatorConfig`]; it runs `trials` independent k-walks with per-trial
-//! RNG streams derived from the master seed by counter (never by thread),
-//! so an estimate is a pure function of `(graph, k, config)` regardless of
-//! the machine's core count.
+//! [`EstimatorConfig`]; its trial budget is either
+//! [`Trials::Fixed`] — a classical flat count — or [`Trials::Adaptive`] —
+//! a sequential [`Precision`] rule that keeps sampling in waves until the
+//! CI half-width crosses a requested target (or a hard cap). Either way,
+//! per-trial RNG streams are derived from the master seed by counter
+//! (never by thread), so an estimate is a pure function of
+//! `(graph, k, config)` regardless of the machine's core count — for an
+//! adaptive budget this includes the *consumed trial count*, because the
+//! stopping rule is only evaluated at wave boundaries on index-ordered
+//! prefixes (see [`mrw_par::par_map_chunks_with`]).
 //!
-//! Each worker thread owns one [`TrialWorkspace`] — an
+//! Each worker thread owns one `TrialWorkspace` — an
 //! [`EngineArena`] plus a reusable [`FullCover`] observer and start
-//! buffer — allocated once via [`mrw_par::par_map_with`] and
-//! reset-and-reused across the whole `(start × trial)` fan-out, so a trial
+//! buffer — allocated once via [`mrw_par::par_map_with`] (fixed budgets
+//! fan the whole `(start × trial)` grid out flat) or pooled across waves
+//! by [`mrw_par::par_map_chunks_with`] (adaptive budgets), so a trial
 //! after warmup performs zero heap allocations in the stepping loop
 //! (asserted by `tests/zero_alloc.rs`).
 
 use mrw_graph::{algo, Graph};
-use mrw_par::{par_map_with, SeedSequence};
+use mrw_par::{par_map_chunks_with, par_map_with, SeedSequence};
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
+use mrw_stats::precision::{Precision, Trials};
 use mrw_stats::Summary;
 
 use crate::engine::{BatchMode, Engine, EngineArena, FullCover, SimpleStep};
@@ -25,15 +33,17 @@ use crate::walk::walk_rng;
 /// Configuration shared by all Monte-Carlo estimators.
 #[derive(Debug, Clone)]
 pub struct EstimatorConfig {
-    /// Number of independent trials.
-    pub trials: usize,
+    /// Trial budget: a fixed count or an adaptive precision rule.
+    pub trials: Trials,
     /// Master seed; per-trial streams are derived deterministically.
     pub seed: u64,
     /// Worker threads (default: all available).
     pub threads: usize,
     /// k-walk stepping discipline.
     pub mode: KWalkMode,
-    /// Confidence level for the reported interval.
+    /// Confidence level for the reported interval. An adaptive budget
+    /// overrides this with its rule's own confidence so the reported
+    /// half-width is the one the stopping rule certified.
     pub ci_level: f64,
     /// Batched-vs-scalar engine path selection (default
     /// [`BatchMode::Auto`]: batch at `k ≥ 64` round-synchronous walks).
@@ -41,17 +51,49 @@ pub struct EstimatorConfig {
 }
 
 impl EstimatorConfig {
-    /// `trials` trials, seed 0, all threads, round-synchronous, 95% CI,
-    /// automatic engine-path selection.
+    /// `trials` fixed trials, seed 0, all threads, round-synchronous, 95%
+    /// CI, automatic engine-path selection.
     pub fn new(trials: usize) -> Self {
         EstimatorConfig {
-            trials,
+            trials: Trials::Fixed(trials),
             seed: 0,
             threads: mrw_par::available_threads(),
             mode: KWalkMode::RoundSynchronous,
             ci_level: 0.95,
             batch: BatchMode::Auto,
         }
+    }
+
+    /// An adaptive configuration: sample until `rule` fires (or its cap).
+    ///
+    /// ```
+    /// use mrw_core::{CoverTimeEstimator, EstimatorConfig};
+    /// use mrw_stats::Precision;
+    /// use mrw_graph::generators;
+    ///
+    /// // Estimate the 2-walk cover time of the 4-cycle to ±10% at 95%
+    /// // confidence: an easy instance, so the rule stops far below its cap.
+    /// let rule = Precision::relative(0.10).with_max_trials(4096);
+    /// let cfg = EstimatorConfig::adaptive(rule).with_seed(7);
+    /// let est = CoverTimeEstimator::new(&generators::cycle(4), 2, cfg).run_from(0);
+    /// assert!(est.consumed_trials() < 4096);
+    /// assert!(est.ci.half_width() <= 0.10 * est.mean());
+    /// ```
+    pub fn adaptive(rule: Precision) -> Self {
+        let mut cfg = EstimatorConfig::new(0);
+        cfg.trials = Trials::Adaptive(rule);
+        cfg.ci_level = rule.confidence;
+        cfg
+    }
+
+    /// Sets the trial budget (accepts a plain count or a
+    /// [`Precision`] rule via `Into<Trials>`).
+    pub fn with_trials(mut self, trials: impl Into<Trials>) -> Self {
+        self.trials = trials.into();
+        if let Trials::Adaptive(rule) = self.trials {
+            self.ci_level = rule.confidence;
+        }
+        self
     }
 
     /// Sets the master seed.
@@ -118,6 +160,17 @@ impl CoverEstimate {
     pub fn mean(&self) -> f64 {
         self.cover_time.mean()
     }
+
+    /// Trials actually consumed: the fixed count, or wherever the
+    /// adaptive rule stopped.
+    pub fn consumed_trials(&self) -> u64 {
+        self.cover_time.count()
+    }
+
+    /// Achieved CI half-width relative to the point estimate.
+    pub fn relative_half_width(&self) -> f64 {
+        self.ci.relative_half_width()
+    }
 }
 
 /// Estimates `C^k_i` — the expected rounds for `k` walks from start `i` to
@@ -136,7 +189,7 @@ impl<'g> CoverTimeEstimator<'g> {
     /// cover time).
     pub fn new(g: &'g Graph, k: usize, cfg: EstimatorConfig) -> Self {
         assert!(k >= 1, "need at least one walk");
-        assert!(cfg.trials >= 1, "need at least one trial");
+        assert!(cfg.trials.cap() >= 1, "need at least one trial");
         assert!(
             algo::is_connected(g),
             "cover time is infinite on a disconnected graph"
@@ -199,36 +252,83 @@ impl<'g> CoverTimeEstimator<'g> {
 
     /// Estimates `C^k_i` for each start in `starts`.
     ///
-    /// The whole `starts × trials` grid fans out through `mrw_par` as one
-    /// flat job set, so a worst-start search keeps every core busy even
-    /// when `trials` alone is smaller than the machine. Each sample's RNG
-    /// stream depends only on `(seed, start, trial)` — the estimates are
-    /// identical to probing each start separately. Workers allocate one
-    /// [`TrialWorkspace`] each and reuse it across every trial they claim.
+    /// How the trials fan out depends on the budget:
+    ///
+    /// * [`Trials::Fixed`] — the whole `starts × trials` grid goes through
+    ///   `mrw_par` as one flat job set, so a worst-start search keeps
+    ///   every core busy even when `trials` alone is smaller than the
+    ///   machine.
+    /// * [`Trials::Adaptive`] — each start runs its own sequential loop:
+    ///   trials are dispatched in waves (first the rule's floor, then
+    ///   geometrically growing) and the precision rule is evaluated
+    ///   between waves, so easy starts stop early while hard ones run to
+    ///   the cap.
+    ///
+    /// Either way each sample's RNG stream depends only on
+    /// `(seed, start, trial)` — the estimates are identical to probing
+    /// each start separately, and the adaptive consumed-trial count
+    /// depends only on the rule, never on thread count. Workers allocate
+    /// one `TrialWorkspace` each and reuse it across every trial they
+    /// claim.
     pub fn run_from_each(&self, starts: &[u32]) -> Vec<CoverEstimate> {
         for &s in starts {
             assert!((s as usize) < self.g.n(), "start {s} out of range");
         }
-        let trials = self.cfg.trials;
-        let samples: Vec<f64> = par_map_with(
-            starts.len() * trials,
+        match self.cfg.trials {
+            Trials::Fixed(trials) => {
+                let samples: Vec<f64> = par_map_with(
+                    starts.len() * trials,
+                    self.cfg.threads,
+                    || TrialWorkspace::new(self.g.n()),
+                    |ws, job| self.sample(ws, starts[job / trials], job % trials),
+                );
+                starts
+                    .iter()
+                    .zip(samples.chunks_exact(trials))
+                    .map(|(&start, chunk)| {
+                        let summary = Summary::from_slice(chunk);
+                        CoverEstimate {
+                            k: self.k,
+                            start,
+                            cover_time: summary,
+                            ci: normal_ci(&summary, self.cfg.ci_level),
+                        }
+                    })
+                    .collect()
+            }
+            Trials::Adaptive(rule) => starts
+                .iter()
+                .map(|&start| self.run_adaptive(start, &rule))
+                .collect(),
+        }
+    }
+
+    /// One adaptive estimate from `start`: waves of trials through
+    /// [`par_map_chunks_with`], stopping when `rule` is satisfied or its
+    /// cap is reached. Trial `i`'s stream is the same one the fixed
+    /// budget would use, so an adaptive sample is a prefix of the
+    /// corresponding fixed-budget sample set.
+    fn run_adaptive(&self, start: u32, rule: &Precision) -> CoverEstimate {
+        let samples: Vec<f64> = par_map_chunks_with(
+            rule.max_trials,
             self.cfg.threads,
             || TrialWorkspace::new(self.g.n()),
-            |ws, job| self.sample(ws, starts[job / trials], job % trials),
-        );
-        starts
-            .iter()
-            .zip(samples.chunks_exact(trials))
-            .map(|(&start, chunk)| {
-                let summary = Summary::from_slice(chunk);
-                CoverEstimate {
-                    k: self.k,
-                    start,
-                    cover_time: summary,
-                    ci: normal_ci(&summary, self.cfg.ci_level),
+            |ws, trial| self.sample(ws, start, trial),
+            |sofar: &[f64]| {
+                if rule.satisfied_by(&Summary::from_slice(sofar)) {
+                    0
+                } else {
+                    rule.next_wave(sofar.len())
                 }
-            })
-            .collect()
+            },
+        );
+        let summary = Summary::from_slice(&samples);
+        CoverEstimate {
+            k: self.k,
+            start,
+            cover_time: summary,
+            ci: normal_ci(&summary, rule.confidence),
+        }
     }
 }
 
@@ -237,6 +337,7 @@ mod tests {
     use super::*;
     use mrw_graph::generators;
     use mrw_stats::harmonic::harmonic;
+    use mrw_stats::precision::Precision;
 
     #[test]
     fn deterministic_across_thread_counts() {
@@ -300,6 +401,83 @@ mod tests {
             never.cover_time.mean(),
             run(BatchMode::Never).cover_time.mean()
         );
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_easy_instance() {
+        // A small cycle has modest cover-time dispersion: ±15% at 95%
+        // needs a few dozen trials, far below the 2048 cap.
+        let g = generators::cycle(16);
+        let rule = Precision::relative(0.15).with_max_trials(2048);
+        let est = CoverTimeEstimator::new(&g, 2, EstimatorConfig::adaptive(rule).with_seed(3))
+            .run_from(0);
+        assert!(
+            est.consumed_trials() < 2048,
+            "consumed {} — never stopped early",
+            est.consumed_trials()
+        );
+        assert!(est.ci.half_width() <= 0.15 * est.mean());
+        assert!(est.consumed_trials() >= rule.min_trials as u64);
+    }
+
+    #[test]
+    fn adaptive_consumed_count_identical_across_thread_counts() {
+        let g = generators::cycle(16);
+        let rule = Precision::relative(0.2)
+            .with_min_trials(8)
+            .with_max_trials(512);
+        let run = |threads| {
+            CoverTimeEstimator::new(
+                &g,
+                2,
+                EstimatorConfig::adaptive(rule)
+                    .with_seed(11)
+                    .with_threads(threads),
+            )
+            .run_from(0)
+        };
+        let base = run(1);
+        for threads in [2, 4, 8] {
+            let est = run(threads);
+            assert_eq!(
+                est.consumed_trials(),
+                base.consumed_trials(),
+                "threads={threads}"
+            );
+            assert_eq!(est.cover_time.mean(), base.cover_time.mean());
+            assert_eq!(est.cover_time.max(), base.cover_time.max());
+        }
+    }
+
+    #[test]
+    fn adaptive_sample_is_prefix_of_fixed_run() {
+        // Trial i draws the same stream under either budget, so an
+        // adaptive run that consumed m trials reports exactly the
+        // fixed-budget estimate at m trials.
+        let g = generators::torus_2d(4);
+        let rule = Precision::relative(0.25)
+            .with_min_trials(8)
+            .with_max_trials(256);
+        let adaptive = CoverTimeEstimator::new(&g, 1, EstimatorConfig::adaptive(rule).with_seed(5))
+            .run_from(0);
+        let m = adaptive.consumed_trials() as usize;
+        let fixed =
+            CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(m).with_seed(5)).run_from(0);
+        assert_eq!(adaptive.cover_time.mean(), fixed.cover_time.mean());
+        assert_eq!(adaptive.cover_time.min(), fixed.cover_time.min());
+        assert_eq!(adaptive.cover_time.max(), fixed.cover_time.max());
+    }
+
+    #[test]
+    fn adaptive_cap_bounds_hopeless_precision() {
+        // A precision no sample will reach: the run must stop at the cap.
+        let g = generators::cycle(12);
+        let rule = Precision::relative(1e-6)
+            .with_min_trials(4)
+            .with_max_trials(64);
+        let est = CoverTimeEstimator::new(&g, 1, EstimatorConfig::adaptive(rule).with_seed(2))
+            .run_from(0);
+        assert_eq!(est.consumed_trials(), 64);
     }
 
     #[test]

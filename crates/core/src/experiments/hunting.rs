@@ -20,7 +20,7 @@ use mrw_stats::Table;
 
 use crate::experiments::Budget;
 use crate::meeting::{mean_catch_time, PreyStrategy};
-use crate::{CoverTimeEstimator, EstimatorConfig};
+use crate::CoverTimeEstimator;
 
 /// Configuration for the hunting experiment.
 #[derive(Debug, Clone)]
@@ -148,33 +148,33 @@ pub fn run(cfg: &Config) -> Report {
     for g in &graphs {
         let prey = far_vertex(g, 0);
         let mut base_hide = f64::NAN;
-        let est_cfg = EstimatorConfig::new(cfg.budget.trials)
-            .with_seed(cfg.budget.seed)
-            .with_threads(cfg.budget.threads);
+        let est_cfg = cfg.budget.estimator();
         let cover_base = CoverTimeEstimator::new(g, 1, est_cfg.clone())
             .run_from(0)
             .mean();
         for &k in &cfg.ks {
-            let (hide, c1) = mean_catch_time(
+            let hide_est = mean_catch_time(
                 g,
                 0,
                 prey,
                 k,
                 PreyStrategy::Hide,
                 cfg.cap,
-                cfg.budget.trials,
+                cfg.budget.trials_budget(),
                 cfg.budget.seed ^ 0xCAFE,
             );
-            let (mv, c2) = mean_catch_time(
+            let move_est = mean_catch_time(
                 g,
                 0,
                 prey,
                 k,
                 PreyStrategy::RandomWalk,
                 cfg.cap,
-                cfg.budget.trials,
+                cfg.budget.trials_budget(),
                 cfg.budget.seed ^ 0xBEEF,
             );
+            let (hide, mv) = (hide_est.mean(), move_est.mean());
+            let (c1, c2) = (hide_est.censored, move_est.censored);
             if k == 1 {
                 base_hide = hide;
             }

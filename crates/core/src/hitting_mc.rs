@@ -15,12 +15,13 @@
 //!   exact path on sizes where both are available to validate the MC one.
 
 use mrw_graph::{algo, Graph};
-use mrw_par::{par_map, SeedSequence};
+use mrw_par::{par_map, par_map_chunks_with, SeedSequence};
+use mrw_stats::precision::Trials;
 use mrw_stats::Summary;
 
 use crate::walk::{steps_to_hit, walk_rng};
 
-/// Monte-Carlo estimate of `h(u,v)` from `trials` independent walks.
+/// Monte-Carlo estimate of `h(u,v)` from independent walks.
 ///
 /// `cap` bounds each walk; capped trials are *discarded* (reported via
 /// `capped`), so on slow graphs choose `cap ≫` the expected hitting time
@@ -38,25 +39,66 @@ pub struct HitEstimate {
 }
 
 /// Estimates `h(from, to)` by simulation.
+///
+/// `trials` accepts a plain count ([`Trials::Fixed`]) or a sequential
+/// [`Precision`](mrw_stats::Precision) rule ([`Trials::Adaptive`]) that
+/// stops the fan-out once the CI over *un-capped* walks is tight enough.
+/// Trial `t`'s RNG stream depends only on `(seed, t)`, so both budgets are
+/// bit-for-bit deterministic across thread counts — including the adaptive
+/// consumed-trial count, which is checked only at wave boundaries.
+///
+/// ```
+/// use mrw_core::hitting_mc::hitting_time_mc;
+/// use mrw_core::Precision;
+/// use mrw_graph::generators;
+///
+/// // h(0, 2) on the 4-cycle is d(n−d) = 2·2 = 4 exactly (antipodal pair).
+/// let g = generators::cycle(4);
+/// let rule = Precision::relative(0.2).with_min_trials(16).with_max_trials(512);
+/// let est = hitting_time_mc(&g, 0, 2, rule, 1_000_000, 7, 2);
+/// assert_eq!(est.capped, 0);
+/// assert!((est.steps.count() as usize) < 512); // easy instance stops early
+/// ```
 pub fn hitting_time_mc(
     g: &Graph,
     from: u32,
     to: u32,
-    trials: usize,
+    trials: impl Into<Trials>,
     cap: u64,
     seed: u64,
     threads: usize,
 ) -> HitEstimate {
-    assert!(trials >= 1, "need at least one trial");
+    let trials = trials.into();
+    assert!(trials.cap() >= 1, "need at least one trial");
     assert!(
         algo::is_connected(g),
         "hitting times are infinite on a disconnected graph"
     );
     let seq = SeedSequence::new(seed).child(0x48495421);
-    let results: Vec<Option<u64>> = par_map(trials, threads, |t| {
+    let one_trial = |t: usize| {
         let mut rng = walk_rng(seq.seed_for(t as u64));
         steps_to_hit(g, from, to, cap, &mut rng)
-    });
+    };
+    let results: Vec<Option<u64>> = match trials {
+        Trials::Fixed(n) => par_map(n, threads, one_trial),
+        Trials::Adaptive(rule) => par_map_chunks_with(
+            rule.max_trials,
+            threads,
+            || (),
+            |(), t| one_trial(t),
+            |sofar: &[Option<u64>]| {
+                let mut s = Summary::new();
+                for &r in sofar.iter().flatten() {
+                    s.push(r as f64);
+                }
+                if rule.satisfied_by(&s) {
+                    0
+                } else {
+                    rule.next_wave(sofar.len())
+                }
+            },
+        ),
+    };
     let mut steps = Summary::new();
     let mut capped = 0usize;
     for r in results {
@@ -92,8 +134,15 @@ pub const EXACT_HMAX_LIMIT: usize = 800;
 /// Estimates `h_max(G)` (and the attaining pair).
 ///
 /// Exact below [`EXACT_HMAX_LIMIT`]; otherwise Monte-Carlo over
-/// diametral and sampled candidate pairs as described in the module docs.
-pub fn hmax_estimate(g: &Graph, trials: usize, seed: u64, threads: usize) -> HmaxEstimate {
+/// diametral and sampled candidate pairs as described in the module docs,
+/// with `trials` (fixed or adaptive) spent per candidate pair.
+pub fn hmax_estimate(
+    g: &Graph,
+    trials: impl Into<Trials>,
+    seed: u64,
+    threads: usize,
+) -> HmaxEstimate {
+    let trials = trials.into();
     assert!(
         algo::is_connected(g),
         "h_max is infinite on a disconnected graph"

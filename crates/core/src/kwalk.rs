@@ -4,7 +4,7 @@
 //! larger round-synchronous fan-outs route onto the engine's batched
 //! bucket sweep, which draws the same walk *law* from a different RNG
 //! stream (see the engine's module docs). Construct an
-//! [`Engine`](crate::engine::Engine) directly with
+//! [`crate::engine::Engine`] directly with
 //! [`BatchMode::Never`](crate::engine::BatchMode) to pin the legacy
 //! stream at any `k`.
 //!
@@ -25,6 +25,12 @@
 //! * [`KWalkMode::Interleaved`] — a single global step counter `i` advances
 //!   token `i mod k` (exactly the `X_i` indexing used in the paper's proof
 //!   of Theorem 9); the reported time is `⌈total/k⌉`.
+//!
+//! Each function here runs **one** trial on a caller-supplied RNG. The
+//! Monte-Carlo layer above ([`estimator`](crate::estimator)) repeats
+//! these trials under a [`Trials`](crate::Trials) budget — a fixed count
+//! fanned out flat, or an adaptive precision rule that stops the fan-out
+//! once the confidence interval is tight enough.
 
 use mrw_graph::{algo, Graph};
 use rand::Rng;

@@ -6,8 +6,8 @@
 //!
 //! * **The unified walk engine** ([`engine`]) — the single entry point
 //!   for every simulation in this crate: `k` tokens of a pluggable
-//!   [`Process`](engine::Process) step synchronously (round-synchronous
-//!   or interleaved) while an [`Observer`](engine::Observer) accumulates
+//!   [`engine::Process`] step synchronously (round-synchronous
+//!   or interleaved) while an [`engine::Observer`] accumulates
 //!   statistics and decides when to stop. Cover, partial cover,
 //!   multicover, hitting, meeting, pursuit, visit tallies, and coverage
 //!   curves are all observers over this one loop.
@@ -73,7 +73,8 @@ pub use estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
 pub use kwalk::{
     kwalk_cover_rounds, kwalk_cover_rounds_same_start, kwalk_covers_within, KWalkMode,
 };
-pub use meeting::{mean_catch_time, meeting_rounds, pursuit_rounds, PreyStrategy};
+pub use meeting::{mean_catch_time, meeting_rounds, pursuit_rounds, CatchEstimate, PreyStrategy};
+pub use mrw_stats::precision::{Precision, Trials};
 pub use partial::{
     fraction_target, kwalk_partial_cover_rounds, partial_cover_profile, PartialCoverPoint,
 };

@@ -26,6 +26,7 @@
 //! speed-up next to the cover-time speed-up the paper proves.
 
 use mrw_graph::Graph;
+use mrw_stats::Summary;
 use rand::Rng;
 
 use crate::engine::{CompiledProcess, Engine, Meeting, Pursuit, SimpleStep};
@@ -107,13 +108,40 @@ pub fn pursuit_rounds<R: Rng + ?Sized>(
     out.stopped.then_some(out.rounds)
 }
 
+/// Summary of a Monte-Carlo pursuit experiment ([`mean_catch_time`]).
+#[derive(Debug, Clone)]
+pub struct CatchEstimate {
+    /// Per-game catch rounds (censored games counted at the cap, so the
+    /// mean is a lower bound whenever `censored > 0`).
+    pub rounds: Summary,
+    /// Number of games that hit the round cap without a catch.
+    pub censored: usize,
+}
+
+impl CatchEstimate {
+    /// Mean rounds to catch across the consumed games.
+    pub fn mean(&self) -> f64 {
+        self.rounds.mean()
+    }
+
+    /// Games actually played: the fixed count, or wherever the adaptive
+    /// rule stopped.
+    pub fn consumed_trials(&self) -> u64 {
+        self.rounds.count()
+    }
+}
+
 /// Monte-Carlo mean catch time for `k` hunters all starting at
-/// `hunter_start`, `trials` independent games, `None`-censored games
-/// counted at `cap` (so the return value is a lower bound if any game
-/// was censored; the `censored` count is returned alongside).
+/// `hunter_start`. `trials` accepts a plain game count or an adaptive
+/// [`Precision`](mrw_stats::Precision) rule that stops once the CI over
+/// catch times is tight enough. `None`-censored games are counted at
+/// `cap` (so the mean is a lower bound if any game was censored; the
+/// `censored` count is reported alongside). Game `t`'s RNG stream depends
+/// only on `(seed, k, t)`, so the consumed-game count of an adaptive run
+/// is reproducible.
 ///
 /// # Panics
-/// If `trials == 0` or `k == 0`.
+/// If the trial budget is empty or `k == 0`.
 #[allow(clippy::too_many_arguments)] // public signature predates the engine refactor
 pub fn mean_catch_time(
     g: &Graph,
@@ -122,25 +150,40 @@ pub fn mean_catch_time(
     k: usize,
     strategy: PreyStrategy,
     cap: u64,
-    trials: usize,
+    trials: impl Into<mrw_stats::Trials>,
     seed: u64,
-) -> (f64, usize) {
-    assert!(trials > 0, "need at least one trial");
+) -> CatchEstimate {
+    let trials = trials.into();
+    assert!(trials.cap() > 0, "need at least one trial");
     assert!(k > 0, "need at least one hunter");
     let hunters = vec![hunter_start; k];
-    let mut total = 0u64;
+    let mut rounds = Summary::new();
     let mut censored = 0usize;
-    for t in 0..trials {
+    // (rounds, was_censored) for game `t` — pure in `t`.
+    let play = |t: usize| -> (f64, bool) {
         let mut rng = crate::walk::walk_rng(seed ^ ((k as u64) << 40) ^ t as u64);
         match pursuit_rounds(g, &hunters, prey, strategy, cap, &mut rng) {
-            Some(r) => total += r,
-            None => {
-                total += cap;
-                censored += 1;
+            Some(r) => (r as f64, false),
+            None => (cap as f64, true),
+        }
+    };
+    match trials {
+        mrw_stats::Trials::Fixed(n) => {
+            for t in 0..n {
+                let (r, c) = play(t);
+                rounds.push(r);
+                censored += c as usize;
             }
         }
+        mrw_stats::Trials::Adaptive(rule) => {
+            rounds = rule.run_serial(|t| {
+                let (r, c) = play(t);
+                censored += c as usize;
+                r
+            });
+        }
     }
-    (total as f64 / trials as f64, censored)
+    CatchEstimate { rounds, censored }
 }
 
 #[cfg(test)]
@@ -210,8 +253,10 @@ mod tests {
         // One hunter on K_n+loops: catch prob 1/n per round ⇒ mean ≈ n.
         let n = 20;
         let g = generators::complete_with_loops(n);
-        let (mean, censored) = mean_catch_time(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
-        assert_eq!(censored, 0);
+        let est = mean_catch_time(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
+        assert_eq!(est.censored, 0);
+        assert_eq!(est.consumed_trials(), 2000);
+        let mean = est.mean();
         assert!((mean - n as f64).abs() < n as f64 * 0.1, "mean {mean}");
     }
 
@@ -219,8 +264,8 @@ mod tests {
     fn k_hunters_catch_hider_about_k_times_faster_on_clique() {
         let n = 32;
         let g = generators::complete_with_loops(n);
-        let (m1, _) = mean_catch_time(&g, 0, 9, 1, PreyStrategy::Hide, 1_000_000, 1500, 2);
-        let (m8, _) = mean_catch_time(&g, 0, 9, 8, PreyStrategy::Hide, 1_000_000, 1500, 3);
+        let m1 = mean_catch_time(&g, 0, 9, 1, PreyStrategy::Hide, 1_000_000, 1500, 2).mean();
+        let m8 = mean_catch_time(&g, 0, 9, 8, PreyStrategy::Hide, 1_000_000, 1500, 3).mean();
         let speedup = m1 / m8;
         // Per-round catch prob goes 1/n → 1−(1−1/n)^8 ≈ 8/n.
         assert!(
@@ -235,8 +280,8 @@ mod tests {
         // per round; the catch should not be slower than against a hider.
         let n = 24;
         let g = generators::complete_with_loops(n);
-        let (hide, _) = mean_catch_time(&g, 0, 5, 2, PreyStrategy::Hide, 1_000_000, 1500, 4);
-        let (run, _) = mean_catch_time(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5);
+        let hide = mean_catch_time(&g, 0, 5, 2, PreyStrategy::Hide, 1_000_000, 1500, 4).mean();
+        let run = mean_catch_time(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5).mean();
         assert!(
             run < hide * 1.1,
             "moving prey survived longer: {run} vs hider {hide}"
@@ -251,9 +296,25 @@ mod tests {
             pursuit_rounds(&g, &[0], 32, PreyStrategy::Hide, 1, &mut walk_rng(0)),
             None
         );
-        let (mean, censored) = mean_catch_time(&g, 0, 32, 1, PreyStrategy::Hide, 1, 10, 6);
-        assert_eq!(censored, 10);
-        assert_eq!(mean, 1.0);
+        let est = mean_catch_time(&g, 0, 32, 1, PreyStrategy::Hide, 1, 10, 6);
+        assert_eq!(est.censored, 10);
+        assert_eq!(est.mean(), 1.0);
+    }
+
+    #[test]
+    fn adaptive_pursuit_stops_early_and_is_reproducible() {
+        use mrw_stats::Precision;
+        let g = generators::complete_with_loops(16);
+        let rule = Precision::relative(0.2)
+            .with_min_trials(16)
+            .with_max_trials(4000);
+        let run = || mean_catch_time(&g, 0, 7, 2, PreyStrategy::Hide, 1_000_000, rule, 8);
+        let a = run();
+        let b = run();
+        assert!(a.consumed_trials() < 4000, "never stopped early");
+        assert!(a.consumed_trials() >= 16);
+        assert_eq!(a.consumed_trials(), b.consumed_trials());
+        assert_eq!(a.mean(), b.mean());
     }
 
     #[test]

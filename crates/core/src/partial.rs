@@ -77,27 +77,35 @@ pub struct PartialCoverPoint {
     pub target: usize,
     /// Monte-Carlo mean rounds to reach the target.
     pub mean_rounds: f64,
+    /// Trials consumed for this fraction: the fixed count, or wherever
+    /// the adaptive rule stopped.
+    pub trials: usize,
 }
 
 /// Monte-Carlo mean partial cover times for `k` walks from `start` at each
-/// fraction in `gammas`, `trials` independent trials per fraction, seeded
-/// deterministically from `seed`.
+/// fraction in `gammas`, seeded deterministically from `seed`. `trials`
+/// accepts a plain per-fraction count or an adaptive
+/// [`Precision`](mrw_stats::Precision) rule evaluated per fraction (easy
+/// fractions stop early, the coupon-collector tail runs longer).
 ///
 /// Fractions are measured on *independent* runs (not one run observed at
 /// several thresholds), so the returned means are unbiased per-γ even
-/// though that costs extra simulation.
+/// though that costs extra simulation. Trial `t` of fraction `gi` draws a
+/// stream depending only on `(seed, gi, t)`, so consumed counts are
+/// reproducible.
 ///
 /// # Panics
-/// As [`kwalk_partial_cover_rounds`]; also if `trials == 0`.
+/// As [`kwalk_partial_cover_rounds`]; also if the trial budget is empty.
 pub fn partial_cover_profile(
     g: &Graph,
     start: u32,
     k: usize,
     gammas: &[f64],
-    trials: usize,
+    trials: impl Into<mrw_stats::Trials>,
     seed: u64,
 ) -> Vec<PartialCoverPoint> {
-    assert!(trials > 0, "need at least one trial");
+    let trials = trials.into();
+    assert!(trials.cap() > 0, "need at least one trial");
     assert!(k >= 1, "need at least one walk");
     let starts = vec![start; k];
     gammas
@@ -105,19 +113,30 @@ pub fn partial_cover_profile(
         .enumerate()
         .map(|(gi, &gamma)| {
             let target = fraction_target(g.n(), gamma);
-            let mut total = 0u64;
-            for t in 0..trials {
-                // Decorrelate (γ, trial) pairs without coupling to position
-                // in the sweep.
-                let mut rng = crate::walk::walk_rng(
+            // Decorrelate (γ, trial) pairs without coupling to position
+            // in the sweep.
+            let trial_rng = |t: usize| {
+                crate::walk::walk_rng(
                     seed ^ (gi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (t as u64) << 20,
-                );
-                total += kwalk_partial_cover_rounds(g, &starts, target, &mut rng);
-            }
+                )
+            };
+            let one_trial =
+                |t: usize| kwalk_partial_cover_rounds(g, &starts, target, &mut trial_rng(t)) as f64;
+            let rounds = match trials {
+                mrw_stats::Trials::Fixed(n) => {
+                    let mut s = mrw_stats::Summary::new();
+                    for t in 0..n {
+                        s.push(one_trial(t));
+                    }
+                    s
+                }
+                mrw_stats::Trials::Adaptive(rule) => rule.run_serial(one_trial),
+            };
             PartialCoverPoint {
                 gamma,
                 target,
-                mean_rounds: total as f64 / trials as f64,
+                mean_rounds: rounds.mean(),
+                trials: rounds.count() as usize,
             }
         })
         .collect()
@@ -225,6 +244,32 @@ mod tests {
                 w[1].mean_rounds
             );
         }
+    }
+
+    #[test]
+    fn adaptive_profile_stops_within_bounds_and_reproduces() {
+        use mrw_stats::Precision;
+        let g = generators::torus_2d(6);
+        let rule = Precision::relative(0.15)
+            .with_min_trials(16)
+            .with_max_trials(2048);
+        let run = || partial_cover_profile(&g, 0, 2, &[0.5, 1.0], rule, 7);
+        let a = run();
+        let b = run();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!((16..=2048).contains(&pa.trials), "consumed {}", pa.trials);
+            assert_eq!(pa.trials, pb.trials, "consumed count not reproducible");
+            assert_eq!(pa.mean_rounds, pb.mean_rounds);
+            assert!(pa.mean_rounds > 0.0);
+        }
+        // The easy half target needs no more trials than full cover's
+        // coupon-collector tail at the same relative precision.
+        assert!(
+            a[0].trials <= a[1].trials * 2,
+            "{} vs {}",
+            a[0].trials,
+            a[1].trials
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! result.
 //!
 //! [`WalkProcess::step`] is the *uncached reference* kernel. The engine
-//! runs [`CompiledProcess`](crate::engine::CompiledProcess) instead,
+//! runs [`crate::engine::CompiledProcess`] instead,
 //! which pre-builds per-process state: a cached `Bernoulli` for lazy
 //! holds (one integer compare per step instead of an `f64` conversion —
 //! ~35% faster on the torus, see `benches/engine.rs`) and

@@ -19,6 +19,9 @@
 //! * [`Table`] — ASCII / Markdown / CSV rendering of result tables in the
 //!   layout of the paper's Table 1.
 //! * [`ladder`] — geometric parameter ladders for sweeps over `n` and `k`.
+//! * [`precision`] — sequential stopping rules ([`Precision`], [`Trials`])
+//!   for adaptive trial budgets: sample until the CI half-width crosses a
+//!   requested target instead of running a fixed count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod harmonic;
 pub mod histogram;
 pub mod ks;
 pub mod ladder;
+pub mod precision;
 pub mod quantile;
 pub mod regression;
 pub mod summary;
@@ -36,6 +40,7 @@ pub mod table;
 pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
 pub use ks::{kolmogorov_q, ks_two_sample, KsTest};
+pub use precision::{Precision, SequentialCi, Trials};
 pub use regression::{LinearFit, PowerLawFit};
 pub use summary::Summary;
 pub use table::{Align, Table};

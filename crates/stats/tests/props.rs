@@ -3,7 +3,7 @@
 use mrw_stats::ci::{bootstrap_mean_ci, normal_ci};
 use mrw_stats::quantile::{five_num, quantile};
 use mrw_stats::regression::{linear_fit, power_law_fit};
-use mrw_stats::{ladder, Summary};
+use mrw_stats::{ladder, Precision, SequentialCi, Summary};
 use proptest::prelude::*;
 
 fn finite_sample() -> impl Strategy<Value = Vec<f64>> {
@@ -96,6 +96,69 @@ proptest! {
         for x in ladder::powers_of_two(lo, lo + span) {
             prop_assert!(x.is_power_of_two());
             prop_assert!(x >= lo && x <= lo + span);
+        }
+    }
+
+    #[test]
+    fn precision_wave_schedule_fills_the_cap_exactly(
+        floor in 2usize..64,
+        cap_extra in 0usize..500,
+    ) {
+        let cap = floor + cap_extra;
+        let rule = Precision::absolute(1.0).with_min_trials(floor).with_max_trials(cap);
+        let mut consumed = 0usize;
+        let mut waves = 0usize;
+        loop {
+            let w = rule.next_wave(consumed);
+            if w == 0 {
+                break;
+            }
+            consumed += w;
+            waves += 1;
+            prop_assert!(consumed <= cap, "overran cap: {} > {}", consumed, cap);
+            prop_assert!(waves <= 64, "schedule failed to converge");
+        }
+        // Running the schedule to exhaustion lands exactly on the cap —
+        // a run that never satisfies its rule consumes precisely max_trials.
+        prop_assert_eq!(consumed, cap);
+    }
+
+    #[test]
+    fn sequential_ci_stops_iff_rule_satisfied(
+        xs in prop::collection::vec(0.0f64..1e4, 4..120),
+        rel in 0.01f64..1.0,
+        floor in 2usize..16,
+    ) {
+        let rule = Precision::relative(rel)
+            .with_min_trials(floor)
+            .with_max_trials(1 << 20);
+        let mut seq = SequentialCi::new(rule);
+        for &x in &xs {
+            seq.push(x);
+        }
+        let s = Summary::from_slice(&xs);
+        prop_assert_eq!(
+            seq.decision() == mrw_stats::precision::Decision::PrecisionReached,
+            rule.satisfied_by(&s)
+        );
+        if seq.is_done() && xs.len() < (1 << 20) {
+            // Below the cap, done means the achieved half-width meets the
+            // demanded one.
+            prop_assert!(seq.ci().half_width() <= rule.demanded_half_width(&s) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tighter_targets_never_stop_sooner(
+        xs in prop::collection::vec(1.0f64..1e4, 8..100),
+    ) {
+        // satisfied_by is monotone in the target: a 5% rule satisfied
+        // implies a 10% rule satisfied on the same sample.
+        let s = Summary::from_slice(&xs);
+        let tight = Precision::relative(0.05).with_min_trials(4);
+        let loose = Precision::relative(0.10).with_min_trials(4);
+        if tight.satisfied_by(&s) {
+            prop_assert!(loose.satisfied_by(&s));
         }
     }
 }

@@ -38,6 +38,25 @@
 //! assert!(four.cover_time.mean() < single.cover_time.mean());
 //! ```
 //!
+//! Budgets can also be *adaptive*: instead of a fixed trial count, give
+//! the estimator a precision target and it samples in waves until the CI
+//! half-width crosses it (or a hard cap) — consuming an identical trial
+//! count on any thread count:
+//!
+//! ```
+//! use many_walks::graph::generators;
+//! use many_walks::stats::Precision;
+//! use many_walks::walks::{CoverTimeEstimator, EstimatorConfig};
+//!
+//! // Full-cover estimate on the 4-cycle to ±10% at 95% confidence.
+//! let g = generators::cycle(4);
+//! let rule = Precision::relative(0.10).with_max_trials(4096);
+//! let est = CoverTimeEstimator::new(&g, 2, EstimatorConfig::adaptive(rule).with_seed(1))
+//!     .run_from(0);
+//! assert!(est.consumed_trials() < 4096); // easy instance: stops early
+//! assert!(est.ci.half_width() <= 0.10 * est.mean());
+//! ```
+//!
 //! Every simulation in the crate is one primitive observed through a
 //! different lens: `k` tokens stepping over a graph until a stopping rule
 //! fires. The engine exposes that primitive directly — pick a process,

@@ -203,7 +203,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Size specification for [`vec`]: a fixed size or a half-open
+        /// Size specification for [`vec()`]: a fixed size or a half-open
         /// range of sizes.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
@@ -235,7 +235,7 @@ pub mod prop {
             }
         }
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,
