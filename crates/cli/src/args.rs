@@ -28,6 +28,13 @@ experiments:
   smallworld      Sec 8: Watts-Strogatz beta-sweep, Theorem 6 -> Theorem 18
   figure1         Figure 1: DOT rendering of the barbell B_13
   estimate        one C^k estimate on a chosen family (see estimate options)
+  run SPEC.json   execute a serialized query spec (any estimate kind)
+  shard SPEC.json --shard I/S
+                  run one shard of a spec's trial range, emit a JSON report
+  merge A.json B.json ...
+                  losslessly merge shard reports (byte-identical to the
+                  unsharded run for fixed budgets; certifies the achieved
+                  half-width for adaptive ones)
   all             run everything
 
 options:
@@ -39,6 +46,17 @@ options:
   --no-batch      force the scalar stepping loop (legacy seeded streams)
                   (default: auto - batch k >= 64 round-synchronous walks)
   --format F      output format: ascii (default) | markdown | csv
+  --json          emit the canonical JSON report schema instead of a table
+                  (estimate / run; the same schema mrw shard emits)
+
+sharding (run / shard / merge):
+  --shard I/S     run shard I of S (trials [I*N/S, (I+1)*N/S) of an
+                  N-trial budget); reports merge with 'mrw merge'
+
+hunting options:
+  --prey P        the moving prey's strategy: stationary | uniform
+                  (default) | adversarial (greedy evader)
+  --k-ladder KS   comma-separated hunter counts, e.g. 1,4,16
 
 adaptive stopping (any estimator-driven experiment):
   --precision H      stop each estimate once the CI half-width <= H rounds
@@ -106,6 +124,16 @@ pub struct Options {
     pub start: Option<u32>,
     /// `--format F`.
     pub format: Format,
+    /// `--json`: emit the canonical report schema instead of a table.
+    pub json: bool,
+    /// `--shard I/S` for the `shard` verb.
+    pub shard: Option<mrw_core::Shard>,
+    /// `--prey P` (the `hunting` verb's moving-prey strategy).
+    pub prey: Option<mrw_core::PreyStrategy>,
+    /// `--k-ladder KS` (the `hunting` verb's hunter counts).
+    pub k_ladder: Option<Vec<usize>>,
+    /// Positional file arguments (the `run`/`shard` spec, `merge` inputs).
+    pub files: Vec<String>,
 }
 
 impl Options {
@@ -130,9 +158,40 @@ impl Options {
             k: None,
             start: None,
             format: Format::Ascii,
+            json: false,
+            shard: None,
+            prey: None,
+            k_ladder: None,
+            files: Vec::new(),
         };
         while let Some(arg) = it.next() {
             match arg.as_str() {
+                "--json" => opts.json = true,
+                "--shard" => {
+                    let v = it.next().ok_or("--shard needs a value (e.g. 0/2)")?;
+                    opts.shard = Some(mrw_core::Shard::parse(&v)?);
+                }
+                "--prey" => {
+                    let v = it.next().ok_or("--prey needs a value")?;
+                    opts.prey = Some(mrw_core::query::prey_from_str(&v)?);
+                }
+                "--k-ladder" => {
+                    let v = it.next().ok_or("--k-ladder needs a value")?;
+                    let ks = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&k| k >= 1)
+                                .ok_or_else(|| format!("bad --k-ladder entry '{s}'"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if ks.is_empty() {
+                        return Err("--k-ladder needs at least one k".into());
+                    }
+                    opts.k_ladder = Some(ks);
+                }
                 "--quick" => opts.quick = true,
                 "--batch" => opts.batch = Some(true),
                 "--no-batch" => opts.batch = Some(false),
@@ -220,7 +279,12 @@ impl Options {
                         other => return Err(format!("unknown format '{other}'")),
                     };
                 }
-                other => return Err(format!("unknown option '{other}'")),
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown option '{other}'"))
+                }
+                // Positional arguments: the run/shard spec file, merge
+                // inputs.
+                _ => opts.files.push(arg),
             }
         }
         if opts.precision.is_some() && opts.rel_precision.is_some() {
@@ -400,6 +464,32 @@ mod tests {
         // Cap below floor.
         let o = parse(&["x", "--rel-precision", "0.1", "--max-trials", "4"]).unwrap();
         assert!(o.precision_rule().is_err());
+    }
+
+    #[test]
+    fn shard_json_and_positional_files() {
+        let o = parse(&["shard", "spec.json", "--shard", "0/2", "--json"]).unwrap();
+        assert_eq!(o.files, vec!["spec.json".to_string()]);
+        assert_eq!(o.shard, Some(mrw_core::Shard::new(0, 2)));
+        assert!(o.json);
+        let o = parse(&["merge", "a.json", "b.json", "c.json"]).unwrap();
+        assert_eq!(o.files.len(), 3);
+        assert!(parse(&["shard", "s.json", "--shard", "2/2"]).is_err());
+        assert!(parse(&["shard", "s.json", "--shard"]).is_err());
+    }
+
+    #[test]
+    fn hunting_flags() {
+        let o = parse(&["hunting", "--prey", "adversarial", "--k-ladder", "1,4,16"]).unwrap();
+        assert_eq!(o.prey, Some(mrw_core::PreyStrategy::Adversarial));
+        assert_eq!(o.k_ladder, Some(vec![1, 4, 16]));
+        assert_eq!(
+            parse(&["hunting", "--prey", "stationary"]).unwrap().prey,
+            Some(mrw_core::PreyStrategy::Hide)
+        );
+        assert!(parse(&["hunting", "--prey", "bogus"]).is_err());
+        assert!(parse(&["hunting", "--k-ladder", "1,0"]).is_err());
+        assert!(parse(&["hunting", "--k-ladder", ""]).is_err());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   projection      Theorem 24: the projection coupling
 //!   figure1         Figure 1: DOT rendering of the barbell B_13
 //!   estimate        one C^k estimate on a chosen family
+//!   run             execute a serialized query spec (any estimate kind)
+//!   shard           run one shard of a spec's trial range (JSON report)
+//!   merge           losslessly merge shard reports
 //!   all             every experiment above, in order
 //! ```
 //!
@@ -31,6 +34,16 @@
 //! trial count to sequential stopping — sample until the CI half-width
 //! crosses the target, and report the half-width achieved plus the trials
 //! actually consumed.
+//!
+//! ## The shard protocol
+//!
+//! `mrw shard spec.json --shard 0/2` runs trials `[0, N/2)` of the spec's
+//! budget and emits a self-describing JSON report; `mrw merge a.json
+//! b.json` combines shard reports by exact sufficient statistics. For a
+//! fixed budget the merged JSON is **byte-identical** to the unsharded
+//! `mrw run spec.json --json`; for an adaptive budget the merge
+//! re-evaluates the precision rule on the combined sample and certifies
+//! the achieved half-width.
 
 use std::process::ExitCode;
 
@@ -39,6 +52,7 @@ use mrw_core::experiments::{
     expander, gap, hunting, lemma16, lemma19, matthews, mixing, projection, prop23, smallworld,
     stationary, table1, torus, Budget,
 };
+use mrw_core::{GraphSpec, Query, QuerySpec, Report, Session};
 
 mod args;
 
@@ -54,11 +68,19 @@ fn print_table(t: &mrw_stats::Table, fmt: Format) {
 }
 
 /// Applies only the explicitly-passed overrides, preserving the
-/// experiment's own trial default (several appendix experiments need more
-/// than `Budget::default()`'s 64 trials to resolve small probabilities).
+/// experiment's (or spec file's) own defaults — several appendix
+/// experiments need more than `Budget::default()`'s 64 trials to resolve
+/// small probabilities.
 fn apply_overrides(b: &mut Budget, opts: &Options) {
+    // Flag combinations are validated up front in main().
+    let rule = opts.precision_rule().expect("validated in main");
     if let Some(t) = opts.trials {
         b.trials = t;
+        // An explicit fixed count overrides a spec's adaptive rule —
+        // unless precision flags are also present (they win below).
+        if rule.is_none() {
+            b.precision = None;
+        }
     }
     if let Some(s) = opts.seed {
         b.seed = s;
@@ -73,8 +95,9 @@ fn apply_overrides(b: &mut Budget, opts: &Options) {
             mrw_core::BatchMode::Never
         };
     }
-    // Flag combinations are validated up front in main().
-    b.precision = opts.precision_rule().expect("validated in main");
+    if let Some(rule) = rule {
+        b.precision = Some(rule);
+    }
 }
 
 fn budget(opts: &Options) -> Budget {
@@ -409,6 +432,12 @@ fn run_hunting(opts: &Options) {
         hunting::Config::default()
     };
     apply_overrides(&mut cfg.budget, opts);
+    if let Some(prey) = opts.prey {
+        cfg.mover = prey;
+    }
+    if let Some(ks) = &opts.k_ladder {
+        cfg.ks = ks.clone();
+    }
     let report = hunting::run(&cfg);
     print_table(&report.table(), opts.format);
     println!(
@@ -439,50 +468,68 @@ fn run_figure1() {
     print!("{}", mrw_graph::dot::figure1());
 }
 
-/// `mrw estimate`: one `C^k` estimate on a chosen family, with either a
-/// fixed trial count (`--trials`) or an adaptive precision target
-/// (`--precision` / `--rel-precision`). The output table reports the
-/// achieved CI half-width and the trial count actually consumed, so an
-/// adaptive run shows exactly where the sequential rule stopped.
-fn run_estimate(opts: &Options) -> Result<(), String> {
-    use mrw_graph::generators;
-
-    let family = opts.family.as_deref().unwrap_or("cycle");
+/// The `mrw estimate` flags as a [`QuerySpec`] — the same value `mrw run`
+/// reads from a file, so both verbs share one execution and one JSON
+/// schema.
+fn estimate_spec(opts: &Options) -> QuerySpec {
+    let family = opts.family.as_deref().unwrap_or("cycle").to_string();
     // `--n` is the family's natural size parameter: vertices for most,
     // the side for the torus, the *dimension* for the hypercube — so the
-    // hypercube gets its own default and bound.
-    let k = opts.k.unwrap_or(4);
-    let g = match family {
-        "cycle" => generators::cycle(opts.n.unwrap_or(64)),
-        "path" => generators::path(opts.n.unwrap_or(64)),
-        "torus" => generators::torus_2d(opts.n.unwrap_or(16)),
-        "hypercube" => {
-            let d = opts.n.unwrap_or(6);
-            if d == 0 || d >= 31 {
-                return Err(format!(
-                    "--n {d} is the hypercube *dimension* and must be in 1..=30"
-                ));
-            }
-            generators::hypercube(d as u32)
-        }
-        "clique" => generators::complete(opts.n.unwrap_or(64)),
-        "clique-loops" => generators::complete_with_loops(opts.n.unwrap_or(64)),
-        "barbell" => generators::barbell(opts.n.unwrap_or(65)),
-        other => {
-            return Err(format!(
-                "unknown family '{other}' (cycle | path | torus | hypercube | clique | \
-                 clique-loops | barbell)"
-            ))
-        }
-    };
-    let start = opts.start.unwrap_or(0);
-    if start as usize >= g.n() {
-        return Err(format!("--start {start} out of range (n = {})", g.n()));
+    // hypercube and barbell get their own defaults.
+    let n = opts.n.unwrap_or(match family.as_str() {
+        "torus" => 16,
+        "hypercube" => 6,
+        "barbell" => 65,
+        _ => 64,
+    });
+    QuerySpec {
+        graph: GraphSpec { family, n },
+        query: Query::Cover {
+            k: opts.k.unwrap_or(4),
+            starts: vec![opts.start.unwrap_or(0)],
+        },
+        budget: budget(opts),
     }
-    let b = budget(opts);
-    let est = mrw_core::CoverTimeEstimator::new(&g, k, b.estimator()).run_from(start);
+}
 
-    let (budget_desc, stop_desc) = match b.trials_budget() {
+/// Renders any [`Report`] as one table row per group.
+fn report_table(report: &Report) -> mrw_stats::Table {
+    let level = report.confidence();
+    let mut t = mrw_stats::Table::new(vec![
+        "group",
+        "trials",
+        "counted",
+        "mean",
+        "half-width",
+        "rel",
+        "CI",
+        "censored",
+    ])
+    .with_title(format!(
+        "mrw {} — {} (n = {})",
+        report.query.kind(),
+        report.graph.name,
+        report.graph.n
+    ));
+    for g in &report.groups {
+        let ci = g.ci(level);
+        t.push_row(vec![
+            g.label.clone(),
+            g.trials.to_string(),
+            g.moments.count().to_string(),
+            format!("{:.2}", g.mean()),
+            format!("{:.2}", ci.half_width()),
+            format!("{:.1}%", ci.relative_half_width() * 100.0),
+            format!("[{:.2}, {:.2}]", ci.lo, ci.hi),
+            g.censored.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Human-readable budget/stop description for a report's first group.
+fn stop_description(report: &Report) -> (String, String) {
+    match report.budget.trials_budget() {
         mrw_stats::Trials::Fixed(t) => (format!("fixed {t}"), "fixed".to_string()),
         mrw_stats::Trials::Adaptive(rule) => {
             let target = match rule.target {
@@ -496,14 +543,37 @@ fn run_estimate(opts: &Options) -> Result<(), String> {
                 rule.confidence * 100.0,
                 rule.max_trials
             );
-            let stop = if rule.satisfied_by(&est.cover_time) {
-                format!("precision @ {} trials", est.consumed_trials())
+            let group = &report.groups[0];
+            let stop = if rule.satisfied_by(&group.summary()) {
+                format!("precision @ {} trials", group.trials)
             } else {
-                format!("cap @ {} trials", est.consumed_trials())
+                format!("cap @ {} trials", group.trials)
             };
             (desc, stop)
         }
-    };
+    }
+}
+
+/// `mrw estimate`: one `C^k` estimate on a chosen family, with either a
+/// fixed trial count (`--trials`) or an adaptive precision target
+/// (`--precision` / `--rel-precision`). The output table reports the
+/// achieved CI half-width and the trial count actually consumed, so an
+/// adaptive run shows exactly where the sequential rule stopped;
+/// `--json` emits the canonical report schema instead.
+fn run_estimate(opts: &Options) -> Result<(), String> {
+    let spec = estimate_spec(opts);
+    let g = spec.graph.build()?;
+    let start = opts.start.unwrap_or(0);
+    if start as usize >= g.n() {
+        return Err(format!("--start {start} out of range (n = {})", g.n()));
+    }
+    let report = Session::new(spec.budget.clone()).run(&g, &spec.query);
+    if opts.json {
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    let est = mrw_core::CoverEstimate::from_report(&report, 0);
+    let (budget_desc, stop_desc) = stop_description(&report);
 
     let mut t = mrw_stats::Table::new(vec![
         "graph",
@@ -520,17 +590,136 @@ fn run_estimate(opts: &Options) -> Result<(), String> {
     .with_title(format!("mrw estimate — {} (n = {})", g.name(), g.n()));
     t.push_row(vec![
         g.name().to_string(),
-        k.to_string(),
+        est.k().to_string(),
         start.to_string(),
         budget_desc,
         est.consumed_trials().to_string(),
         format!("{:.2}", est.mean()),
-        format!("{:.2}", est.ci.half_width()),
+        format!("{:.2}", est.ci().half_width()),
         format!("{:.1}%", est.relative_half_width() * 100.0),
-        format!("[{:.2}, {:.2}]", est.ci.lo, est.ci.hi),
+        format!("[{:.2}, {:.2}]", est.ci().lo, est.ci().hi),
         stop_desc,
     ]);
     print_table(&t, opts.format);
+    Ok(())
+}
+
+/// Reads and parses a spec file, applying the CLI's budget overrides and
+/// validating everything `Session::run` would otherwise panic on, so bad
+/// specs get the same friendly `error: …` path as bad flags.
+fn load_spec(opts: &Options) -> Result<(QuerySpec, mrw_graph::Graph), String> {
+    let path = match opts.files.as_slice() {
+        [path] => path,
+        [] => return Err(format!("mrw {} needs a spec file", opts.command)),
+        more => {
+            return Err(format!(
+                "mrw {} takes exactly one spec file (got {})",
+                opts.command,
+                more.len()
+            ))
+        }
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut spec = QuerySpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    apply_overrides(&mut spec.budget, opts);
+    if spec.budget.trials_budget().cap() < 1 {
+        return Err(format!("{path}: budget needs at least one trial"));
+    }
+    let g = spec.graph.build().map_err(|e| format!("{path}: {e}"))?;
+    spec.query
+        .validate(&g)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok((spec, g))
+}
+
+/// `mrw run spec.json`: execute any serialized query. `--json` emits the
+/// canonical report schema (identical to a merged shard run); otherwise a
+/// per-group table.
+fn run_spec(opts: &Options) -> Result<(), String> {
+    let (spec, g) = load_spec(opts)?;
+    let mut session = Session::new(spec.budget.clone());
+    if let Some(shard) = opts.shard {
+        session = session.with_shard(shard);
+    }
+    let report = session.run(&g, &spec.query);
+    if opts.json {
+        print!("{}", report.to_json());
+        return Ok(());
+    }
+    print_table(&report_table(&report), opts.format);
+    if let Some(certified) = report.certified() {
+        println!(
+            "precision rule {} on every group ({} trials total)",
+            if certified {
+                "satisfied"
+            } else {
+                "NOT satisfied"
+            },
+            report.consumed_trials()
+        );
+    }
+    Ok(())
+}
+
+/// `mrw shard spec.json --shard I/S`: run one slice of the spec's trial
+/// range and emit the JSON shard report on stdout (always JSON — the
+/// output exists to be merged).
+fn run_shard(opts: &Options) -> Result<(), String> {
+    let shard = opts.shard.ok_or("mrw shard needs --shard I/S")?;
+    let (spec, g) = load_spec(opts)?;
+    let report = Session::new(spec.budget.clone())
+        .with_shard(shard)
+        .run(&g, &spec.query);
+    print!("{}", report.to_json());
+    Ok(())
+}
+
+/// `mrw merge a.json b.json …`: losslessly combine shard reports. The
+/// merged JSON goes to stdout (for fixed budgets it is byte-identical to
+/// the unsharded run); the human summary — including the adaptive
+/// half-width certification — goes to stderr so pipelines stay clean.
+fn run_merge(opts: &Options) -> Result<(), String> {
+    if opts.files.len() < 2 {
+        return Err("mrw merge needs at least two report files".into());
+    }
+    let mut reports = opts.files.iter().map(|path| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Report::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    });
+    let mut merged = reports.next().expect("len checked")?;
+    for report in reports {
+        merged = Report::merge(&merged, &report?)?;
+    }
+    print!("{}", merged.to_json());
+    eprintln!(
+        "merged {} shards: {} on {} — {} trials total",
+        opts.files.len(),
+        merged.query.kind(),
+        merged.graph.name,
+        merged.consumed_trials()
+    );
+    let level = merged.confidence();
+    for g in &merged.groups {
+        let ci = g.ci(level);
+        eprintln!(
+            "  {}: mean {:.2} ± {:.2} ({} counted, {} censored)",
+            g.label,
+            g.mean(),
+            ci.half_width(),
+            g.moments.count(),
+            g.censored
+        );
+    }
+    if let Some(certified) = merged.certified() {
+        eprintln!(
+            "precision rule {} by the merged sample",
+            if certified {
+                "CERTIFIED"
+            } else {
+                "NOT satisfied"
+            }
+        );
+    }
     Ok(())
 }
 
@@ -551,9 +740,25 @@ fn main() -> ExitCode {
     }
 
     let command = opts.command.as_str();
+    // Only the file-taking verbs accept positional arguments; anywhere
+    // else a stray token is almost certainly a typo'd flag value.
+    if !matches!(command, "run" | "shard" | "merge") && !opts.files.is_empty() {
+        eprintln!(
+            "error: unexpected argument '{}' for '{command}'\n",
+            opts.files[0]
+        );
+        eprintln!("{}", args::USAGE);
+        return ExitCode::FAILURE;
+    }
     match command {
-        "estimate" => {
-            if let Err(e) = run_estimate(&opts) {
+        "estimate" | "run" | "shard" | "merge" => {
+            let result = match command {
+                "estimate" => run_estimate(&opts),
+                "run" => run_spec(&opts),
+                "shard" => run_shard(&opts),
+                _ => run_merge(&opts),
+            };
+            if let Err(e) = result {
                 eprintln!("error: {e}\n");
                 eprintln!("{}", args::USAGE);
                 return ExitCode::FAILURE;

@@ -957,6 +957,12 @@ pub enum PreyMove {
     Hide,
     /// The prey performs its own simple random walk.
     RandomWalk,
+    /// A greedy evader: the prey steps to a uniformly chosen neighbor
+    /// *not currently occupied by a hunter*, and stays put when cornered
+    /// (every neighbor occupied). Locally adversarial — it never blunders
+    /// into a hunter — but memoryless and distance-blind, so it remains
+    /// catchable.
+    Adversarial,
 }
 
 /// The hunters-vs-prey game: tokens are hunters; the prey is an
@@ -1003,10 +1009,29 @@ impl Observer for Pursuit {
         if self.caught {
             return true;
         }
-        if self.strategy == PreyMove::RandomWalk {
-            self.prey = step(g, self.prey, rng);
-            if positions.contains(&self.prey) {
-                self.caught = true;
+        match self.strategy {
+            PreyMove::Hide => {}
+            PreyMove::RandomWalk => {
+                self.prey = step(g, self.prey, rng);
+                if positions.contains(&self.prey) {
+                    self.caught = true;
+                }
+            }
+            PreyMove::Adversarial => {
+                // Count hunter-free neighbors, then pick the j-th one —
+                // two passes so the move needs no allocation.
+                let nbrs = g.neighbors(self.prey);
+                let free = nbrs.iter().filter(|v| !positions.contains(v)).count();
+                if free > 0 {
+                    let pick = rng.gen_range(0..free);
+                    self.prey = *nbrs
+                        .iter()
+                        .filter(|v| !positions.contains(v))
+                        .nth(pick)
+                        .expect("pick < free");
+                }
+                // Cornered (free == 0): stay put. The prey's own vertex
+                // was already checked by `visit`, so no new catch here.
             }
         }
         self.caught

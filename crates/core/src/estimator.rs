@@ -1,34 +1,29 @@
-//! Monte-Carlo cover-time estimation with deterministic parallel fan-out.
+//! Monte-Carlo cover-time estimation — the typed facade over the query
+//! layer.
 //!
-//! An estimator owns a graph reference, a walk count `k`, and an
-//! [`EstimatorConfig`]; its trial budget is either
-//! [`Trials::Fixed`] — a classical flat count — or [`Trials::Adaptive`] —
-//! a sequential [`Precision`] rule that keeps sampling in waves until the
-//! CI half-width crosses a requested target (or a hard cap). Either way,
-//! per-trial RNG streams are derived from the master seed by counter
-//! (never by thread), so an estimate is a pure function of
+//! [`CoverTimeEstimator`] is a thin, strongly-typed front end: it
+//! translates `(graph, k, config)` into a
+//! [`Query::Cover`](crate::query::Query) and hands execution to
+//! [`Session::run`](crate::query::Session), which owns the engine
+//! fan-out, the zero-alloc per-worker workspaces, and the adaptive wave
+//! scheduling. The returned [`CoverEstimate`]s are views over the
+//! [`Report`] groups.
+//!
+//! Determinism: per-trial RNG streams are derived from the master seed by
+//! counter (never by thread), so an estimate is a pure function of
 //! `(graph, k, config)` regardless of the machine's core count — for an
 //! adaptive budget this includes the *consumed trial count*, because the
 //! stopping rule is only evaluated at wave boundaries on index-ordered
 //! prefixes (see [`mrw_par::par_map_chunks_with`]).
-//!
-//! Each worker thread owns one `TrialWorkspace` — an
-//! [`EngineArena`] plus a reusable [`FullCover`] observer and start
-//! buffer — allocated once via [`mrw_par::par_map_with`] (fixed budgets
-//! fan the whole `(start × trial)` grid out flat) or pooled across waves
-//! by [`mrw_par::par_map_chunks_with`] (adaptive budgets), so a trial
-//! after warmup performs zero heap allocations in the stepping loop
-//! (asserted by `tests/zero_alloc.rs`).
 
 use mrw_graph::{algo, Graph};
-use mrw_par::{par_map_chunks_with, par_map_with, SeedSequence};
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::precision::{Precision, Trials};
 use mrw_stats::Summary;
 
-use crate::engine::{BatchMode, Engine, EngineArena, FullCover, SimpleStep};
+use crate::engine::BatchMode;
 use crate::kwalk::KWalkMode;
-use crate::walk::walk_rng;
+use crate::query::{Budget, Group, Query, Report, Session};
 
 /// Configuration shared by all Monte-Carlo estimators.
 #[derive(Debug, Clone)]
@@ -77,7 +72,7 @@ impl EstimatorConfig {
     /// let cfg = EstimatorConfig::adaptive(rule).with_seed(7);
     /// let est = CoverTimeEstimator::new(&generators::cycle(4), 2, cfg).run_from(0);
     /// assert!(est.consumed_trials() < 4096);
-    /// assert!(est.ci.half_width() <= 0.10 * est.mean());
+    /// assert!(est.ci().half_width() <= 0.10 * est.mean());
     /// ```
     pub fn adaptive(rule: Precision) -> Self {
         let mut cfg = EstimatorConfig::new(0);
@@ -122,54 +117,93 @@ impl EstimatorConfig {
     }
 }
 
-/// Per-worker scratch state for the trial fan-out: engine buffers, a
-/// reusable cover observer, and the repeated-start vector. One of these is
-/// created per worker thread and reused for every trial that worker
-/// claims.
-struct TrialWorkspace {
-    arena: EngineArena,
-    cover: FullCover,
-    starts: Vec<u32>,
-}
-
-impl TrialWorkspace {
-    fn new(n: usize) -> Self {
-        TrialWorkspace {
-            arena: EngineArena::new(),
-            cover: FullCover::new(n),
-            starts: Vec::new(),
-        }
-    }
-}
-
-/// The result of estimating a (k-)cover time from one start vertex.
+/// The result of estimating a (k-)cover time from one start vertex: a
+/// thin typed view over one start group of a
+/// [`Query::Cover`](crate::query::Query) [`Report`].
+///
+/// The accessor surface matches
+/// [`CatchEstimate`](crate::meeting::CatchEstimate) — `mean`,
+/// `consumed_trials`, `ci`, `half_width`, `relative_half_width` — so
+/// result handling is uniform across estimate kinds.
 #[derive(Debug, Clone)]
 pub struct CoverEstimate {
-    /// Number of parallel walks.
-    pub k: usize,
-    /// Start vertex.
-    pub start: u32,
-    /// Sample summary of the cover time (in rounds).
-    pub cover_time: Summary,
-    /// Confidence interval around the mean.
-    pub ci: ConfidenceInterval,
+    k: usize,
+    start: u32,
+    group: Group,
+    confidence: f64,
 }
 
 impl CoverEstimate {
+    /// Builds the typed view over one start group of a
+    /// [`Query::Cover`](crate::query::Query) report.
+    ///
+    /// # Panics
+    /// If the report is for a different query kind or `group` is out of
+    /// range.
+    pub fn from_report(report: &Report, group: usize) -> CoverEstimate {
+        let (k, start) = match &report.query {
+            Query::Cover { k, starts } => (*k, starts[group]),
+            other => panic!("not a cover report: {}", other.kind()),
+        };
+        CoverEstimate::from_group(k, start, report.groups[group].clone(), report.confidence())
+    }
+
+    /// Builds a view from a raw group (how the speed-up ladder labels its
+    /// per-k cover groups).
+    pub(crate) fn from_group(k: usize, start: u32, group: Group, confidence: f64) -> CoverEstimate {
+        CoverEstimate {
+            k,
+            start,
+            group,
+            confidence,
+        }
+    }
+
+    /// Number of parallel walks.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Start vertex.
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// Sample summary of the cover time (in rounds), derived from the
+    /// group's exact sufficient statistics.
+    pub fn cover_time(&self) -> Summary {
+        self.group.summary()
+    }
+
+    /// Confidence interval around the mean at the report's level.
+    pub fn ci(&self) -> ConfidenceInterval {
+        normal_ci(&self.group.summary(), self.confidence)
+    }
+
     /// Point estimate of `C^k` from this start.
     pub fn mean(&self) -> f64 {
-        self.cover_time.mean()
+        self.group.mean()
     }
 
     /// Trials actually consumed: the fixed count, or wherever the
     /// adaptive rule stopped.
     pub fn consumed_trials(&self) -> u64 {
-        self.cover_time.count()
+        self.group.trials
+    }
+
+    /// Achieved CI half-width.
+    pub fn half_width(&self) -> f64 {
+        self.ci().half_width()
     }
 
     /// Achieved CI half-width relative to the point estimate.
     pub fn relative_half_width(&self) -> f64 {
-        self.ci.relative_half_width()
+        self.ci().relative_half_width()
+    }
+
+    /// The underlying report group.
+    pub fn group(&self) -> &Group {
+        &self.group
     }
 }
 
@@ -204,25 +238,6 @@ impl<'g> CoverTimeEstimator<'g> {
             .expect("one start probed")
     }
 
-    /// One trial of the k-walk from `start`, on the stream every estimator
-    /// entry point derives identically: `seed → child(start+1) → trial`.
-    /// Reuses `ws`'s buffers; the result is a pure function of
-    /// `(graph, k, config, start, trial)` regardless of which worker's
-    /// workspace serves the trial (scalar path: bit-for-bit the legacy
-    /// `kwalk_cover_rounds_same_start` stream).
-    fn sample(&self, ws: &mut TrialWorkspace, start: u32, trial: usize) -> f64 {
-        let seq = SeedSequence::new(self.cfg.seed).child(start as u64 + 1);
-        let mut rng = walk_rng(seq.seed_for(trial as u64));
-        ws.starts.clear();
-        ws.starts.resize(self.k, start);
-        ws.cover.reset(self.g.n());
-        let out = Engine::new(self.g, SimpleStep, &mut ws.cover)
-            .discipline(self.cfg.mode)
-            .batch(self.cfg.batch)
-            .run_with(&ws.starts, &mut rng, &mut ws.arena);
-        out.rounds as f64
-    }
-
     /// Estimates the paper's `C^k(G) = max_i C^k_i` over a set of candidate
     /// starts, returning the worst estimate.
     ///
@@ -250,85 +265,28 @@ impl<'g> CoverTimeEstimator<'g> {
             .expect("at least one start probed")
     }
 
-    /// Estimates `C^k_i` for each start in `starts`.
+    /// Estimates `C^k_i` for each start in `starts` — one
+    /// [`Query::Cover`](crate::query::Query) through
+    /// [`Session::run`](crate::query::Session), one view per group.
     ///
-    /// How the trials fan out depends on the budget:
-    ///
-    /// * [`Trials::Fixed`] — the whole `starts × trials` grid goes through
-    ///   `mrw_par` as one flat job set, so a worst-start search keeps
-    ///   every core busy even when `trials` alone is smaller than the
-    ///   machine.
-    /// * [`Trials::Adaptive`] — each start runs its own sequential loop:
-    ///   trials are dispatched in waves (first the rule's floor, then
-    ///   geometrically growing) and the precision rule is evaluated
-    ///   between waves, so easy starts stop early while hard ones run to
-    ///   the cap.
-    ///
-    /// Either way each sample's RNG stream depends only on
-    /// `(seed, start, trial)` — the estimates are identical to probing
-    /// each start separately, and the adaptive consumed-trial count
-    /// depends only on the rule, never on thread count. Workers allocate
-    /// one `TrialWorkspace` each and reuse it across every trial they
-    /// claim.
+    /// Each sample's RNG stream depends only on `(seed, start, trial)` —
+    /// the estimates are identical to probing each start separately, and
+    /// the adaptive consumed-trial count depends only on the rule, never
+    /// on thread count.
     pub fn run_from_each(&self, starts: &[u32]) -> Vec<CoverEstimate> {
         for &s in starts {
             assert!((s as usize) < self.g.n(), "start {s} out of range");
         }
-        match self.cfg.trials {
-            Trials::Fixed(trials) => {
-                let samples: Vec<f64> = par_map_with(
-                    starts.len() * trials,
-                    self.cfg.threads,
-                    || TrialWorkspace::new(self.g.n()),
-                    |ws, job| self.sample(ws, starts[job / trials], job % trials),
-                );
-                starts
-                    .iter()
-                    .zip(samples.chunks_exact(trials))
-                    .map(|(&start, chunk)| {
-                        let summary = Summary::from_slice(chunk);
-                        CoverEstimate {
-                            k: self.k,
-                            start,
-                            cover_time: summary,
-                            ci: normal_ci(&summary, self.cfg.ci_level),
-                        }
-                    })
-                    .collect()
-            }
-            Trials::Adaptive(rule) => starts
-                .iter()
-                .map(|&start| self.run_adaptive(start, &rule))
-                .collect(),
-        }
-    }
-
-    /// One adaptive estimate from `start`: waves of trials through
-    /// [`par_map_chunks_with`], stopping when `rule` is satisfied or its
-    /// cap is reached. Trial `i`'s stream is the same one the fixed
-    /// budget would use, so an adaptive sample is a prefix of the
-    /// corresponding fixed-budget sample set.
-    fn run_adaptive(&self, start: u32, rule: &Precision) -> CoverEstimate {
-        let samples: Vec<f64> = par_map_chunks_with(
-            rule.max_trials,
-            self.cfg.threads,
-            || TrialWorkspace::new(self.g.n()),
-            |ws, trial| self.sample(ws, start, trial),
-            |sofar: &[f64]| {
-                if rule.satisfied_by(&Summary::from_slice(sofar)) {
-                    0
-                } else {
-                    rule.next_wave(sofar.len())
-                }
+        let report = Session::new(Budget::from_estimator(&self.cfg)).run(
+            self.g,
+            &Query::Cover {
+                k: self.k,
+                starts: starts.to_vec(),
             },
         );
-        let summary = Summary::from_slice(&samples);
-        CoverEstimate {
-            k: self.k,
-            start,
-            cover_time: summary,
-            ci: normal_ci(&summary, rule.confidence),
-        }
+        (0..starts.len())
+            .map(|i| CoverEstimate::from_report(&report, i))
+            .collect()
     }
 }
 
@@ -353,12 +311,12 @@ mod tests {
             )
             .run_from(0);
             assert_eq!(
-                est.cover_time.mean(),
-                base.cover_time.mean(),
+                est.cover_time().mean(),
+                base.cover_time().mean(),
                 "threads={threads}"
             );
-            assert_eq!(est.cover_time.min(), base.cover_time.min());
-            assert_eq!(est.cover_time.max(), base.cover_time.max());
+            assert_eq!(est.cover_time().min(), base.cover_time().min());
+            assert_eq!(est.cover_time().max(), base.cover_time().max());
         }
     }
 
@@ -371,9 +329,9 @@ mod tests {
         let base = CoverTimeEstimator::new(&g, 64, cfg(1)).run_from(0);
         for threads in [2, 4, 8] {
             let est = CoverTimeEstimator::new(&g, 64, cfg(threads)).run_from(0);
-            assert_eq!(est.cover_time.mean(), base.cover_time.mean());
-            assert_eq!(est.cover_time.min(), base.cover_time.min());
-            assert_eq!(est.cover_time.max(), base.cover_time.max());
+            assert_eq!(est.cover_time().mean(), base.cover_time().mean());
+            assert_eq!(est.cover_time().min(), base.cover_time().min());
+            assert_eq!(est.cover_time().max(), base.cover_time().max());
         }
     }
 
@@ -395,11 +353,11 @@ mod tests {
         let auto = run(BatchMode::Auto);
         let always = run(BatchMode::Always);
         let never = run(BatchMode::Never);
-        assert_eq!(auto.cover_time.mean(), always.cover_time.mean());
-        assert_ne!(auto.cover_time.min(), never.cover_time.min());
+        assert_eq!(auto.cover_time().mean(), always.cover_time().mean());
+        assert_ne!(auto.cover_time().min(), never.cover_time().min());
         assert_eq!(
-            never.cover_time.mean(),
-            run(BatchMode::Never).cover_time.mean()
+            never.cover_time().mean(),
+            run(BatchMode::Never).cover_time().mean()
         );
     }
 
@@ -416,7 +374,7 @@ mod tests {
             "consumed {} — never stopped early",
             est.consumed_trials()
         );
-        assert!(est.ci.half_width() <= 0.15 * est.mean());
+        assert!(est.ci().half_width() <= 0.15 * est.mean());
         assert!(est.consumed_trials() >= rule.min_trials as u64);
     }
 
@@ -444,8 +402,8 @@ mod tests {
                 base.consumed_trials(),
                 "threads={threads}"
             );
-            assert_eq!(est.cover_time.mean(), base.cover_time.mean());
-            assert_eq!(est.cover_time.max(), base.cover_time.max());
+            assert_eq!(est.cover_time().mean(), base.cover_time().mean());
+            assert_eq!(est.cover_time().max(), base.cover_time().max());
         }
     }
 
@@ -463,9 +421,9 @@ mod tests {
         let m = adaptive.consumed_trials() as usize;
         let fixed =
             CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(m).with_seed(5)).run_from(0);
-        assert_eq!(adaptive.cover_time.mean(), fixed.cover_time.mean());
-        assert_eq!(adaptive.cover_time.min(), fixed.cover_time.min());
-        assert_eq!(adaptive.cover_time.max(), fixed.cover_time.max());
+        assert_eq!(adaptive.cover_time().mean(), fixed.cover_time().mean());
+        assert_eq!(adaptive.cover_time().min(), fixed.cover_time().min());
+        assert_eq!(adaptive.cover_time().max(), fixed.cover_time().max());
     }
 
     #[test]
@@ -488,7 +446,7 @@ mod tests {
         let b = est.run_from(1);
         // Vertex-transitive graph: same distribution, but distinct streams
         // mean samples differ with overwhelming probability.
-        assert_ne!(a.cover_time.min(), b.cover_time.min());
+        assert_ne!(a.cover_time().min(), b.cover_time().min());
     }
 
     #[test]
@@ -499,7 +457,7 @@ mod tests {
         let e = est.run_from(0);
         let expect = n as f64 * harmonic(n as u64);
         assert!(
-            e.ci.contains(expect) || (e.mean() - expect).abs() < expect * 0.08,
+            e.ci().contains(expect) || (e.mean() - expect).abs() < expect * 0.08,
             "mean {} vs nH_n {expect}",
             e.mean()
         );
@@ -512,7 +470,7 @@ mod tests {
             CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(16).with_seed(3)).run_from(0);
         let large =
             CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(256).with_seed(3)).run_from(0);
-        assert!(large.ci.half_width() < small.ci.half_width());
+        assert!(large.ci().half_width() < small.ci().half_width());
     }
 
     #[test]
@@ -528,15 +486,15 @@ mod tests {
         assert!(
             worst.mean() >= endpoint.mean(),
             "worst start {} mean {} < endpoint mean {}",
-            worst.start,
+            worst.start(),
             worst.mean(),
             endpoint.mean()
         );
         // And the reported worst start should not be an endpoint.
         assert!(
-            worst.start != 0 && worst.start != 11,
+            worst.start() != 0 && worst.start() != 11,
             "endpoint {} reported as worst; interior starts dominate on a path",
-            worst.start
+            worst.start()
         );
     }
 

@@ -72,7 +72,7 @@ impl Report {
             let pred = bounds::clique_kwalk_cover(self.n as u64, p.k as u64);
             t.push_row(vec![
                 p.k.to_string(),
-                super::fmt_pm(p.cover.mean(), p.cover.ci.half_width()),
+                super::fmt_pm(p.cover.mean(), p.cover.ci().half_width()),
                 format!("{:.1}", pred),
                 format!("{:.2}", p.speedup.point),
                 format!("{:.3}", p.speedup.point / p.k as f64),

@@ -135,8 +135,8 @@ pub fn run(cfg: &Config) -> Report {
             rows.push(Row {
                 family,
                 n: g.n(),
-                mean: est.cover_time.mean(),
-                cv: est.cover_time.coeff_of_variation(),
+                mean: est.cover_time().mean(),
+                cv: est.cover_time().coeff_of_variation(),
             });
         }
     }

@@ -88,7 +88,7 @@ impl Report {
             };
             t.push_row(vec![
                 p.k.to_string(),
-                super::fmt_pm(p.cover.mean(), p.cover.ci.half_width()),
+                super::fmt_pm(p.cover.mean(), p.cover.ci().half_width()),
                 bound,
                 format!("{:.2}", p.speedup.point),
                 per_log,

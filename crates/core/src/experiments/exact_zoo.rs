@@ -156,7 +156,7 @@ pub fn run(cfg: &Config) -> Report {
                 k,
                 exact,
                 mc_mean: est.mean(),
-                mc_half_width: est.ci.half_width(),
+                mc_half_width: est.ci().half_width(),
             });
         }
     }

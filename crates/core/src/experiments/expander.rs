@@ -93,7 +93,7 @@ impl Report {
         for p in &self.sweep.points {
             t.push_row(vec![
                 p.k.to_string(),
-                super::fmt_pm(p.cover.mean(), p.cover.ci.half_width()),
+                super::fmt_pm(p.cover.mean(), p.cover.ci().half_width()),
                 format!(
                     "{:.0}",
                     bounds::expander_walk_length(self.n as u64, self.profile.b, p.k as u64)

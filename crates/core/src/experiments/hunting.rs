@@ -19,7 +19,8 @@ use mrw_graph::Graph;
 use mrw_stats::Table;
 
 use crate::experiments::Budget;
-use crate::meeting::{mean_catch_time, PreyStrategy};
+use crate::meeting::PreyStrategy;
+use crate::query::{prey_to_str, Session};
 use crate::CoverTimeEstimator;
 
 /// Configuration for the hunting experiment.
@@ -27,10 +28,17 @@ use crate::CoverTimeEstimator;
 pub struct Config {
     /// Graph size (per family; the cycle uses `n`, the torus `√n×√n`).
     pub n: usize,
-    /// Hunter counts to probe.
+    /// Hunter counts to probe (the CLI's `--k-ladder`).
     pub ks: Vec<usize>,
     /// Round cap per game (censoring bound).
     pub cap: u64,
+    /// What the *moving* prey plays in the second column (the CLI's
+    /// `--prey`): [`PreyStrategy::RandomWalk`] (`uniform`, the default),
+    /// [`PreyStrategy::Adversarial`], or even [`PreyStrategy::Hide`]
+    /// (`stationary`, which repeats the hider column). The hider column
+    /// is always measured — it is the k-walk hitting baseline the
+    /// speed-up is computed from.
+    pub mover: PreyStrategy,
     /// Trial budget.
     pub budget: Budget,
 }
@@ -41,6 +49,7 @@ impl Default for Config {
             n: 1024,
             ks: vec![1, 4, 16],
             cap: 50_000_000,
+            mover: PreyStrategy::RandomWalk,
             budget: Budget {
                 trials: 96,
                 ..Budget::default()
@@ -56,6 +65,7 @@ impl Config {
             n: 144,
             ks: vec![1, 4],
             cap: 5_000_000,
+            mover: PreyStrategy::RandomWalk,
             budget: Budget {
                 trials: 48,
                 ..Budget::quick()
@@ -73,8 +83,10 @@ pub struct Row {
     pub k: usize,
     /// Mean rounds to catch a hiding prey.
     pub catch_hide: f64,
-    /// Mean rounds to catch a random-walking prey.
+    /// Mean rounds to catch the configured moving prey.
     pub catch_move: f64,
+    /// The moving prey's strategy name (`uniform`, `adversarial`, …).
+    pub mover: &'static str,
     /// Censored games (hit the cap) across both strategies.
     pub censored: usize,
     /// Catch speed-up vs the k = 1 row of the same family (hider).
@@ -93,13 +105,17 @@ pub struct Report {
 impl Report {
     /// Renders the hunting table.
     pub fn table(&self) -> Table {
+        let mover = self
+            .rows
+            .first()
+            .map_or("mover".to_string(), |r| format!("{} prey", r.mover));
         let mut t = Table::new(vec![
-            "graph",
-            "k",
-            "catch (hider)",
-            "catch (mover)",
-            "catch speed-up",
-            "cover speed-up",
+            "graph".to_string(),
+            "k".to_string(),
+            "catch (hider)".to_string(),
+            format!("catch ({mover})"),
+            "catch speed-up".to_string(),
+            "cover speed-up".to_string(),
         ])
         .with_title("The §1 hunting game — k hunters vs one prey (prey at the far point)");
         for r in &self.rows {
@@ -144,6 +160,17 @@ pub fn run(cfg: &Config) -> Report {
         mrw_graph::generators::torus_2d(side),
         mrw_graph::generators::cycle(cfg.n),
     ];
+    // The games route through Query::Pursuit; the historical per-column
+    // seed offsets (⊕CAFE for the hider, ⊕BEEF for the mover) are kept so
+    // the tuned quick-scale seeds keep their streams.
+    let hide_session = Session::new(Budget {
+        seed: cfg.budget.seed ^ 0xCAFE,
+        ..cfg.budget.clone()
+    });
+    let move_session = Session::new(Budget {
+        seed: cfg.budget.seed ^ 0xBEEF,
+        ..cfg.budget.clone()
+    });
     let mut rows = Vec::new();
     for g in &graphs {
         let prey = far_vertex(g, 0);
@@ -153,28 +180,10 @@ pub fn run(cfg: &Config) -> Report {
             .run_from(0)
             .mean();
         for &k in &cfg.ks {
-            let hide_est = mean_catch_time(
-                g,
-                0,
-                prey,
-                k,
-                PreyStrategy::Hide,
-                cfg.cap,
-                cfg.budget.trials_budget(),
-                cfg.budget.seed ^ 0xCAFE,
-            );
-            let move_est = mean_catch_time(
-                g,
-                0,
-                prey,
-                k,
-                PreyStrategy::RandomWalk,
-                cfg.cap,
-                cfg.budget.trials_budget(),
-                cfg.budget.seed ^ 0xBEEF,
-            );
+            let hide_est = hide_session.pursuit(g, 0, prey, k, PreyStrategy::Hide, cfg.cap);
+            let move_est = move_session.pursuit(g, 0, prey, k, cfg.mover, cfg.cap);
             let (hide, mv) = (hide_est.mean(), move_est.mean());
-            let (c1, c2) = (hide_est.censored, move_est.censored);
+            let (c1, c2) = (hide_est.censored(), move_est.censored());
             if k == 1 {
                 base_hide = hide;
             }
@@ -186,6 +195,7 @@ pub fn run(cfg: &Config) -> Report {
                 k,
                 catch_hide: hide,
                 catch_move: mv,
+                mover: prey_to_str(cfg.mover),
                 censored: c1 + c2,
                 catch_speedup: base_hide / hide,
                 cover_speedup: cover_base / cover_k,

@@ -58,62 +58,6 @@ pub(crate) fn fmt_pm(point: f64, half: f64) -> String {
     format!("{} ±{}", fmt_num(point), fmt_num(half))
 }
 
-/// Common experiment budget knobs shared by the drivers.
-#[derive(Debug, Clone)]
-pub struct Budget {
-    /// Monte-Carlo trials per estimate (the fixed count — or, when
-    /// [`precision`](Budget::precision) is set, ignored in favor of the
-    /// rule's own floor and cap).
-    pub trials: usize,
-    /// Master seed.
-    pub seed: u64,
-    /// Worker threads.
-    pub threads: usize,
-    /// Engine path selection (`--batch` / `--no-batch`; default: batch
-    /// round-synchronous runs of `k ≥ 64` walks).
-    pub batch: crate::BatchMode,
-    /// When set (`--precision` / `--rel-precision` on the CLI), estimators
-    /// sample adaptively until this sequential rule fires instead of
-    /// running the fixed `trials` count.
-    pub precision: Option<mrw_stats::Precision>,
-}
-
-impl Default for Budget {
-    fn default() -> Self {
-        Budget {
-            trials: 64,
-            seed: 0x5EED,
-            threads: mrw_par::available_threads(),
-            batch: crate::BatchMode::Auto,
-            precision: None,
-        }
-    }
-}
-
-impl Budget {
-    /// A CI-friendly budget (fewer trials).
-    pub fn quick() -> Self {
-        Budget {
-            trials: 24,
-            ..Default::default()
-        }
-    }
-
-    /// The trial budget this configuration describes: adaptive when a
-    /// precision rule is set, the fixed count otherwise.
-    pub fn trials_budget(&self) -> mrw_stats::Trials {
-        match self.precision {
-            Some(rule) => mrw_stats::Trials::Adaptive(rule),
-            None => mrw_stats::Trials::Fixed(self.trials),
-        }
-    }
-
-    /// Builds the estimator config for this budget.
-    pub fn estimator(&self) -> crate::EstimatorConfig {
-        crate::EstimatorConfig::new(self.trials)
-            .with_trials(self.trials_budget())
-            .with_seed(self.seed)
-            .with_threads(self.threads)
-            .with_batch(self.batch)
-    }
-}
+// The budget struct migrated to the query layer (it now also configures
+// `Session` runs); this re-export keeps the historical path working.
+pub use crate::query::Budget;

@@ -121,7 +121,7 @@ impl Report {
             t.push_row(vec![
                 p.k.to_string(),
                 regime.to_string(),
-                super::fmt_pm(p.cover.mean(), p.cover.ci.half_width()),
+                super::fmt_pm(p.cover.mean(), p.cover.ci().half_width()),
                 lower,
                 format!("{:.2}", p.speedup.point),
                 format!("{:.3}", p.speedup.point / p.k as f64),

@@ -13,13 +13,17 @@
 //!   that is tight on the paper's families — and the experiments that
 //!   *depend* on `h_max` (Matthews sandwich, Baby-Matthews) also run the
 //!   exact path on sizes where both are available to validate the MC one.
+//!
+//! Since the query-layer redesign, execution lives in
+//! [`Session`] ([`Query::Hitting`](crate::query::Query)
+//! / [`Query::HMax`](crate::query::Query)); the free functions here are
+//! deprecated shims that reproduce their historical samples bit-for-bit.
 
 use mrw_graph::{algo, Graph};
-use mrw_par::{par_map, par_map_chunks_with, SeedSequence};
 use mrw_stats::precision::Trials;
 use mrw_stats::Summary;
 
-use crate::walk::{steps_to_hit, walk_rng};
+use crate::query::{Budget, Report, Session};
 
 /// Monte-Carlo estimate of `h(u,v)` from independent walks.
 ///
@@ -38,6 +42,57 @@ pub struct HitEstimate {
     pub capped: usize,
 }
 
+impl HitEstimate {
+    /// Builds the typed view over one group of a
+    /// [`Query::Hitting`](crate::query::Query) (or
+    /// [`Query::HMax`](crate::query::Query)) report.
+    ///
+    /// # Panics
+    /// If the report is for a different query kind or `group` is out of
+    /// range.
+    pub fn from_report(report: &Report, group: usize) -> HitEstimate {
+        use crate::query::Query;
+        let (from, to) = match &report.query {
+            Query::Hitting { from, to, .. } => (*from, *to),
+            Query::HMax => hmax_label_pair(&report.groups[group].label),
+            other => panic!("not a hitting report: {}", other.kind()),
+        };
+        let g = &report.groups[group];
+        HitEstimate {
+            from,
+            to,
+            steps: g.summary(),
+            capped: g.censored as usize,
+        }
+    }
+}
+
+/// Recovers the `(from, to)` pair from an `h(u->v)` group label.
+fn hmax_label_pair(label: &str) -> (u32, u32) {
+    let inner = label
+        .strip_prefix("h(")
+        .and_then(|s| s.strip_suffix(')'))
+        .expect("hmax group label");
+    let (u, v) = inner.split_once("->").expect("hmax group label");
+    (u.parse().expect("vertex"), v.parse().expect("vertex"))
+}
+
+/// The budget the historical `(trials, seed, threads)` signatures
+/// describe.
+fn shim_budget(trials: Trials, seed: u64, threads: usize) -> Budget {
+    let (fixed, precision) = match trials {
+        Trials::Fixed(n) => (n, None),
+        Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
+    };
+    Budget {
+        trials: fixed,
+        seed,
+        threads,
+        precision,
+        ..Budget::default()
+    }
+}
+
 /// Estimates `h(from, to)` by simulation.
 ///
 /// `trials` accepts a plain count ([`Trials::Fixed`]) or a sequential
@@ -48,6 +103,7 @@ pub struct HitEstimate {
 /// consumed-trial count, which is checked only at wave boundaries.
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use mrw_core::hitting_mc::hitting_time_mc;
 /// use mrw_core::Precision;
 /// use mrw_graph::generators;
@@ -59,6 +115,10 @@ pub struct HitEstimate {
 /// assert_eq!(est.capped, 0);
 /// assert!((est.steps.count() as usize) < 512); // easy instance stops early
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "run Query::Hitting through query::Session (or Session::hitting) instead"
+)]
 pub fn hitting_time_mc(
     g: &Graph,
     from: u32,
@@ -68,51 +128,7 @@ pub fn hitting_time_mc(
     seed: u64,
     threads: usize,
 ) -> HitEstimate {
-    let trials = trials.into();
-    assert!(trials.cap() >= 1, "need at least one trial");
-    assert!(
-        algo::is_connected(g),
-        "hitting times are infinite on a disconnected graph"
-    );
-    let seq = SeedSequence::new(seed).child(0x48495421);
-    let one_trial = |t: usize| {
-        let mut rng = walk_rng(seq.seed_for(t as u64));
-        steps_to_hit(g, from, to, cap, &mut rng)
-    };
-    let results: Vec<Option<u64>> = match trials {
-        Trials::Fixed(n) => par_map(n, threads, one_trial),
-        Trials::Adaptive(rule) => par_map_chunks_with(
-            rule.max_trials,
-            threads,
-            || (),
-            |(), t| one_trial(t),
-            |sofar: &[Option<u64>]| {
-                let mut s = Summary::new();
-                for &r in sofar.iter().flatten() {
-                    s.push(r as f64);
-                }
-                if rule.satisfied_by(&s) {
-                    0
-                } else {
-                    rule.next_wave(sofar.len())
-                }
-            },
-        ),
-    };
-    let mut steps = Summary::new();
-    let mut capped = 0usize;
-    for r in results {
-        match r {
-            Some(s) => steps.push(s as f64),
-            None => capped += 1,
-        }
-    }
-    HitEstimate {
-        from,
-        to,
-        steps,
-        capped,
-    }
+    Session::new(shim_budget(trials.into(), seed, threads)).hitting(g, from, to, cap)
 }
 
 /// Result of an `h_max` search.
@@ -127,38 +143,15 @@ pub struct HmaxEstimate {
     pub exact: bool,
 }
 
-/// Vertex-count threshold below which [`hmax_estimate`] uses the exact
-/// `O(n³)` fundamental-matrix solver.
+/// Vertex-count threshold below which [`Session::hmax`] (and the
+/// deprecated [`hmax_estimate`] shim) uses the exact `O(n³)`
+/// fundamental-matrix solver.
 pub const EXACT_HMAX_LIMIT: usize = 800;
 
-/// Estimates `h_max(G)` (and the attaining pair).
-///
-/// Exact below [`EXACT_HMAX_LIMIT`]; otherwise Monte-Carlo over
-/// diametral and sampled candidate pairs as described in the module docs,
-/// with `trials` (fixed or adaptive) spent per candidate pair.
-pub fn hmax_estimate(
-    g: &Graph,
-    trials: impl Into<Trials>,
-    seed: u64,
-    threads: usize,
-) -> HmaxEstimate {
-    let trials = trials.into();
-    assert!(
-        algo::is_connected(g),
-        "h_max is infinite on a disconnected graph"
-    );
-    if g.n() <= EXACT_HMAX_LIMIT {
-        let ht = mrw_spectral::hitting_times_all(g);
-        let pair = ht.argmax();
-        return HmaxEstimate {
-            hmax: ht.hmax(),
-            pair,
-            exact: true,
-        };
-    }
-
-    // Candidate pairs: two-sweep diametral endpoints in both orientations,
-    // plus evenly spaced far pairs.
+/// The deterministic candidate pairs a [`Query::HMax`](crate::query::Query)
+/// probes: two-sweep BFS-diametral endpoints in both orientations, plus
+/// evenly spaced far pairs. One report group per pair, in this order.
+pub fn hmax_candidates(g: &Graph) -> Vec<(u32, u32)> {
     let d0 = algo::bfs_distances(g, 0);
     let far1 = d0
         .iter()
@@ -185,32 +178,42 @@ pub fn hmax_estimate(
             candidates.push((far1, u));
         }
     }
+    candidates
+}
 
-    // Cap: generous multiple of a cheap upper-scale proxy (m·n covers
-    // h_max ≤ 2m·n from the standard commute-time bound... use 4mn).
-    let cap = 4u64
-        .saturating_mul(g.m() as u64)
+/// The per-walk step cap a [`Query::HMax`](crate::query::Query) uses: a
+/// generous multiple of a cheap upper-scale proxy (`m·n` covers
+/// `h_max ≤ 2mn` from the standard commute-time bound; we use `4mn`,
+/// floored at 10⁶).
+pub fn hmax_mc_cap(g: &Graph) -> u64 {
+    4u64.saturating_mul(g.m() as u64)
         .saturating_mul(g.n() as u64)
-        .max(1_000_000);
+        .max(1_000_000)
+}
 
-    let mut best = HmaxEstimate {
-        hmax: 0.0,
-        pair: (0, 0),
-        exact: false,
-    };
-    for (i, &(u, v)) in candidates.iter().enumerate() {
-        let est = hitting_time_mc(g, u, v, trials, cap, seed ^ (i as u64) << 32, threads);
-        if est.steps.count() > 0 && est.steps.mean() > best.hmax {
-            best.hmax = est.steps.mean();
-            best.pair = (u, v);
-        }
-    }
-    best
+/// Estimates `h_max(G)` (and the attaining pair).
+///
+/// Exact below [`EXACT_HMAX_LIMIT`]; otherwise Monte-Carlo over
+/// diametral and sampled candidate pairs as described in the module docs,
+/// with `trials` (fixed or adaptive) spent per candidate pair.
+#[deprecated(
+    since = "0.2.0",
+    note = "use query::Session::hmax (exact shortcut + Query::HMax) instead"
+)]
+pub fn hmax_estimate(
+    g: &Graph,
+    trials: impl Into<Trials>,
+    seed: u64,
+    threads: usize,
+) -> HmaxEstimate {
+    Session::new(shim_budget(trials.into(), seed, threads)).hmax(g)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims double as the equivalence suite here
 mod tests {
     use super::*;
+    use crate::query::Query;
     use mrw_graph::generators;
 
     #[test]
@@ -261,5 +264,28 @@ mod tests {
             "hmax {} vs theory {expect}",
             e.hmax
         );
+    }
+
+    #[test]
+    fn shim_equals_session_view() {
+        let g = generators::torus_2d(5);
+        let shim = hitting_time_mc(&g, 0, 12, 48, 1_000_000, 9, 2);
+        let report = Session::new(shim_budget(Trials::Fixed(48), 9, 2)).run(
+            &g,
+            &Query::Hitting {
+                from: 0,
+                to: 12,
+                cap: 1_000_000,
+            },
+        );
+        let direct = HitEstimate::from_report(&report, 0);
+        assert_eq!(shim.steps, direct.steps);
+        assert_eq!(shim.capped, direct.capped);
+        assert_eq!((direct.from, direct.to), (0, 12));
+    }
+
+    #[test]
+    fn hmax_label_pair_round_trips() {
+        assert_eq!(hmax_label_pair("h(3->17)"), (3, 17));
     }
 }

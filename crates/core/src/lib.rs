@@ -16,6 +16,12 @@
 //!   `C^k(G)` is the expected number of rounds until every vertex has been
 //!   visited by some walk ([`walk`], [`kwalk`] — thin wrappers over the
 //!   engine that preserve the original seeded streams bit-for-bit).
+//! * **The query layer** ([`query`]) — one typed, serializable
+//!   [`Query`] describing any Monte-Carlo estimate (cover,
+//!   partial cover, hitting, `h_max`, meeting, pursuit, speed-up
+//!   ladders), one [`Session`] executor over the engine,
+//!   and one [`Report`] whose exact sufficient statistics
+//!   merge losslessly — the shard protocol behind `mrw shard`/`mrw merge`.
 //! * **Monte-Carlo estimators** with deterministic parallel fan-out,
 //!   confidence intervals, and worst-start search ([`estimator`]), plus
 //!   Monte-Carlo hitting times ([`hitting_mc`]).
@@ -60,6 +66,7 @@ pub mod kwalk;
 pub mod meeting;
 pub mod partial;
 pub mod process;
+pub mod query;
 pub mod speedup;
 pub mod starts;
 pub mod visits;
@@ -73,12 +80,15 @@ pub use estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
 pub use kwalk::{
     kwalk_cover_rounds, kwalk_cover_rounds_same_start, kwalk_covers_within, KWalkMode,
 };
-pub use meeting::{mean_catch_time, meeting_rounds, pursuit_rounds, CatchEstimate, PreyStrategy};
+#[allow(deprecated)] // the shims survive one release at their old paths
+pub use meeting::mean_catch_time;
+pub use meeting::{meeting_rounds, pursuit_rounds, CatchEstimate, PreyStrategy};
 pub use mrw_stats::precision::{Precision, Trials};
-pub use partial::{
-    fraction_target, kwalk_partial_cover_rounds, partial_cover_profile, PartialCoverPoint,
-};
+#[allow(deprecated)] // the shims survive one release at their old paths
+pub use partial::partial_cover_profile;
+pub use partial::{fraction_target, kwalk_partial_cover_rounds, PartialCoverPoint};
 pub use process::{cover_time_process, kwalk_cover_rounds_process, WalkProcess};
+pub use query::{Budget, GraphSpec, Group, Query, QuerySpec, Report, Session, Shard};
 pub use speedup::{speedup_sweep, SpeedupPoint, SpeedupSweep};
 pub use visits::{kwalk_multicover_rounds, kwalk_visit_counts, VisitCounts};
 pub use walk::{cover_time_single, steps_to_hit, walk_rng, WalkRng};

@@ -13,24 +13,36 @@
 //!   classical reason pursuit analyses use lazy walks. The
 //!   process-parameterized variant accepts
 //!   [`WalkProcess::Lazy`](crate::process::WalkProcess) to break parity.
-//! * [`pursuit_rounds`] — `k` hunters versus one prey, either [static
-//!   (hiding)](PreyStrategy::Hide) or [moving as a random
-//!   walk](PreyStrategy::RandomWalk). A catch happens whenever a hunter
-//!   occupies the prey's vertex at the end of a half-step (hunters move,
-//!   then prey moves), so a moving prey can also *blunder into* a hunter.
+//! * [`pursuit_rounds`] — `k` hunters versus one prey: [static
+//!   (hiding)](PreyStrategy::Hide), [moving as a random
+//!   walk](PreyStrategy::RandomWalk), or a [greedy
+//!   evader](PreyStrategy::Adversarial). A catch happens whenever a
+//!   hunter occupies the prey's vertex at the end of a half-step (hunters
+//!   move, then prey moves), so a moving prey can also *blunder into* a
+//!   hunter — except the adversarial one, which never steps onto an
+//!   occupied vertex.
 //!
 //! Against a hiding prey, `k` hunters from one vertex catch in roughly
 //! `h(u, v)/k`-ish time on fast-mixing graphs by the same union-bound
 //! logic as Baby Matthews — the hunting experiment
 //! ([`experiments::hunting`](crate::experiments::hunting)) measures that
 //! speed-up next to the cover-time speed-up the paper proves.
+//!
+//! Monte-Carlo *estimation* of these games lives in the query layer
+//! ([`Query::Meeting`](crate::query::Query) /
+//! [`Query::Pursuit`](crate::query::Query)); [`mean_catch_time`] survives
+//! as a deprecated shim over it. These two single-game functions are the
+//! primitives the [`Session`] executor itself
+//! plays, and are not deprecated.
 
 use mrw_graph::Graph;
+use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::Summary;
 use rand::Rng;
 
 use crate::engine::{CompiledProcess, Engine, Meeting, Pursuit, SimpleStep};
 use crate::process::WalkProcess;
+use crate::query::{Budget, Group, Report, Session};
 
 pub use crate::engine::PreyMove;
 
@@ -62,10 +74,15 @@ pub fn meeting_rounds<R: Rng + ?Sized>(
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PreyStrategy {
     /// The prey stays put (a hider); catching it is a k-walk hitting
-    /// problem.
+    /// problem. (CLI name: `stationary`.)
     Hide,
-    /// The prey performs its own simple random walk.
+    /// The prey performs its own simple random walk. (CLI name:
+    /// `uniform`.)
     RandomWalk,
+    /// The prey greedily evades: it steps to a uniformly chosen neighbor
+    /// not currently occupied by a hunter, staying put only when
+    /// cornered. (CLI name: `adversarial`.)
+    Adversarial,
 }
 
 /// Rounds for `k` hunters (simple random walks from `hunters`) to catch a
@@ -101,6 +118,7 @@ pub fn pursuit_rounds<R: Rng + ?Sized>(
     let prey_move = match strategy {
         PreyStrategy::Hide => PreyMove::Hide,
         PreyStrategy::RandomWalk => PreyMove::RandomWalk,
+        PreyStrategy::Adversarial => PreyMove::Adversarial,
     };
     let out = Engine::new(g, SimpleStep, Pursuit::new(prey, prey_move))
         .cap(cap)
@@ -108,26 +126,82 @@ pub fn pursuit_rounds<R: Rng + ?Sized>(
     out.stopped.then_some(out.rounds)
 }
 
-/// Summary of a Monte-Carlo pursuit experiment ([`mean_catch_time`]).
+/// Summary of a Monte-Carlo pursuit experiment: a thin typed view over
+/// one `k` group of a [`Query::Pursuit`](crate::query::Query)
+/// [`Report`]. Censored games are counted at the cap, so
+/// [`mean`](CatchEstimate::mean) is a lower bound whenever
+/// [`censored`](CatchEstimate::censored) is nonzero.
+///
+/// The accessor surface matches
+/// [`CoverEstimate`](crate::estimator::CoverEstimate) — `mean`,
+/// `consumed_trials`, `ci`, `half_width`, `relative_half_width` — so
+/// result handling is uniform across estimate kinds.
 #[derive(Debug, Clone)]
 pub struct CatchEstimate {
-    /// Per-game catch rounds (censored games counted at the cap, so the
-    /// mean is a lower bound whenever `censored > 0`).
-    pub rounds: Summary,
-    /// Number of games that hit the round cap without a catch.
-    pub censored: usize,
+    k: usize,
+    group: Group,
+    confidence: f64,
 }
 
 impl CatchEstimate {
+    /// Builds the typed view over one group of a
+    /// [`Query::Pursuit`](crate::query::Query) report.
+    ///
+    /// # Panics
+    /// If the report is for a different query kind or `group` is out of
+    /// range.
+    pub fn from_report(report: &Report, group: usize) -> CatchEstimate {
+        use crate::query::Query;
+        let k = match &report.query {
+            Query::Pursuit { ks, .. } => ks[group],
+            other => panic!("not a pursuit report: {}", other.kind()),
+        };
+        CatchEstimate {
+            k,
+            group: report.groups[group].clone(),
+            confidence: report.confidence(),
+        }
+    }
+
+    /// Number of hunters in this game.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Per-game catch rounds (censored games counted at the cap).
+    pub fn rounds(&self) -> Summary {
+        self.group.summary()
+    }
+
+    /// Number of games that hit the round cap without a catch.
+    pub fn censored(&self) -> usize {
+        self.group.censored as usize
+    }
+
     /// Mean rounds to catch across the consumed games.
     pub fn mean(&self) -> f64 {
-        self.rounds.mean()
+        self.group.mean()
     }
 
     /// Games actually played: the fixed count, or wherever the adaptive
     /// rule stopped.
     pub fn consumed_trials(&self) -> u64 {
-        self.rounds.count()
+        self.group.trials
+    }
+
+    /// Confidence interval around the mean at the report's level.
+    pub fn ci(&self) -> ConfidenceInterval {
+        normal_ci(&self.group.summary(), self.confidence)
+    }
+
+    /// Achieved CI half-width.
+    pub fn half_width(&self) -> f64 {
+        self.ci().half_width()
+    }
+
+    /// Achieved CI half-width relative to the point estimate.
+    pub fn relative_half_width(&self) -> f64 {
+        self.ci().relative_half_width()
     }
 }
 
@@ -142,6 +216,10 @@ impl CatchEstimate {
 ///
 /// # Panics
 /// If the trial budget is empty or `k == 0`.
+#[deprecated(
+    since = "0.2.0",
+    note = "run Query::Pursuit through query::Session (or Session::pursuit) instead"
+)]
 #[allow(clippy::too_many_arguments)] // public signature predates the engine refactor
 pub fn mean_catch_time(
     g: &Graph,
@@ -154,36 +232,17 @@ pub fn mean_catch_time(
     seed: u64,
 ) -> CatchEstimate {
     let trials = trials.into();
-    assert!(trials.cap() > 0, "need at least one trial");
-    assert!(k > 0, "need at least one hunter");
-    let hunters = vec![hunter_start; k];
-    let mut rounds = Summary::new();
-    let mut censored = 0usize;
-    // (rounds, was_censored) for game `t` — pure in `t`.
-    let play = |t: usize| -> (f64, bool) {
-        let mut rng = crate::walk::walk_rng(seed ^ ((k as u64) << 40) ^ t as u64);
-        match pursuit_rounds(g, &hunters, prey, strategy, cap, &mut rng) {
-            Some(r) => (r as f64, false),
-            None => (cap as f64, true),
-        }
+    let (fixed, precision) = match trials {
+        mrw_stats::Trials::Fixed(n) => (n, None),
+        mrw_stats::Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
     };
-    match trials {
-        mrw_stats::Trials::Fixed(n) => {
-            for t in 0..n {
-                let (r, c) = play(t);
-                rounds.push(r);
-                censored += c as usize;
-            }
-        }
-        mrw_stats::Trials::Adaptive(rule) => {
-            rounds = rule.run_serial(|t| {
-                let (r, c) = play(t);
-                censored += c as usize;
-                r
-            });
-        }
-    }
-    CatchEstimate { rounds, censored }
+    let budget = Budget {
+        trials: fixed,
+        seed,
+        precision,
+        ..Budget::default()
+    };
+    Session::new(budget).pursuit(g, hunter_start, prey, k, strategy, cap)
 }
 
 #[cfg(test)]
@@ -191,6 +250,22 @@ mod tests {
     use super::*;
     use crate::walk::walk_rng;
     use mrw_graph::generators;
+
+    /// The supported (non-deprecated) way to play `trials` pursuit games.
+    #[allow(clippy::too_many_arguments)] // mirrors the shim it exercises
+    fn catch(
+        g: &Graph,
+        hunter_start: u32,
+        prey: u32,
+        k: usize,
+        strategy: PreyStrategy,
+        cap: u64,
+        trials: impl Into<mrw_stats::Trials>,
+        seed: u64,
+    ) -> CatchEstimate {
+        #[allow(deprecated)] // exercises the shim so it stays equivalent
+        mean_catch_time(g, hunter_start, prey, k, strategy, cap, trials, seed)
+    }
 
     #[test]
     fn same_start_meets_instantly() {
@@ -253,8 +328,8 @@ mod tests {
         // One hunter on K_n+loops: catch prob 1/n per round ⇒ mean ≈ n.
         let n = 20;
         let g = generators::complete_with_loops(n);
-        let est = mean_catch_time(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
-        assert_eq!(est.censored, 0);
+        let est = catch(&g, 0, 7, 1, PreyStrategy::Hide, 1_000_000, 2000, 1);
+        assert_eq!(est.censored(), 0);
         assert_eq!(est.consumed_trials(), 2000);
         let mean = est.mean();
         assert!((mean - n as f64).abs() < n as f64 * 0.1, "mean {mean}");
@@ -264,8 +339,8 @@ mod tests {
     fn k_hunters_catch_hider_about_k_times_faster_on_clique() {
         let n = 32;
         let g = generators::complete_with_loops(n);
-        let m1 = mean_catch_time(&g, 0, 9, 1, PreyStrategy::Hide, 1_000_000, 1500, 2).mean();
-        let m8 = mean_catch_time(&g, 0, 9, 8, PreyStrategy::Hide, 1_000_000, 1500, 3).mean();
+        let m1 = catch(&g, 0, 9, 1, PreyStrategy::Hide, 1_000_000, 1500, 2).mean();
+        let m8 = catch(&g, 0, 9, 8, PreyStrategy::Hide, 1_000_000, 1500, 3).mean();
         let speedup = m1 / m8;
         // Per-round catch prob goes 1/n → 1−(1−1/n)^8 ≈ 8/n.
         assert!(
@@ -280,12 +355,43 @@ mod tests {
         // per round; the catch should not be slower than against a hider.
         let n = 24;
         let g = generators::complete_with_loops(n);
-        let hide = mean_catch_time(&g, 0, 5, 2, PreyStrategy::Hide, 1_000_000, 1500, 4).mean();
-        let run = mean_catch_time(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5).mean();
+        let hide = catch(&g, 0, 5, 2, PreyStrategy::Hide, 1_000_000, 1500, 4).mean();
+        let run = catch(&g, 0, 5, 2, PreyStrategy::RandomWalk, 1_000_000, 1500, 5).mean();
         assert!(
             run < hide * 1.1,
             "moving prey survived longer: {run} vs hider {hide}"
         );
+    }
+
+    #[test]
+    fn adversarial_prey_never_blunders() {
+        // On the cycle the evader can always step away from co-located
+        // hunters, so a catch requires the hunters to walk onto it —
+        // games still end (drift), but slower than against a blundering
+        // uniform walker.
+        let g = generators::cycle(16);
+        let uniform = catch(&g, 0, 8, 3, PreyStrategy::RandomWalk, 1_000_000, 400, 6);
+        let evader = catch(&g, 0, 8, 3, PreyStrategy::Adversarial, 1_000_000, 400, 6);
+        assert_eq!(uniform.censored(), 0);
+        assert_eq!(evader.censored(), 0);
+        assert!(
+            evader.mean() > uniform.mean(),
+            "evader {} caught faster than uniform prey {}",
+            evader.mean(),
+            uniform.mean()
+        );
+    }
+
+    #[test]
+    fn adversarial_prey_cornered_on_clique_still_caught() {
+        // On K_n every hunter-free vertex is a neighbor, so the evader
+        // keeps dodging; the union of k hunters still corners it in
+        // roughly coupon-collector time. Mainly checks termination and
+        // the cornered branch.
+        let g = generators::complete(8);
+        let est = catch(&g, 0, 5, 6, PreyStrategy::Adversarial, 100_000, 200, 7);
+        assert_eq!(est.censored(), 0);
+        assert!(est.mean() >= 0.0);
     }
 
     #[test]
@@ -296,8 +402,8 @@ mod tests {
             pursuit_rounds(&g, &[0], 32, PreyStrategy::Hide, 1, &mut walk_rng(0)),
             None
         );
-        let est = mean_catch_time(&g, 0, 32, 1, PreyStrategy::Hide, 1, 10, 6);
-        assert_eq!(est.censored, 10);
+        let est = catch(&g, 0, 32, 1, PreyStrategy::Hide, 1, 10, 6);
+        assert_eq!(est.censored(), 10);
         assert_eq!(est.mean(), 1.0);
     }
 
@@ -308,13 +414,16 @@ mod tests {
         let rule = Precision::relative(0.2)
             .with_min_trials(16)
             .with_max_trials(4000);
-        let run = || mean_catch_time(&g, 0, 7, 2, PreyStrategy::Hide, 1_000_000, rule, 8);
+        let run = || catch(&g, 0, 7, 2, PreyStrategy::Hide, 1_000_000, rule, 8);
         let a = run();
         let b = run();
         assert!(a.consumed_trials() < 4000, "never stopped early");
         assert!(a.consumed_trials() >= 16);
         assert_eq!(a.consumed_trials(), b.consumed_trials());
         assert_eq!(a.mean(), b.mean());
+        // The unified ergonomics: a relative half-width is available and
+        // consistent with the rule that stopped the run.
+        assert!(a.relative_half_width() <= 0.2);
     }
 
     #[test]

@@ -96,6 +96,10 @@ pub struct PartialCoverPoint {
 ///
 /// # Panics
 /// As [`kwalk_partial_cover_rounds`]; also if the trial budget is empty.
+#[deprecated(
+    since = "0.2.0",
+    note = "run Query::PartialCover through query::Session (or Session::partial_profile) instead"
+)]
 pub fn partial_cover_profile(
     g: &Graph,
     start: u32,
@@ -105,41 +109,17 @@ pub fn partial_cover_profile(
     seed: u64,
 ) -> Vec<PartialCoverPoint> {
     let trials = trials.into();
-    assert!(trials.cap() > 0, "need at least one trial");
-    assert!(k >= 1, "need at least one walk");
-    let starts = vec![start; k];
-    gammas
-        .iter()
-        .enumerate()
-        .map(|(gi, &gamma)| {
-            let target = fraction_target(g.n(), gamma);
-            // Decorrelate (γ, trial) pairs without coupling to position
-            // in the sweep.
-            let trial_rng = |t: usize| {
-                crate::walk::walk_rng(
-                    seed ^ (gi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (t as u64) << 20,
-                )
-            };
-            let one_trial =
-                |t: usize| kwalk_partial_cover_rounds(g, &starts, target, &mut trial_rng(t)) as f64;
-            let rounds = match trials {
-                mrw_stats::Trials::Fixed(n) => {
-                    let mut s = mrw_stats::Summary::new();
-                    for t in 0..n {
-                        s.push(one_trial(t));
-                    }
-                    s
-                }
-                mrw_stats::Trials::Adaptive(rule) => rule.run_serial(one_trial),
-            };
-            PartialCoverPoint {
-                gamma,
-                target,
-                mean_rounds: rounds.mean(),
-                trials: rounds.count() as usize,
-            }
-        })
-        .collect()
+    let (fixed, precision) = match trials {
+        mrw_stats::Trials::Fixed(n) => (n, None),
+        mrw_stats::Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
+    };
+    let budget = crate::query::Budget {
+        trials: fixed,
+        seed,
+        precision,
+        ..crate::query::Budget::default()
+    };
+    crate::query::Session::new(budget).partial_profile(g, start, k, gammas)
 }
 
 #[cfg(test)]
@@ -231,10 +211,23 @@ mod tests {
         fraction_target(10, 0.0);
     }
 
+    /// The supported (non-deprecated) way to compute a profile.
+    fn profile(
+        g: &Graph,
+        start: u32,
+        k: usize,
+        gammas: &[f64],
+        trials: impl Into<mrw_stats::Trials>,
+        seed: u64,
+    ) -> Vec<PartialCoverPoint> {
+        #[allow(deprecated)] // exercises the shim so it stays equivalent
+        partial_cover_profile(g, start, k, gammas, trials, seed)
+    }
+
     #[test]
     fn profile_is_monotone_in_gamma() {
         let g = generators::hypercube(4);
-        let profile = partial_cover_profile(&g, 0, 2, &[0.25, 0.5, 0.75, 1.0], 80, 7);
+        let profile = profile(&g, 0, 2, &[0.25, 0.5, 0.75, 1.0], 80, 7);
         assert_eq!(profile.len(), 4);
         for w in profile.windows(2) {
             assert!(
@@ -253,7 +246,7 @@ mod tests {
         let rule = Precision::relative(0.15)
             .with_min_trials(16)
             .with_max_trials(2048);
-        let run = || partial_cover_profile(&g, 0, 2, &[0.5, 1.0], rule, 7);
+        let run = || profile(&g, 0, 2, &[0.5, 1.0], rule, 7);
         let a = run();
         let b = run();
         for (pa, pb) in a.iter().zip(&b) {

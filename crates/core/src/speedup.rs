@@ -8,7 +8,8 @@
 use mrw_graph::Graph;
 use mrw_stats::ci::{ratio_ci, ConfidenceInterval};
 
-use crate::estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
+use crate::estimator::{CoverEstimate, EstimatorConfig};
+use crate::query::{Budget, Query, Report, Session};
 
 /// One point of a speed-up sweep.
 #[derive(Debug, Clone)]
@@ -51,30 +52,54 @@ impl SpeedupSweep {
     }
 }
 
-/// Runs a speed-up sweep on `g` from `start` over the walk counts `ks`.
+/// Runs a speed-up sweep on `g` from `start` over the walk counts `ks` —
+/// one [`Query::SpeedupLadder`] through [`Session::run`], viewed as
+/// typed rows.
 ///
 /// `k = 1` need not be in `ks`; the baseline is always estimated. Each `k`
-/// draws an independent seed stream (child label = `k`), so adding a point
-/// to the ladder never perturbs the others.
+/// draws an independent seed stream, so adding a point to the ladder
+/// never perturbs the others.
 pub fn speedup_sweep(g: &Graph, start: u32, ks: &[usize], cfg: &EstimatorConfig) -> SpeedupSweep {
-    assert!(!ks.is_empty(), "empty k ladder");
-    let base_cfg = cfg.clone().with_seed(cfg.seed ^ 0xBA5E);
-    let baseline = CoverTimeEstimator::new(g, 1, base_cfg).run_from(start);
-    let points = ks
-        .iter()
-        .map(|&k| {
-            assert!(k >= 1, "k must be ≥ 1");
-            let cfg_k = cfg.clone().with_seed(cfg.seed.wrapping_add(k as u64));
-            let cover = CoverTimeEstimator::new(g, k, cfg_k).run_from(start);
-            let speedup = ratio_ci(&baseline.cover_time, &cover.cover_time, cfg.ci_level);
-            SpeedupPoint { k, cover, speedup }
-        })
-        .collect();
-    SpeedupSweep {
-        graph: g.name().to_string(),
-        start,
-        baseline,
-        points,
+    let report = Session::new(Budget::from_estimator(cfg)).run(
+        g,
+        &Query::SpeedupLadder {
+            start,
+            ks: ks.to_vec(),
+        },
+    );
+    SpeedupSweep::from_report(&report)
+}
+
+impl SpeedupSweep {
+    /// Builds the typed sweep view over a
+    /// [`Query::SpeedupLadder`] report: group 0 is the `k = 1` baseline,
+    /// group `i + 1` the `ks[i]` rung, with delta-method ratio CIs
+    /// derived from the groups' exact statistics.
+    ///
+    /// # Panics
+    /// If the report is for a different query kind.
+    pub fn from_report(report: &Report) -> SpeedupSweep {
+        let (start, ks) = match &report.query {
+            Query::SpeedupLadder { start, ks } => (*start, ks),
+            other => panic!("not a speed-up report: {}", other.kind()),
+        };
+        let level = report.confidence();
+        let baseline = CoverEstimate::from_group(1, start, report.groups[0].clone(), level);
+        let points = ks
+            .iter()
+            .zip(&report.groups[1..])
+            .map(|(&k, group)| {
+                let cover = CoverEstimate::from_group(k, start, group.clone(), level);
+                let speedup = ratio_ci(&baseline.cover_time(), &cover.cover_time(), level);
+                SpeedupPoint { k, cover, speedup }
+            })
+            .collect();
+        SpeedupSweep {
+            graph: report.graph.name.clone(),
+            start,
+            baseline,
+            points,
+        }
     }
 }
 

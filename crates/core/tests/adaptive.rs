@@ -33,9 +33,9 @@ proptest! {
         // (b) stopping below the cap certifies the target.
         if consumed < rule.max_trials {
             prop_assert!(
-                est.ci.half_width() <= rel * est.mean().abs() + 1e-12,
+                est.ci().half_width() <= rel * est.mean().abs() + 1e-12,
                 "stopped at {consumed} with half-width {} > {rel} × {}",
-                est.ci.half_width(),
+                est.ci().half_width(),
                 est.mean()
             );
         }
@@ -62,9 +62,9 @@ proptest! {
         for threads in [2usize, 4] {
             let est = run(threads);
             prop_assert_eq!(est.consumed_trials(), base.consumed_trials(), "threads={}", threads);
-            prop_assert_eq!(est.cover_time.mean(), base.cover_time.mean(), "threads={}", threads);
-            prop_assert_eq!(est.cover_time.min(), base.cover_time.min(), "threads={}", threads);
-            prop_assert_eq!(est.cover_time.max(), base.cover_time.max(), "threads={}", threads);
+            prop_assert_eq!(est.cover_time().mean(), base.cover_time().mean(), "threads={}", threads);
+            prop_assert_eq!(est.cover_time().min(), base.cover_time().min(), "threads={}", threads);
+            prop_assert_eq!(est.cover_time().max(), base.cover_time().max(), "threads={}", threads);
         }
     }
 

@@ -397,8 +397,8 @@ fn estimator_parallel_fanout_matches_serial_exactly() {
     };
     let serial = run(1);
     let parallel = run(8);
-    assert_eq!(serial.start, parallel.start);
-    assert_eq!(serial.cover_time.mean(), parallel.cover_time.mean());
-    assert_eq!(serial.cover_time.min(), parallel.cover_time.min());
-    assert_eq!(serial.cover_time.max(), parallel.cover_time.max());
+    assert_eq!(serial.start(), parallel.start());
+    assert_eq!(serial.cover_time().mean(), parallel.cover_time().mean());
+    assert_eq!(serial.cover_time().min(), parallel.cover_time().min());
+    assert_eq!(serial.cover_time().max(), parallel.cover_time().max());
 }

@@ -31,6 +31,7 @@ pub mod harmonic;
 pub mod histogram;
 pub mod ks;
 pub mod ladder;
+pub mod moments;
 pub mod precision;
 pub mod quantile;
 pub mod regression;
@@ -40,6 +41,7 @@ pub mod table;
 pub use ci::ConfidenceInterval;
 pub use histogram::Histogram;
 pub use ks::{kolmogorov_q, ks_two_sample, KsTest};
+pub use moments::IntMoments;
 pub use precision::{Precision, SequentialCi, Trials};
 pub use regression::{LinearFit, PowerLawFit};
 pub use summary::Summary;

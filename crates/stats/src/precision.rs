@@ -270,6 +270,29 @@ impl SequentialCi {
         }
     }
 
+    /// Rebuilds an accumulator around an already-summarized sample — the
+    /// sufficient-statistics form. This is how a merged shard report
+    /// re-enters the sequential rule: combine the shards' exact moments,
+    /// view them as a [`Summary`], and ask [`decision`](Self::decision)
+    /// whether the merged sample certifies the rule's half-width.
+    pub fn from_summary(rule: Precision, summary: Summary) -> Self {
+        SequentialCi { summary, rule }
+    }
+
+    /// Merges another accumulator's sample into this one (Chan's exact
+    /// summary merge). Both sides must be governed by the same rule, so
+    /// the merged decision is well-defined.
+    ///
+    /// # Panics
+    /// If the rules differ.
+    pub fn merge(&mut self, other: &SequentialCi) {
+        assert!(
+            self.rule == other.rule,
+            "merging SequentialCi under different rules"
+        );
+        self.summary.merge(&other.summary);
+    }
+
     /// Adds one observation.
     pub fn push(&mut self, x: f64) {
         self.summary.push(x);
@@ -475,6 +498,35 @@ mod tests {
         }
         assert_eq!(seq.ci().level, 0.99);
         assert!((seq.ci().point - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sufficient_stats_form_merges_like_one_stream() {
+        // Two partial accumulators (e.g. two shards' moments viewed as
+        // summaries) merge into the same decision a single stream reaches.
+        let rule = Precision::absolute(0.5)
+            .with_min_trials(4)
+            .with_max_trials(64);
+        let xs: Vec<f64> = (0..16).map(|i| 10.0 + (i % 2) as f64).collect();
+        let mut whole = SequentialCi::new(rule);
+        for &x in &xs {
+            whole.push(x);
+        }
+        let a = SequentialCi::from_summary(rule, Summary::from_slice(&xs[..7]));
+        let mut b = SequentialCi::from_summary(rule, Summary::from_slice(&xs[7..]));
+        b.merge(&a);
+        assert_eq!(b.consumed(), whole.consumed());
+        assert_eq!(b.decision(), whole.decision());
+        assert_eq!(b.decision(), Decision::PrecisionReached);
+        assert!((b.ci().half_width() - whole.ci().half_width()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different rules")]
+    fn merging_under_different_rules_rejected() {
+        let mut a = SequentialCi::new(Precision::absolute(1.0));
+        let b = SequentialCi::new(Precision::relative(0.1));
+        a.merge(&b);
     }
 
     #[test]

@@ -45,6 +45,33 @@ impl Summary {
         }
     }
 
+    /// Reconstructs a summary from its sufficient statistics — the
+    /// inverse of the accessors. This is how exact integer accumulators
+    /// ([`IntMoments`](crate::IntMoments)) and deserialized shard reports
+    /// rebuild a `Summary` view: given the same `(count, mean, m2, min,
+    /// max)`, the result is bit-identical regardless of how the sample was
+    /// partitioned.
+    ///
+    /// # Panics
+    /// If `m2` is negative, or `count == 0` with nonzero statistics.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        assert!(m2 >= 0.0, "negative second moment {m2}");
+        if count == 0 {
+            assert!(
+                mean == 0.0 && m2 == 0.0,
+                "empty summary with nonzero moments"
+            );
+            return Summary::new();
+        }
+        Summary {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Builds a summary from a slice in one pass.
     pub fn from_slice(xs: &[f64]) -> Self {
         let mut s = Summary::new();

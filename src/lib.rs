@@ -35,7 +35,7 @@
 //! let cfg = EstimatorConfig::new(32).with_seed(7);
 //! let single = CoverTimeEstimator::new(&g, 1, cfg.clone()).run_worst_start();
 //! let four = CoverTimeEstimator::new(&g, 4, cfg).run_worst_start();
-//! assert!(four.cover_time.mean() < single.cover_time.mean());
+//! assert!(four.cover_time().mean() < single.cover_time().mean());
 //! ```
 //!
 //! Budgets can also be *adaptive*: instead of a fixed trial count, give
@@ -54,7 +54,7 @@
 //! let est = CoverTimeEstimator::new(&g, 2, EstimatorConfig::adaptive(rule).with_seed(1))
 //!     .run_from(0);
 //! assert!(est.consumed_trials() < 4096); // easy instance: stops early
-//! assert!(est.ci.half_width() <= 0.10 * est.mean());
+//! assert!(est.ci().half_width() <= 0.10 * est.mean());
 //! ```
 //!
 //! Every simulation in the crate is one primitive observed through a

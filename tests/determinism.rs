@@ -22,13 +22,13 @@ fn estimates_identical_across_thread_counts() {
     for threads in [2, 3, 8, 13] {
         let est = run(threads);
         assert_eq!(
-            est.cover_time.mean(),
-            base.cover_time.mean(),
+            est.cover_time().mean(),
+            base.cover_time().mean(),
             "threads={threads}"
         );
-        assert_eq!(est.cover_time.variance(), base.cover_time.variance());
-        assert_eq!(est.cover_time.min(), base.cover_time.min());
-        assert_eq!(est.cover_time.max(), base.cover_time.max());
+        assert_eq!(est.cover_time().variance(), base.cover_time().variance());
+        assert_eq!(est.cover_time().min(), base.cover_time().min());
+        assert_eq!(est.cover_time().max(), base.cover_time().max());
     }
 }
 
@@ -59,7 +59,7 @@ fn different_seeds_differ() {
     let g = generators::cycle(48);
     let a = CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(16).with_seed(1)).run_from(0);
     let b = CoverTimeEstimator::new(&g, 1, EstimatorConfig::new(16).with_seed(2)).run_from(0);
-    assert_ne!(a.cover_time.mean(), b.cover_time.mean());
+    assert_ne!(a.cover_time().mean(), b.cover_time().mean());
 }
 
 #[test]

@@ -6,8 +6,7 @@
 
 use many_walks::graph::generators;
 use many_walks::spectral::{hitting_times_all, mixing_time, MixingConfig, TransitionOp};
-use many_walks::walks::hitting_mc::hitting_time_mc;
-use many_walks::walks::{walk::walk_trace, walk_rng};
+use many_walks::walks::{walk::walk_trace, walk_rng, Budget, Session};
 
 #[test]
 fn hitting_time_mc_matches_fundamental_matrix() {
@@ -24,7 +23,13 @@ fn hitting_time_mc_matches_fundamental_matrix() {
             if u == v {
                 continue;
             }
-            let mc = hitting_time_mc(&g, u, v, 1500, 50_000_000, 5, 4);
+            let session = Session::new(Budget {
+                trials: 1500,
+                seed: 5,
+                threads: 4,
+                ..Budget::default()
+            });
+            let mc = session.hitting(&g, u, v, 50_000_000);
             assert_eq!(mc.capped, 0, "{}: trials capped", g.name());
             let e = exact.get(u, v);
             let m = mc.steps.mean();
