@@ -34,7 +34,11 @@ experiments:
   merge A.json B.json ...
                   losslessly merge shard reports (byte-identical to the
                   unsharded run for fixed budgets; certifies the achieved
-                  half-width for adaptive ones)
+                  half-width for adaptive ones; one file round-trips)
+  fanout SPEC.json --workers N
+                  run a spec across N local worker processes (spawned
+                  mrw shard children, retried on failure) and merge -
+                  byte-identical to mrw run, fixed or adaptive budgets
   all             run everything
 
 options:
@@ -52,6 +56,17 @@ options:
 sharding (run / shard / merge):
   --shard I/S     run shard I of S (trials [I*N/S, (I+1)*N/S) of an
                   N-trial budget); reports merge with 'mrw merge'
+  --range A..B    run the explicit trial range [A, B) instead of a
+                  balanced --shard slice (the form mrw fanout dispatches)
+  --groups I,J    run only these group indices; the others stay in the
+                  report with zero trials (fanout's adaptive waves)
+
+fanout (multi-process scale-out):
+  --workers N     concurrent worker processes (default: available threads)
+  --shards S      work ranges to plan for a fixed budget
+                  (default: workers; adaptive budgets split per wave)
+  --retries R     per-range retry budget for failed/killed workers
+                  (default 2)
 
 hunting options:
   --prey P        the moving prey's strategy: stationary | uniform
@@ -128,6 +143,18 @@ pub struct Options {
     pub json: bool,
     /// `--shard I/S` for the `shard` verb.
     pub shard: Option<mrw_core::Shard>,
+    /// `--range A..B`: an explicit trial range for the `shard` verb (the
+    /// form `mrw fanout` dispatches).
+    pub range: Option<std::ops::Range<usize>>,
+    /// `--groups I,J,…`: group indices the `shard` verb should execute.
+    pub groups: Option<Vec<usize>>,
+    /// `--workers N` (the `fanout` verb's concurrent process count).
+    pub workers: Option<usize>,
+    /// `--shards S` (the `fanout` verb's planned range count for fixed
+    /// budgets).
+    pub fanout_shards: Option<usize>,
+    /// `--retries R` (the `fanout` verb's per-range retry budget).
+    pub retries: Option<usize>,
     /// `--prey P` (the `hunting` verb's moving-prey strategy).
     pub prey: Option<mrw_core::PreyStrategy>,
     /// `--k-ladder KS` (the `hunting` verb's hunter counts).
@@ -160,6 +187,11 @@ impl Options {
             format: Format::Ascii,
             json: false,
             shard: None,
+            range: None,
+            groups: None,
+            workers: None,
+            fanout_shards: None,
+            retries: None,
             prey: None,
             k_ladder: None,
             files: Vec::new(),
@@ -170,6 +202,53 @@ impl Options {
                 "--shard" => {
                     let v = it.next().ok_or("--shard needs a value (e.g. 0/2)")?;
                     opts.shard = Some(mrw_core::Shard::parse(&v)?);
+                }
+                "--range" => {
+                    let v = it.next().ok_or("--range needs a value (e.g. 0..256)")?;
+                    let (a, b) = v
+                        .split_once("..")
+                        .ok_or_else(|| format!("bad range '{v}' (expected A..B)"))?;
+                    let lo: usize = a.parse().map_err(|_| format!("bad range start '{a}'"))?;
+                    let hi: usize = b.parse().map_err(|_| format!("bad range end '{b}'"))?;
+                    if lo >= hi {
+                        return Err(format!("empty range {lo}..{hi}"));
+                    }
+                    opts.range = Some(lo..hi);
+                }
+                "--groups" => {
+                    let v = it.next().ok_or("--groups needs a value (e.g. 0,2)")?;
+                    let groups = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .map_err(|_| format!("bad --groups entry '{s}'"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if groups.is_empty() {
+                        return Err("--groups needs at least one index".into());
+                    }
+                    opts.groups = Some(groups);
+                }
+                "--workers" => {
+                    let v = it.next().ok_or("--workers needs a value")?;
+                    let w: usize = v.parse().map_err(|_| format!("bad --workers '{v}'"))?;
+                    if w == 0 {
+                        return Err("--workers must be >= 1".into());
+                    }
+                    opts.workers = Some(w);
+                }
+                "--shards" => {
+                    let v = it.next().ok_or("--shards needs a value")?;
+                    let s: usize = v.parse().map_err(|_| format!("bad --shards '{v}'"))?;
+                    if s == 0 {
+                        return Err("--shards must be >= 1".into());
+                    }
+                    opts.fanout_shards = Some(s);
+                }
+                "--retries" => {
+                    let v = it.next().ok_or("--retries needs a value")?;
+                    opts.retries = Some(v.parse().map_err(|_| format!("bad --retries '{v}'"))?);
                 }
                 "--prey" => {
                     let v = it.next().ok_or("--prey needs a value")?;
@@ -289,6 +368,9 @@ impl Options {
         }
         if opts.precision.is_some() && opts.rel_precision.is_some() {
             return Err("--precision and --rel-precision are mutually exclusive".into());
+        }
+        if opts.shard.is_some() && opts.range.is_some() {
+            return Err("--shard and --range are mutually exclusive".into());
         }
         Ok(opts)
     }
@@ -476,6 +558,40 @@ mod tests {
         assert_eq!(o.files.len(), 3);
         assert!(parse(&["shard", "s.json", "--shard", "2/2"]).is_err());
         assert!(parse(&["shard", "s.json", "--shard"]).is_err());
+    }
+
+    #[test]
+    fn range_and_groups_flags() {
+        let o = parse(&["shard", "s.json", "--range", "16..40", "--groups", "0,2"]).unwrap();
+        assert_eq!(o.range, Some(16..40));
+        assert_eq!(o.groups, Some(vec![0, 2]));
+        assert!(parse(&["shard", "s.json", "--range", "5..5"]).is_err());
+        assert!(parse(&["shard", "s.json", "--range", "7"]).is_err());
+        assert!(parse(&["shard", "s.json", "--range", "a..b"]).is_err());
+        assert!(parse(&["shard", "s.json", "--groups", "1,x"]).is_err());
+        // --shard and --range never combine.
+        assert!(parse(&["shard", "s.json", "--shard", "0/2", "--range", "0..4"]).is_err());
+    }
+
+    #[test]
+    fn fanout_flags() {
+        let o = parse(&[
+            "fanout",
+            "s.json",
+            "--workers",
+            "4",
+            "--shards",
+            "8",
+            "--retries",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(o.workers, Some(4));
+        assert_eq!(o.fanout_shards, Some(8));
+        assert_eq!(o.retries, Some(0));
+        assert!(parse(&["fanout", "s.json", "--workers", "0"]).is_err());
+        assert!(parse(&["fanout", "s.json", "--shards", "0"]).is_err());
+        assert!(parse(&["fanout", "s.json", "--retries", "x"]).is_err());
     }
 
     #[test]

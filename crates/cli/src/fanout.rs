@@ -1,0 +1,519 @@
+//! `mrw fanout` — the in-tree multi-process scale-out driver.
+//!
+//! PR 4 made any shard partition of a trial budget merge byte-identically
+//! into the single-process run, but *running* the shards still needed an
+//! external scheduler. This module closes that gap: it splits a spec into
+//! disjoint trial ranges, spawns up to `--workers` concurrent child `mrw
+//! shard` processes (re-exec'ing [`std::env::current_exe`]), streams
+//! their JSON reports back through temp files, retries failed or killed
+//! workers, and emits one merged report **byte-identical to `mrw run`**.
+//!
+//! ## The two execution shapes
+//!
+//! * **Fixed budgets** — a [`ShardPlan`] partitions `[0, N)` into
+//!   `--shards` non-empty ranges up front; one pass through the worker
+//!   pool, then a fold of [`Report::merge`]. Classic scatter/gather.
+//! * **Adaptive budgets** — the sequential stopping rule is replicated at
+//!   the *driver*: trials are dispatched wave by wave on exactly the
+//!   boundaries the in-process loop uses (`Precision::next_wave`, rule
+//!   evaluated on index-ordered prefix moments), with each wave's range
+//!   split across the pool and groups dropping out of later waves the
+//!   moment their rule fires (`mrw shard --groups`). Because the wave
+//!   schedule and the rule are pure functions of the prefix sample, the
+//!   assembled report — per-group consumed counts included — is
+//!   byte-identical to the unsharded adaptive run.
+//!
+//! ## Failure handling and retry idempotence
+//!
+//! A worker that exits nonzero, dies by signal, or emits an unparseable
+//! or wrong-range report is retried up to `--retries` times (fresh
+//! process, same range). Retries are idempotent *by construction*: a
+//! trial is a pure function of `(graph, seed, index)`, so a rerun
+//! produces the identical sub-report, and the coverage-overlap rejection
+//! in [`Report::merge`] turns any accidental double-submission into an
+//! error instead of silent double-counting. A range whose retry budget is
+//! exhausted aborts the run with the failure log and the batch's
+//! still-missing ranges, after killing and reaping the other in-flight
+//! workers.
+
+use std::ops::Range;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use mrw_core::query::{Coverage, ShardPlan};
+use mrw_core::{Group, Report};
+use mrw_stats::IntMoments;
+
+use crate::args::Options;
+
+/// Default per-range retry budget for failed or killed workers.
+pub const DEFAULT_RETRIES: usize = 2;
+
+/// How often the driver polls its running children.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
+
+/// Test/CI fault injection for the worker side, called by `mrw shard`
+/// before it starts its trials. When `MRW_FAULT_KILL_RANGE_START` equals
+/// the worker's trial-range start, the worker SIGKILLs itself mid-run —
+/// the same abrupt death as an OOM kill or preemption (no exit code, no
+/// output). With `MRW_FAULT_ONCE=<latch-path>` the fault fires only for
+/// the first worker to create the latch file, so the fanout retry
+/// recovers; without it every attempt dies, which is how the
+/// retry-exhaustion path is tested.
+pub fn fault_hook(range: &Range<usize>) {
+    let Ok(target) = std::env::var("MRW_FAULT_KILL_RANGE_START") else {
+        return;
+    };
+    if target != range.start.to_string() {
+        return;
+    }
+    if let Ok(latch) = std::env::var("MRW_FAULT_ONCE") {
+        let created = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&latch)
+            .is_ok();
+        if !created {
+            return; // the fault already fired once — let the retry succeed
+        }
+    }
+    let _ = Command::new("kill")
+        .args(["-9", &std::process::id().to_string()])
+        .status();
+    // `kill` missing from the box: still die abruptly, without unwinding.
+    std::process::abort();
+}
+
+/// One unit of child work: a trial range, optionally restricted to the
+/// groups whose stopping rule has not fired yet.
+#[derive(Debug, Clone)]
+struct Task {
+    range: Range<usize>,
+    groups: Option<Vec<usize>>,
+    attempt: usize,
+}
+
+/// A spawned worker and where its report is being streamed.
+struct Worker {
+    task: Task,
+    child: Child,
+    out_path: PathBuf,
+}
+
+/// Scratch directory for the resolved spec and per-worker report files;
+/// removed (best effort) when the driver finishes, success or not.
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new() -> Result<Scratch, String> {
+        let dir = std::env::temp_dir().join(format!(
+            "mrw-fanout-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos())
+        ));
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        Ok(Scratch { dir })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The worker pool: spawns up to `workers` concurrent `mrw shard`
+/// children and runs each [`Task`] through the failure/retry state
+/// machine.
+struct Pool<'a> {
+    exe: PathBuf,
+    spec_path: PathBuf,
+    scratch: &'a Scratch,
+    workers: usize,
+    retries: usize,
+    threads: Option<usize>,
+    next_file: usize,
+    /// Every failure observed, for the abort diagnostic.
+    failures: Vec<String>,
+    /// Attempts beyond the first that eventually produced a report.
+    retries_used: usize,
+}
+
+impl<'a> Pool<'a> {
+    fn new(
+        spec_path: PathBuf,
+        scratch: &'a Scratch,
+        workers: usize,
+        retries: usize,
+        threads: Option<usize>,
+    ) -> Result<Pool<'a>, String> {
+        let exe =
+            std::env::current_exe().map_err(|e| format!("cannot find the mrw binary: {e}"))?;
+        Ok(Pool {
+            exe,
+            spec_path,
+            scratch,
+            workers,
+            retries,
+            threads,
+            next_file: 0,
+            failures: Vec::new(),
+            retries_used: 0,
+        })
+    }
+
+    fn spawn(&mut self, task: Task) -> Result<Worker, String> {
+        let out_path = self
+            .scratch
+            .path(&format!("report-{}.json", self.next_file));
+        self.next_file += 1;
+        let out =
+            std::fs::File::create(&out_path).map_err(|e| format!("{}: {e}", out_path.display()))?;
+        let mut cmd = Command::new(&self.exe);
+        cmd.arg("shard")
+            .arg(&self.spec_path)
+            .arg("--range")
+            .arg(format!("{}..{}", task.range.start, task.range.end));
+        if let Some(groups) = &task.groups {
+            let csv: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
+            cmd.arg("--groups").arg(csv.join(","));
+        }
+        if let Some(t) = self.threads {
+            cmd.arg("--threads").arg(t.to_string());
+        }
+        let child = cmd
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(out))
+            .spawn()
+            .map_err(|e| format!("spawning worker for trials {:?}: {e}", task.range))?;
+        Ok(Worker {
+            task,
+            child,
+            out_path,
+        })
+    }
+
+    /// Handles one finished worker: either a validated [`Report`] or a
+    /// retryable failure description.
+    fn harvest(&mut self, worker: &mut Worker) -> Result<Report, String> {
+        let status = worker.child.wait().map_err(|e| format!("wait: {e}"))?;
+        if !status.success() {
+            return Err(format!(
+                "worker for trials {:?} died ({status}) on attempt {}",
+                worker.task.range,
+                worker.task.attempt + 1
+            ));
+        }
+        let text = std::fs::read_to_string(&worker.out_path)
+            .map_err(|e| format!("{}: {e}", worker.out_path.display()))?;
+        let report = Report::from_json(&text).map_err(|e| {
+            format!(
+                "worker for trials {:?} emitted a malformed report: {e}",
+                worker.task.range
+            )
+        })?;
+        let expected = [(worker.task.range.start as u64, worker.task.range.end as u64)];
+        if report.coverage.ranges() != expected {
+            return Err(format!(
+                "worker for trials {:?} reported coverage {:?}",
+                worker.task.range,
+                report.coverage.ranges()
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Runs a batch of tasks to completion (all ranges reported, retries
+    /// included) and returns the reports in range order. On abort the
+    /// still-running workers are killed and reaped — no orphan processes
+    /// computing into a scratch directory that is about to vanish.
+    fn run_tasks(&mut self, tasks: Vec<Task>) -> Result<Vec<Report>, String> {
+        let mut running: Vec<Worker> = Vec::new();
+        let result = self.drive(tasks, &mut running);
+        if result.is_err() {
+            for mut worker in running {
+                let _ = worker.child.kill();
+                let _ = worker.child.wait();
+                let _ = std::fs::remove_file(&worker.out_path);
+            }
+        }
+        result
+    }
+
+    /// The pool loop behind [`run_tasks`](Pool::run_tasks), separated so
+    /// the caller can reap `running` on any error path.
+    fn drive(
+        &mut self,
+        tasks: Vec<Task>,
+        running: &mut Vec<Worker>,
+    ) -> Result<Vec<Report>, String> {
+        // The batch always covers one contiguous absolute span — the whole
+        // plan for a fixed budget, one wave for an adaptive one.
+        let span = (
+            tasks
+                .iter()
+                .map(|t| t.range.start as u64)
+                .min()
+                .unwrap_or(0),
+            tasks.iter().map(|t| t.range.end as u64).max().unwrap_or(0),
+        );
+        let mut queue: Vec<Task> = tasks.into_iter().rev().collect();
+        let mut done: Vec<Report> = Vec::new();
+        while !queue.is_empty() || !running.is_empty() {
+            while running.len() < self.workers {
+                let Some(task) = queue.pop() else { break };
+                match self.spawn(task.clone()) {
+                    Ok(worker) => running.push(worker),
+                    Err(e) => self.task_failed(task, e, &mut queue, &done, span)?,
+                }
+            }
+            let mut idx = 0;
+            while idx < running.len() {
+                let exited = match running[idx].child.try_wait() {
+                    Ok(status) => status.is_some(),
+                    Err(_) => true, // treat an unpollable child as dead
+                };
+                if !exited {
+                    idx += 1;
+                    continue;
+                }
+                let mut worker = running.swap_remove(idx);
+                match self.harvest(&mut worker) {
+                    Ok(report) => {
+                        self.retries_used += worker.task.attempt;
+                        let _ = std::fs::remove_file(&worker.out_path);
+                        done.push(report);
+                    }
+                    Err(e) => {
+                        let _ = std::fs::remove_file(&worker.out_path);
+                        self.task_failed(worker.task, e, &mut queue, &done, span)?;
+                    }
+                }
+            }
+            if !running.is_empty() {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+        // Deterministic order for the merge fold (merge is commutative, so
+        // this is cosmetic — but it keeps logs stable).
+        done.sort_by_key(|r| r.coverage.ranges()[0]);
+        Ok(done)
+    }
+
+    /// Requeues a failed task or aborts the run once its retry budget is
+    /// exhausted, reporting the full failure log and the trial ranges of
+    /// this batch's `span` still missing. Ranges are absolute trial
+    /// indices (a wave's span starts mid-budget), so the gap walk is done
+    /// here rather than through `Coverage::missing`'s zero-based form.
+    fn task_failed(
+        &mut self,
+        task: Task,
+        error: String,
+        queue: &mut Vec<Task>,
+        done: &[Report],
+        span: (u64, u64),
+    ) -> Result<(), String> {
+        eprintln!("mrw fanout: {error}");
+        self.failures.push(error);
+        if task.attempt < self.retries {
+            queue.push(Task {
+                attempt: task.attempt + 1,
+                ..task
+            });
+            return Ok(());
+        }
+        let mut covered: Vec<(u64, u64)> = done
+            .iter()
+            .flat_map(|r| r.coverage.ranges().iter().copied())
+            .collect();
+        covered.sort_unstable();
+        let mut missing = Vec::new();
+        let mut cursor = span.0;
+        for (lo, hi) in covered {
+            if cursor < lo {
+                missing.push((cursor, lo));
+            }
+            cursor = cursor.max(hi);
+        }
+        if cursor < span.1 {
+            missing.push((cursor, span.1));
+        }
+        Err(format!(
+            "trials {:?} failed {} attempt(s); still missing {:?} of this batch; failures: [{}]",
+            task.range,
+            task.attempt + 1,
+            missing,
+            self.failures.join("; ")
+        ))
+    }
+}
+
+/// Merges a wave of same-structure shard reports (coverage-overlap
+/// rejection included — a double-submitted range is an error here, never
+/// a double count).
+fn merge_all(reports: &[Report]) -> Result<Report, String> {
+    let mut it = reports.iter();
+    let first = it.next().ok_or("no shard reports to merge")?.clone();
+    it.try_fold(first, |acc, r| Report::merge(&acc, r))
+}
+
+/// `mrw fanout spec.json --workers N [--shards S] [--retries R]`: run a
+/// spec across local worker processes and print the merged report —
+/// byte-identical to `mrw run spec.json` for fixed *and* adaptive
+/// budgets, even when workers die and are retried.
+pub fn run_fanout(opts: &Options) -> Result<(), String> {
+    let (spec, g) = crate::load_spec(opts)?;
+    let workers = opts.workers.unwrap_or_else(mrw_par::available_threads);
+    let retries = opts.retries.unwrap_or(DEFAULT_RETRIES);
+    let cap = spec.budget.trials_budget().cap();
+
+    let scratch = Scratch::new()?;
+    // The children must see the *resolved* budget (CLI overrides applied),
+    // so the driver ships its own spec file rather than the user's.
+    let spec_path = scratch.path("spec.json");
+    std::fs::write(&spec_path, spec.to_json())
+        .map_err(|e| format!("{}: {e}", spec_path.display()))?;
+    let mut pool = Pool::new(spec_path, &scratch, workers, retries, opts.threads)?;
+
+    let merged = match spec.budget.precision {
+        None => {
+            let plan = ShardPlan::new(cap, opts.fanout_shards.unwrap_or(workers));
+            let tasks = plan
+                .ranges()
+                .map(|range| Task {
+                    range,
+                    groups: None,
+                    attempt: 0,
+                })
+                .collect();
+            let reports = pool.run_tasks(tasks)?;
+            let merged = merge_all(&reports)?;
+            if !merged.is_complete() {
+                return Err(format!(
+                    "merged report is incomplete: missing trial ranges {:?}",
+                    merged.coverage.missing(cap as u64)
+                ));
+            }
+            merged
+        }
+        Some(rule) => {
+            // Driver-side replication of the in-process sequential loop:
+            // same wave boundaries, same rule, same prefix moments — so
+            // the assembled report is byte-identical to `mrw run`.
+            let mut consumed = 0usize;
+            let mut active: Option<Vec<usize>> = None; // None = all (first wave)
+            let mut labels: Vec<String> = Vec::new();
+            let mut acc: Vec<(u64, IntMoments, u64)> = Vec::new();
+            let mut finished: Vec<Option<Group>> = Vec::new();
+            loop {
+                // Retire groups whose rule fired at this boundary.
+                if let Some(ids) = &mut active {
+                    ids.retain(|&gi| {
+                        let (trials, moments, censored) = &acc[gi];
+                        if rule.satisfied_by(&moments.summary()) {
+                            finished[gi] = Some(Group {
+                                label: labels[gi].clone(),
+                                trials: *trials,
+                                moments: *moments,
+                                censored: *censored,
+                            });
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    if ids.is_empty() {
+                        break;
+                    }
+                }
+                let wave = rule.next_wave(consumed);
+                if wave == 0 {
+                    // Cap reached: whatever is still active stops here.
+                    let ids = active.unwrap_or_default();
+                    for gi in ids {
+                        let (trials, moments, censored) = acc[gi];
+                        finished[gi] = Some(Group {
+                            label: labels[gi].clone(),
+                            trials,
+                            moments,
+                            censored,
+                        });
+                    }
+                    break;
+                }
+                let range = consumed..consumed + wave;
+                let tasks = ShardPlan::split(range, workers)
+                    .into_iter()
+                    .map(|range| Task {
+                        range,
+                        groups: active.clone(),
+                        attempt: 0,
+                    })
+                    .collect();
+                let reports = pool.run_tasks(tasks)?;
+                let wave_report = merge_all(&reports)?;
+                if active.is_none() {
+                    // First wave: learn the group structure.
+                    labels = wave_report.groups.iter().map(|g| g.label.clone()).collect();
+                    acc = vec![(0, IntMoments::new(), 0); labels.len()];
+                    finished = vec![None; labels.len()];
+                    active = Some((0..labels.len()).collect());
+                }
+                for &gi in active.as_ref().expect("initialized above") {
+                    let group = &wave_report.groups[gi];
+                    acc[gi].0 += group.trials;
+                    acc[gi].1.merge(&group.moments);
+                    acc[gi].2 += group.censored;
+                }
+                consumed += wave;
+            }
+            Report {
+                graph: mrw_core::query::GraphInfo {
+                    name: g.name().to_string(),
+                    n: g.n(),
+                },
+                query: spec.query.clone(),
+                budget: spec.budget.clone(),
+                coverage: Coverage::full(cap as u64),
+                groups: finished
+                    .into_iter()
+                    .map(|g| g.expect("every group finalized"))
+                    .collect(),
+            }
+        }
+    };
+
+    eprintln!(
+        "mrw fanout: {} trials across {} worker(s), {} retr{} used",
+        merged.consumed_trials(),
+        workers,
+        pool.retries_used,
+        if pool.retries_used == 1 { "y" } else { "ies" }
+    );
+    if opts.json {
+        print!("{}", merged.to_json());
+        return Ok(());
+    }
+    crate::print_table(&crate::report_table(&merged), opts.format);
+    if let Some(certified) = merged.certified() {
+        println!(
+            "precision rule {} on every group ({} trials total)",
+            if certified {
+                "satisfied"
+            } else {
+                "NOT satisfied"
+            },
+            merged.consumed_trials()
+        );
+    }
+    Ok(())
+}

@@ -25,6 +25,7 @@
 //!   run             execute a serialized query spec (any estimate kind)
 //!   shard           run one shard of a spec's trial range (JSON report)
 //!   merge           losslessly merge shard reports
+//!   fanout          run a spec across N local worker processes and merge
 //!   all             every experiment above, in order
 //! ```
 //!
@@ -44,6 +45,12 @@
 //! `mrw run spec.json --json`; for an adaptive budget the merge
 //! re-evaluates the precision rule on the combined sample and certifies
 //! the achieved half-width.
+//!
+//! `mrw fanout spec.json --workers N` runs the whole protocol in-tree: it
+//! spawns the shard workers itself (retrying failed or killed ones) and
+//! prints one merged report byte-identical to `mrw run` — adaptive
+//! budgets included, whose sequential stopping rule the driver replays
+//! wave by wave across the worker pool (see `fanout.rs`).
 
 use std::process::ExitCode;
 
@@ -55,6 +62,7 @@ use mrw_core::experiments::{
 use mrw_core::{GraphSpec, Query, QuerySpec, Report, Session};
 
 mod args;
+mod fanout;
 
 use args::{Format, Options};
 
@@ -638,8 +646,11 @@ fn load_spec(opts: &Options) -> Result<(QuerySpec, mrw_graph::Graph), String> {
 fn run_spec(opts: &Options) -> Result<(), String> {
     let (spec, g) = load_spec(opts)?;
     let mut session = Session::new(spec.budget.clone());
-    if let Some(shard) = opts.shard {
-        session = session.with_shard(shard);
+    if opts.shard.is_some() || opts.range.is_some() {
+        session = session.with_range(resolve_range(opts, &spec)?);
+    }
+    if let Some(groups) = &opts.groups {
+        session = session.with_groups(groups.clone());
     }
     let report = session.run(&g, &spec.query);
     if opts.json {
@@ -661,15 +672,47 @@ fn run_spec(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// `mrw shard spec.json --shard I/S`: run one slice of the spec's trial
-/// range and emit the JSON shard report on stdout (always JSON — the
-/// output exists to be merged).
+/// The trial range `--shard I/S` or `--range A..B` selects of a spec's
+/// budget, validated against the budget's trial cap.
+fn resolve_range(opts: &Options, spec: &QuerySpec) -> Result<std::ops::Range<usize>, String> {
+    let cap = spec.budget.trials_budget().cap();
+    let range = match (&opts.shard, &opts.range) {
+        (Some(shard), None) => shard.slice(cap),
+        (None, Some(range)) => range.clone(),
+        _ => unreachable!("callers check exactly one is present"),
+    };
+    if range.end > cap {
+        return Err(format!(
+            "trial range {}..{} extends past the {cap}-trial budget",
+            range.start, range.end
+        ));
+    }
+    if range.is_empty() {
+        return Err(format!(
+            "trial range {}..{} of the {cap}-trial budget is empty",
+            range.start, range.end
+        ));
+    }
+    Ok(range)
+}
+
+/// `mrw shard spec.json --shard I/S` (or `--range A..B`): run one slice
+/// of the spec's trial range and emit the JSON shard report on stdout
+/// (always JSON — the output exists to be merged). `--groups` restricts
+/// execution to the listed group indices, which is how `mrw fanout`'s
+/// adaptive waves skip groups whose stopping rule already fired.
 fn run_shard(opts: &Options) -> Result<(), String> {
-    let shard = opts.shard.ok_or("mrw shard needs --shard I/S")?;
+    if opts.shard.is_none() && opts.range.is_none() {
+        return Err("mrw shard needs --shard I/S or --range A..B".into());
+    }
     let (spec, g) = load_spec(opts)?;
-    let report = Session::new(spec.budget.clone())
-        .with_shard(shard)
-        .run(&g, &spec.query);
+    let range = resolve_range(opts, &spec)?;
+    fanout::fault_hook(&range);
+    let mut session = Session::new(spec.budget.clone()).with_range(range);
+    if let Some(groups) = &opts.groups {
+        session = session.with_groups(groups.clone());
+    }
+    let report = session.run(&g, &spec.query);
     print!("{}", report.to_json());
     Ok(())
 }
@@ -678,9 +721,11 @@ fn run_shard(opts: &Options) -> Result<(), String> {
 /// merged JSON goes to stdout (for fixed budgets it is byte-identical to
 /// the unsharded run); the human summary — including the adaptive
 /// half-width certification — goes to stderr so pipelines stay clean.
+/// A single input is the identity: the report round-trips unchanged, so
+/// scripted pipelines need no special case for a one-shard plan.
 fn run_merge(opts: &Options) -> Result<(), String> {
-    if opts.files.len() < 2 {
-        return Err("mrw merge needs at least two report files".into());
+    if opts.files.is_empty() {
+        return Err("mrw merge needs at least one report file".into());
     }
     let mut reports = opts.files.iter().map(|path| {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -692,7 +737,7 @@ fn run_merge(opts: &Options) -> Result<(), String> {
     }
     print!("{}", merged.to_json());
     eprintln!(
-        "merged {} shards: {} on {} — {} trials total",
+        "merged {} shard report(s): {} on {} — {} trials total",
         opts.files.len(),
         merged.query.kind(),
         merged.graph.name,
@@ -742,7 +787,7 @@ fn main() -> ExitCode {
     let command = opts.command.as_str();
     // Only the file-taking verbs accept positional arguments; anywhere
     // else a stray token is almost certainly a typo'd flag value.
-    if !matches!(command, "run" | "shard" | "merge") && !opts.files.is_empty() {
+    if !matches!(command, "run" | "shard" | "merge" | "fanout") && !opts.files.is_empty() {
         eprintln!(
             "error: unexpected argument '{}' for '{command}'\n",
             opts.files[0]
@@ -751,11 +796,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     match command {
-        "estimate" | "run" | "shard" | "merge" => {
+        "estimate" | "run" | "shard" | "merge" | "fanout" => {
             let result = match command {
                 "estimate" => run_estimate(&opts),
                 "run" => run_spec(&opts),
                 "shard" => run_shard(&opts),
+                "fanout" => fanout::run_fanout(&opts),
                 _ => run_merge(&opts),
             };
             if let Err(e) = result {

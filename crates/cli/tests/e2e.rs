@@ -1,0 +1,363 @@
+//! End-to-end tests of the `mrw` binary — the whole CLI surface driven
+//! black-box through the vendored `assert_cmd` stand-in.
+//!
+//! The golden flows pin the shard protocol's headline guarantee at the
+//! *process* level: `shard` + `merge`, and the in-tree `fanout` driver,
+//! reproduce `mrw run spec.json --json` **byte for byte** — for fixed and
+//! adaptive budgets, and even when a worker is SIGKILLed mid-run and
+//! retried (the `MRW_FAULT_*` hooks in `fanout.rs` make a chosen worker
+//! kill itself, exactly like an OOM kill or preemption).
+
+use std::path::{Path, PathBuf};
+
+use assert_cmd::predicates::str::contains;
+use assert_cmd::Command;
+
+/// A scratch directory removed when the test finishes.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("mrw-e2e-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str, contents: &str) -> PathBuf {
+        let path = self.0.join(name);
+        std::fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn mrw() -> Command {
+    let mut cmd = Command::cargo_bin("mrw").expect("mrw binary built for integration tests");
+    // Never inherit fault hooks from an outer environment.
+    cmd.env_remove("MRW_FAULT_KILL_RANGE_START")
+        .env_remove("MRW_FAULT_ONCE");
+    cmd
+}
+
+/// Runs `mrw <args>` expecting success and returns captured stdout.
+fn mrw_stdout(args: &[&str]) -> String {
+    let assert = mrw().args(args).assert().success();
+    String::from_utf8(assert.get_output().stdout.clone()).expect("utf-8 stdout")
+}
+
+const FIXED_SPEC: &str = r#"{"graph": {"family": "cycle", "n": 64},
+ "query": {"type": "cover", "k": 8, "starts": [0, 5]},
+ "budget": {"trials": 96, "seed": 7}}"#;
+
+const ADAPTIVE_SPEC: &str = r#"{"graph": {"family": "cycle", "n": 32},
+ "query": {"type": "cover", "k": 4, "starts": [0, 8]},
+ "budget": {"trials": {"adaptive": {"target": {"relative": 0.1},
+                                    "min_trials": 16, "max_trials": 512}},
+            "seed": 9}}"#;
+
+fn oracle(spec: &Path) -> String {
+    mrw_stdout(&["run", spec.to_str().unwrap(), "--json"])
+}
+
+// ---------------------------------------------------------------------------
+// Golden flows: estimate / run / shard / merge.
+
+#[test]
+fn help_lists_every_verb_and_unknown_verbs_fail() {
+    let assert = mrw().arg("help").assert().success();
+    let usage = String::from_utf8(assert.get_output().stdout.clone()).unwrap();
+    for verb in ["estimate", "run ", "shard ", "merge ", "fanout "] {
+        assert!(usage.contains(verb), "usage is missing '{verb}'");
+    }
+    mrw()
+        .arg("no-such-experiment")
+        .assert()
+        .failure()
+        .stderr(contains("unknown experiment"));
+}
+
+#[test]
+fn estimate_json_is_byte_identical_to_run_json() {
+    let tmp = TempDir::new("estimate");
+    let spec = tmp.file(
+        "spec.json",
+        r#"{"graph": {"family": "cycle", "n": 64},
+            "query": {"type": "cover", "k": 8, "starts": [0]},
+            "budget": {"trials": 64, "seed": 7}}"#,
+    );
+    let reference = oracle(&spec);
+    mrw()
+        .args([
+            "estimate", "--family", "cycle", "--n", "64", "--k", "8", "--trials", "64", "--seed",
+            "7", "--json",
+        ])
+        .assert()
+        .success()
+        .stdout(reference);
+}
+
+#[test]
+fn shard_merge_round_trip_is_byte_identical_to_run() {
+    let tmp = TempDir::new("golden");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let spec_arg = spec.to_str().unwrap();
+    let reference = oracle(&spec);
+
+    // Two balanced shards, then an unbalanced three-way --range partition.
+    let a = mrw_stdout(&["shard", spec_arg, "--shard", "0/2"]);
+    let b = mrw_stdout(&["shard", spec_arg, "--shard", "1/2"]);
+    let a_path = tmp.file("a.json", &a);
+    let b_path = tmp.file("b.json", &b);
+    mrw()
+        .args(["merge", a_path.to_str().unwrap(), b_path.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout(reference.clone());
+
+    let mut paths = Vec::new();
+    for (i, range) in ["0..10", "10..11", "11..96"].iter().enumerate() {
+        let part = mrw_stdout(&["shard", spec_arg, "--range", range]);
+        paths.push(tmp.file(&format!("part{i}.json"), &part));
+    }
+    // Merge order must not matter (commutative + associative).
+    mrw()
+        .args([
+            "merge",
+            paths[2].to_str().unwrap(),
+            paths[0].to_str().unwrap(),
+            paths[1].to_str().unwrap(),
+        ])
+        .assert()
+        .success()
+        .stdout(reference);
+}
+
+#[test]
+fn shard_flag_and_range_flag_describe_identical_work() {
+    let tmp = TempDir::new("rangeeq");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let spec_arg = spec.to_str().unwrap();
+    let by_shard = mrw_stdout(&["shard", spec_arg, "--shard", "0/2"]);
+    mrw()
+        .args(["shard", spec_arg, "--range", "0..48"])
+        .assert()
+        .success()
+        .stdout(by_shard);
+}
+
+#[test]
+fn merge_of_a_single_report_is_the_identity() {
+    let tmp = TempDir::new("merge1");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    let report = tmp.file("whole.json", &reference);
+    // Regression: this used to demand >= 2 inputs, so one-shard plans
+    // needed a special case in every pipeline.
+    mrw()
+        .args(["merge", report.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout(reference.clone());
+    // A lone shard also round-trips (coverage preserved, not "completed").
+    let shard = mrw_stdout(&["shard", spec.to_str().unwrap(), "--shard", "0/2"]);
+    let shard_path = tmp.file("shard.json", &shard);
+    mrw()
+        .args(["merge", shard_path.to_str().unwrap()])
+        .assert()
+        .success()
+        .stdout(shard);
+}
+
+#[test]
+fn merge_rejects_double_counted_shards() {
+    let tmp = TempDir::new("dup");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let shard = mrw_stdout(&["shard", spec.to_str().unwrap(), "--shard", "0/2"]);
+    let path = tmp.file("a.json", &shard);
+    mrw()
+        .args(["merge", path.to_str().unwrap(), path.to_str().unwrap()])
+        .assert()
+        .failure()
+        .stderr(contains("counted twice"));
+}
+
+#[test]
+fn shard_errors_are_friendly() {
+    let tmp = TempDir::new("badshard");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let spec_arg = spec.to_str().unwrap();
+    mrw()
+        .args(["shard", spec_arg])
+        .assert()
+        .failure()
+        .stderr(contains("--shard I/S or --range"));
+    mrw()
+        .args(["shard", spec_arg, "--range", "90..200"])
+        .assert()
+        .failure()
+        .stderr(contains("extends past"));
+    mrw()
+        .args(["shard", "/no/such/spec.json", "--shard", "0/2"])
+        .assert()
+        .failure()
+        .stderr(contains("error:"));
+}
+
+// ---------------------------------------------------------------------------
+// The fanout driver.
+
+#[test]
+fn fanout_fixed_budget_is_byte_identical_to_run() {
+    let tmp = TempDir::new("fanfixed");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "4", "--json"])
+        .assert()
+        .success()
+        .stdout(reference.clone());
+    // More shards than workers, and a one-worker degenerate pool.
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--shards",
+            "7",
+            "--json",
+        ])
+        .assert()
+        .success()
+        .stdout(reference.clone());
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "1", "--json"])
+        .assert()
+        .success()
+        .stdout(reference);
+}
+
+#[test]
+fn fanout_adaptive_budget_is_byte_identical_to_run() {
+    let tmp = TempDir::new("fanadaptive");
+    let spec = tmp.file("spec.json", ADAPTIVE_SPEC);
+    let reference = oracle(&spec);
+    // The sequential stopping rule must replay identically across the
+    // process pool: same wave boundaries, same per-group stopping points,
+    // same consumed trial counts.
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "3", "--json"])
+        .assert()
+        .success()
+        .stdout(reference);
+}
+
+#[test]
+fn fanout_recovers_byte_identically_after_a_sigkilled_worker() {
+    let tmp = TempDir::new("fankill");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    let latch = tmp.path("latch");
+    // The worker owning trials [0, 24) SIGKILLs itself mid-run, once; the
+    // retry must fill the hole and the merged report must still match the
+    // oracle byte for byte (coverage rejection makes double-counting
+    // impossible, so the retry either fills the hole or errors).
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "4", "--json"])
+        .env("MRW_FAULT_KILL_RANGE_START", "0")
+        .env("MRW_FAULT_ONCE", &latch)
+        .assert()
+        .success()
+        .stdout(reference)
+        .stderr(contains("signal: 9"))
+        .stderr(contains("1 retry used"));
+    assert!(latch.exists(), "the fault hook never fired");
+}
+
+#[test]
+fn fanout_kill_during_adaptive_wave_still_matches_oracle() {
+    let tmp = TempDir::new("fankilladaptive");
+    let spec = tmp.file("spec.json", ADAPTIVE_SPEC);
+    let reference = oracle(&spec);
+    let latch = tmp.path("latch");
+    // Kill the worker whose sub-range starts the first wave; the wave
+    // barrier has to wait for the retry before evaluating the rule.
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "2", "--json"])
+        .env("MRW_FAULT_KILL_RANGE_START", "0")
+        .env("MRW_FAULT_ONCE", &latch)
+        .assert()
+        .success()
+        .stdout(reference)
+        .stderr(contains("signal: 9"));
+}
+
+#[test]
+fn fanout_reports_missing_ranges_when_retries_exhaust() {
+    let tmp = TempDir::new("fanexhaust");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    // No MRW_FAULT_ONCE latch: every attempt at trials [0, ...) dies, so
+    // the retry budget runs out and the driver must abort with the
+    // failure log and the still-missing coverage.
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "1",
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "0")
+        .assert()
+        .failure()
+        .stderr(contains("failed 2 attempt(s)"))
+        .stderr(contains("still missing"));
+}
+
+#[test]
+fn fanout_exhaustion_in_a_later_adaptive_wave_aborts_cleanly() {
+    let tmp = TempDir::new("fanwave2");
+    let spec = tmp.file("spec.json", ADAPTIVE_SPEC);
+    // min_trials is 16, so wave 2 covers absolute trials [16, 24); a
+    // persistent fault there must produce the friendly abort with the
+    // batch's missing ranges — not a panic from validating absolute
+    // indices against a wave-relative total (regression).
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "1",
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "16")
+        .assert()
+        .failure()
+        .code(1)
+        .stderr(contains("failed 2 attempt(s)"))
+        .stderr(contains("still missing [(16, 20)]"));
+}
+
+#[test]
+fn fanout_human_output_certifies_adaptive_runs() {
+    let tmp = TempDir::new("fanhuman");
+    let spec = tmp.file("spec.json", ADAPTIVE_SPEC);
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "2"])
+        .assert()
+        .success()
+        .stdout(contains("precision rule satisfied"));
+}

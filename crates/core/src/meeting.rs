@@ -383,6 +383,125 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_prey_on_two_vertex_graph_is_caught_in_one_round() {
+        // K₂: the evader's only neighbor carries the hunter, so it is
+        // cornered from the start — it must stay, and the hunter walks
+        // onto it on the very first half-step. Deterministically Some(1).
+        for g in [generators::path(2), generators::complete(2)] {
+            for seed in 0..50 {
+                assert_eq!(
+                    pursuit_rounds(
+                        &g,
+                        &[0],
+                        1,
+                        PreyStrategy::Adversarial,
+                        1_000,
+                        &mut walk_rng(seed)
+                    ),
+                    Some(1),
+                    "2-vertex game not deterministic at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_prey_at_star_center_with_ringed_leaves_is_caught_in_one_round() {
+        // Prey on the hub, one hunter on every leaf: every neighbor is
+        // occupied, so the evader is cornered and must stay; all hunters'
+        // only move is leaf → hub. Some(1), every seed.
+        let n = 7;
+        let g = generators::star(n);
+        let hunters: Vec<u32> = (1..n as u32).collect();
+        for seed in 0..50 {
+            assert_eq!(
+                pursuit_rounds(
+                    &g,
+                    &hunters,
+                    0,
+                    PreyStrategy::Adversarial,
+                    1_000,
+                    &mut walk_rng(seed)
+                ),
+                Some(1),
+                "ringed star center escaped at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_prey_never_blunders_on_the_star() {
+        // Hunter on leaf 1, evader on leaf 2 of a star. Round 1 the
+        // hunter must step to the hub; the evader's only neighbor (the
+        // hub) is then occupied, so it is cornered and stays — a round-1
+        // catch is *impossible* unless the prey blunders into the hub.
+        // Round 2 the hunter leaves the hub for a uniform leaf (catch iff
+        // it picks the evader's); otherwise the hub is free, the evader
+        // must move there, and the hunter's round-3 return to the hub
+        // always catches it. So: Some(2) or Some(3), never Some(1) —
+        // the "never blunders" law as an observable catch-time property.
+        let g = generators::star(6);
+        let (mut twos, mut threes) = (0, 0);
+        for seed in 0..200 {
+            match pursuit_rounds(
+                &g,
+                &[1],
+                2,
+                PreyStrategy::Adversarial,
+                1_000,
+                &mut walk_rng(seed),
+            ) {
+                Some(2) => twos += 1,
+                Some(3) => threes += 1,
+                other => panic!("adversarial star game ended with {other:?} at seed {seed}"),
+            }
+        }
+        // Round 2 fires with probability 1/5 — both outcomes must occur.
+        assert!(twos > 0 && threes > 0, "twos={twos} threes={threes}");
+
+        // The discriminating contrast: a *uniform* prey blunders into the
+        // hub-occupying hunter, so round-1 catches do happen.
+        let round_one_blunders = (0..200)
+            .filter(|&seed| {
+                pursuit_rounds(
+                    &g,
+                    &[1],
+                    2,
+                    PreyStrategy::RandomWalk,
+                    1_000,
+                    &mut walk_rng(seed),
+                ) == Some(1)
+            })
+            .count();
+        assert!(
+            round_one_blunders > 0,
+            "uniform prey never blundered — the contrast is vacuous"
+        );
+    }
+
+    #[test]
+    fn adversarial_prey_cornered_by_full_occupation_stays_and_falls() {
+        // K₃ with hunters on both non-prey vertices: every neighbor is
+        // occupied every round the hunters stay put in aggregate — the
+        // evader can only be taken by a hunter stepping onto it, and with
+        // 2 hunters picking uniformly from 2 targets each round the game
+        // ends fast. Checks the cornered branch under total occupation.
+        let g = generators::complete(3);
+        for seed in 0..30 {
+            let rounds = pursuit_rounds(
+                &g,
+                &[0, 1],
+                2,
+                PreyStrategy::Adversarial,
+                10_000,
+                &mut walk_rng(seed),
+            )
+            .expect("cornered evader must fall");
+            assert!(rounds >= 1);
+        }
+    }
+
+    #[test]
     fn adversarial_prey_cornered_on_clique_still_caught() {
         // On K_n every hunter-free vertex is a neighbor, so the evader
         // keeps dodging; the union of k hunters still corners it in

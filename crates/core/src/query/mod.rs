@@ -238,6 +238,85 @@ impl Shard {
     }
 }
 
+/// How a trial budget splits into disjoint, non-empty child work ranges —
+/// the plan `mrw fanout` dispatches to its worker processes.
+///
+/// The requested shard count is clamped to the trial total, so **every
+/// planned range is non-empty**: a worker never produces a report with
+/// degenerate coverage, and the union of all planned ranges is exactly
+/// `[0, total)`.
+///
+/// ```
+/// use mrw_core::query::ShardPlan;
+///
+/// let plan = ShardPlan::new(10, 4);
+/// let ranges: Vec<_> = plan.ranges().collect();
+/// assert_eq!(ranges, vec![0..2, 2..5, 5..7, 7..10]);
+/// // More shards than trials: clamped, never empty.
+/// assert_eq!(ShardPlan::new(3, 8).count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    total: usize,
+    count: usize,
+}
+
+impl ShardPlan {
+    /// Plans `requested` shards over a `total`-trial budget, clamping the
+    /// count to `[1, total]` so no shard is empty.
+    ///
+    /// # Panics
+    /// If `total == 0` (a budget needs at least one trial).
+    pub fn new(total: usize, requested: usize) -> ShardPlan {
+        assert!(total >= 1, "cannot plan shards over an empty trial budget");
+        ShardPlan {
+            total,
+            count: requested.clamp(1, total),
+        }
+    }
+
+    /// Number of planned shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The trial budget being split.
+    pub fn total_trials(&self) -> usize {
+        self.total
+    }
+
+    /// Shard `i`'s trial range (the same balanced split as
+    /// [`Shard::slice`], so `mrw shard --shard i/s` and `--range lo..hi`
+    /// describe identical work).
+    ///
+    /// # Panics
+    /// If `i >= count`.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        Shard::new(i, self.count).slice(self.total)
+    }
+
+    /// All planned ranges in index order (a partition of `[0, total)`).
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.count).map(|i| self.range(i))
+    }
+
+    /// Splits an arbitrary sub-range into at most `parts` non-empty
+    /// balanced pieces — how an adaptive fan-out wave `[c, c + w)` is
+    /// spread over the worker pool.
+    ///
+    /// # Panics
+    /// If the range is empty or `parts == 0`.
+    pub fn split(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+        assert!(!range.is_empty(), "cannot split an empty range");
+        assert!(parts >= 1, "need at least one part");
+        let len = range.len();
+        let sub = ShardPlan::new(len, parts);
+        sub.ranges()
+            .map(|r| (range.start + r.start)..(range.start + r.end))
+            .collect()
+    }
+}
+
 /// A buildable description of a graph-family instance — how query spec
 /// files and shard workers agree on the graph without shipping an edge
 /// list. The families match the `mrw estimate` CLI verb.
@@ -538,6 +617,16 @@ impl Coverage {
         Coverage(vec![(r.start as u64, r.end as u64)])
     }
 
+    /// An arbitrary contiguous `[lo, hi)` trial range (the `mrw shard
+    /// --range` form `mrw fanout` dispatches).
+    ///
+    /// # Panics
+    /// If the range is empty.
+    pub fn of_range(range: Range<usize>) -> Coverage {
+        assert!(!range.is_empty(), "empty coverage range");
+        Coverage(vec![(range.start as u64, range.end as u64)])
+    }
+
     /// The covered ranges (sorted, disjoint, non-empty unless the whole
     /// coverage is empty).
     pub fn ranges(&self) -> &[(u64, u64)] {
@@ -568,6 +657,30 @@ impl Coverage {
             prev_hi = hi;
         }
         Ok(Coverage(ranges))
+    }
+
+    /// Number of trial indices covered.
+    pub fn covered_trials(&self) -> u64 {
+        self.0.iter().map(|&(lo, hi)| hi - lo).sum()
+    }
+
+    /// The complement within `[0, total)`: which trial ranges are still
+    /// missing before this coverage is the complete run. This is the
+    /// progress accounting `mrw fanout` reports (and what a retry has to
+    /// fill after a worker dies).
+    pub fn missing(&self, total: u64) -> Vec<(u64, u64)> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0u64;
+        for &(lo, hi) in &self.0 {
+            if cursor < lo {
+                gaps.push((cursor, lo));
+            }
+            cursor = cursor.max(hi);
+        }
+        if cursor < total {
+            gaps.push((cursor, total));
+        }
+        gaps
     }
 
     /// The disjoint union of two coverages (coalescing adjacent ranges).
@@ -1007,23 +1120,46 @@ fn precision_to_value(rule: &Precision) -> Value {
     ])
 }
 
+// Untrusted input: every value is range-checked *before* reaching the
+// `Precision` constructors, whose assertions would otherwise turn a
+// malformed spec/report into a panic instead of an `Err`.
 fn precision_from_value(v: &Value) -> Result<Precision, String> {
     let target = v.req("target")?;
+    let positive_finite = |what: &str, x: f64| -> Result<f64, String> {
+        if x > 0.0 && x.is_finite() {
+            Ok(x)
+        } else {
+            Err(format!("{what} target {x} must be positive and finite"))
+        }
+    };
     let mut rule = if let Some(h) = target.get("absolute") {
-        Precision::absolute(h.as_f64().ok_or("absolute target must be a number")?)
+        let h = h.as_f64().ok_or("absolute target must be a number")?;
+        Precision::absolute(positive_finite("absolute", h)?)
     } else if let Some(r) = target.get("relative") {
-        Precision::relative(r.as_f64().ok_or("relative target must be a number")?)
+        let r = r.as_f64().ok_or("relative target must be a number")?;
+        Precision::relative(positive_finite("relative", r)?)
     } else {
         return Err("precision target needs 'absolute' or 'relative'".into());
     };
     if let Some(c) = v.get("confidence") {
-        rule = rule.with_confidence(c.as_f64().ok_or("confidence must be a number")?);
+        let c = c.as_f64().ok_or("confidence must be a number")?;
+        if !(c > 0.0 && c < 1.0) {
+            return Err(format!("confidence {c} not in (0, 1)"));
+        }
+        rule = rule.with_confidence(c);
     }
     if let Some(m) = v.get("min_trials") {
         rule = rule.with_min_trials(m.as_usize().ok_or("min_trials must be an integer")?);
     }
     if let Some(m) = v.get("max_trials") {
-        rule = rule.with_max_trials(m.as_usize().ok_or("max_trials must be an integer")?);
+        let m = m.as_usize().ok_or("max_trials must be an integer")?;
+        if m < rule.min_trials {
+            return Err(format!(
+                "max_trials {m} below the minimum-sample floor {}",
+                rule.min_trials
+            ));
+        }
+        rule = rule.with_max_trials(m);
     }
     Ok(rule)
 }
@@ -1276,13 +1412,25 @@ impl CoverWorkspace {
     }
 }
 
+/// The restriction of a [`Session`] to part of the trial-index space:
+/// a [`Shard`] (resolved against the budget's total at run time) or an
+/// explicit index range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TrialSlice {
+    Shard(Shard),
+    Range(Range<usize>),
+}
+
 /// The one executor: runs any [`Query`] against a graph under a
-/// [`Budget`], optionally restricted to a [`Shard`] of the trial-index
-/// range. See the module docs for the determinism and shard contracts.
+/// [`Budget`], optionally restricted to a [`Shard`] (or explicit index
+/// range) of the trial-index range, and optionally to a subset of the
+/// query's groups. See the module docs for the determinism and shard
+/// contracts.
 #[derive(Debug, Clone)]
 pub struct Session {
     budget: Budget,
-    shard: Option<Shard>,
+    slice: Option<TrialSlice>,
+    groups: Option<Vec<usize>>,
 }
 
 impl Session {
@@ -1293,7 +1441,8 @@ impl Session {
         assert!(budget.threads >= 1, "need at least one thread");
         Session {
             budget,
-            shard: None,
+            slice: None,
+            groups: None,
         }
     }
 
@@ -1302,8 +1451,67 @@ impl Session {
     /// hard cap; the rule is re-evaluated on the merged statistics
     /// ([`Report::certified`]).
     pub fn with_shard(mut self, shard: Shard) -> Session {
-        self.shard = Some(shard);
+        self.slice = Some(TrialSlice::Shard(shard));
         self
+    }
+
+    /// Restricts the session to an explicit trial-index range — the
+    /// general form of [`with_shard`](Session::with_shard) that `mrw
+    /// fanout`'s adaptive waves need (wave boundaries are not balanced
+    /// shard splits). The range must be non-empty and lie inside
+    /// `[0, budget cap)`.
+    ///
+    /// # Panics
+    /// If the range is empty or extends past the budget's trial cap
+    /// (checked at [`run`](Session::run)).
+    pub fn with_range(mut self, range: Range<usize>) -> Session {
+        assert!(!range.is_empty(), "empty trial range");
+        self.slice = Some(TrialSlice::Range(range));
+        self
+    }
+
+    /// Restricts execution to the given group indices (positions in the
+    /// report's group list). Excluded groups still appear in the report —
+    /// with their labels, zero trials, and empty moments — so reports
+    /// from the same range with the same filter keep a mergeable
+    /// structure. This is how `mrw fanout` avoids re-running groups whose
+    /// adaptive rule already fired. Callers must use a consistent filter
+    /// across the reports they merge: merging differently-filtered
+    /// reports of disjoint ranges silently leaves holes in the excluded
+    /// groups' samples.
+    ///
+    /// # Panics
+    /// If `groups` is empty.
+    pub fn with_groups(mut self, groups: Vec<usize>) -> Session {
+        assert!(!groups.is_empty(), "empty group filter");
+        self.groups = Some(groups);
+        self
+    }
+
+    /// Whether group `idx` should actually run (true without a filter).
+    fn wants(&self, idx: usize) -> bool {
+        self.groups.as_ref().is_none_or(|gs| gs.contains(&idx))
+    }
+
+    /// The trial-index range this session executes of an `total`-trial
+    /// budget.
+    ///
+    /// # Panics
+    /// If an explicit range extends past `total`.
+    fn slice_range(&self, total: usize) -> Range<usize> {
+        match &self.slice {
+            None => 0..total,
+            Some(TrialSlice::Shard(s)) => s.slice(total),
+            Some(TrialSlice::Range(r)) => {
+                assert!(
+                    r.end <= total,
+                    "trial range {}..{} extends past the {total}-trial budget",
+                    r.start,
+                    r.end
+                );
+                r.clone()
+            }
+        }
     }
 
     /// The session's budget.
@@ -1328,11 +1536,17 @@ impl Session {
         if let Err(e) = query.validate(g) {
             panic!("{e}");
         }
+        let total = self.budget.trials_budget().cap();
+        let range = self.slice_range(total);
+        assert!(
+            !range.is_empty(),
+            "shard slice {range:?} of a {total}-trial budget is empty"
+        );
         let groups = match query {
-            Query::Cover { k, starts } => self.cover_groups(g, *k, starts, None),
+            Query::Cover { k, starts } => self.cover_groups(g, *k, starts, None, 0),
             Query::PartialCover { k, start, gammas } => self.partial_groups(g, *k, *start, gammas),
             Query::Hitting { from, to, cap } => {
-                vec![self.hitting_group(g, *from, *to, *cap, self.budget.seed)]
+                vec![self.hitting_group(g, *from, *to, *cap, self.budget.seed, 0)]
             }
             Query::HMax => self.hmax_groups(g),
             Query::Meeting {
@@ -1349,11 +1563,11 @@ impl Session {
                 cap,
             } => ks
                 .iter()
-                .map(|&k| self.pursuit_group(g, k, *hunters, *prey, *strategy, *cap))
+                .enumerate()
+                .map(|(i, &k)| self.pursuit_group(g, k, *hunters, *prey, *strategy, *cap, i))
                 .collect(),
             Query::SpeedupLadder { start, ks } => self.ladder_groups(g, *start, ks),
         };
-        let total = self.budget.trials_budget().cap();
         Report {
             graph: GraphInfo {
                 name: g.name().to_string(),
@@ -1361,9 +1575,11 @@ impl Session {
             },
             query: query.clone(),
             budget: self.budget.clone(),
-            coverage: self.shard.map_or(Coverage::full(total as u64), |s| {
-                Coverage::of_shard(s, total)
-            }),
+            coverage: if self.slice.is_none() {
+                Coverage::full(total as u64)
+            } else {
+                Coverage::of_range(range)
+            },
             groups,
         }
     }
@@ -1379,7 +1595,7 @@ impl Session {
     ) -> (u64, IntMoments, u64) {
         let threads = self.budget.threads;
         let trials = self.budget.trials_budget();
-        match (trials, self.shard) {
+        match (trials, &self.slice) {
             (Trials::Adaptive(rule), None) => {
                 let outcomes =
                     par_map_chunks_with(rule.max_trials, threads, init, sample, |sofar| {
@@ -1393,9 +1609,8 @@ impl Session {
                 let (moments, censored) = collect(&outcomes);
                 (outcomes.len() as u64, moments, censored)
             }
-            (trials, shard) => {
-                let total = trials.cap();
-                let range = shard.map_or(0..total, |s| s.slice(total));
+            (trials, _) => {
+                let range = self.slice_range(trials.cap());
                 let lo = range.start;
                 let outcomes = par_map_with(range.len(), threads, init, |ws, i| sample(ws, lo + i));
                 let (moments, censored) = collect(&outcomes);
@@ -1404,20 +1619,38 @@ impl Session {
         }
     }
 
+    /// An unexecuted group: the label a filtered-out group keeps so the
+    /// report's structure stays mergeable.
+    fn empty_group(label: String) -> Group {
+        Group {
+            label,
+            trials: 0,
+            moments: IntMoments::new(),
+            censored: 0,
+        }
+    }
+
     /// Cover groups, one per start. `seed_override` lets the speed-up
-    /// ladder keep its historical independent per-k streams.
+    /// ladder keep its historical independent per-k streams; `base` is
+    /// the report-wide index of the first produced group (for the group
+    /// filter).
     fn cover_groups(
         &self,
         g: &Graph,
         k: usize,
         starts: &[u32],
         seed_override: Option<u64>,
+        base: usize,
     ) -> Vec<Group> {
         let seed = seed_override.unwrap_or(self.budget.seed);
         starts
             .iter()
-            .map(|&start| {
+            .enumerate()
+            .map(|(i, &start)| {
                 assert!((start as usize) < g.n(), "start {start} out of range");
+                if !self.wants(base + i) {
+                    return Self::empty_group(format!("start={start}"));
+                }
                 // The stream every cover estimator has always used:
                 // seed → child(start+1) → trial.
                 let seq = SeedSequence::new(seed).child(start as u64 + 1);
@@ -1453,6 +1686,9 @@ impl Session {
             .iter()
             .enumerate()
             .map(|(gi, &gamma)| {
+                if !self.wants(gi) {
+                    return Self::empty_group(format!("gamma={gamma}"));
+                }
                 let target = fraction_target(g.n(), gamma);
                 // Decorrelate (γ, trial) pairs without coupling to position
                 // in the sweep (the historical partial-profile stream).
@@ -1476,7 +1712,18 @@ impl Session {
             .collect()
     }
 
-    fn hitting_group(&self, g: &Graph, from: u32, to: u32, cap: u64, seed: u64) -> Group {
+    fn hitting_group(
+        &self,
+        g: &Graph,
+        from: u32,
+        to: u32,
+        cap: u64,
+        seed: u64,
+        idx: usize,
+    ) -> Group {
+        if !self.wants(idx) {
+            return Self::empty_group(format!("h({from}->{to})"));
+        }
         // The historical hitting stream: seed → child("HIT!") → trial.
         let seq = SeedSequence::new(seed).child(0x48495421);
         let (trials, moments, censored) = self.run_group(
@@ -1504,12 +1751,15 @@ impl Session {
             .enumerate()
             .map(|(i, (u, v))| {
                 // Per-pair seed offset, as hmax_estimate always used.
-                self.hitting_group(g, u, v, cap, self.budget.seed ^ (i as u64) << 32)
+                self.hitting_group(g, u, v, cap, self.budget.seed ^ (i as u64) << 32, i)
             })
             .collect()
     }
 
     fn meeting_group(&self, g: &Graph, a: u32, b: u32, laziness: Option<f64>, cap: u64) -> Group {
+        if !self.wants(0) {
+            return Self::empty_group("meeting".to_string());
+        }
         let process = laziness.map_or(WalkProcess::Simple, WalkProcess::Lazy);
         let seq = SeedSequence::new(self.budget.seed).child(0x4D45_4554); // "MEET"
         let (trials, moments, censored) = self.run_group(
@@ -1530,6 +1780,7 @@ impl Session {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // private; mirrors Query::Pursuit's fields plus the group index
     fn pursuit_group(
         &self,
         g: &Graph,
@@ -1538,8 +1789,12 @@ impl Session {
         prey: u32,
         strategy: PreyStrategy,
         cap: u64,
+        idx: usize,
     ) -> Group {
         assert!(k >= 1, "need at least one hunter");
+        if !self.wants(idx) {
+            return Self::empty_group(format!("k={k}"));
+        }
         let hunters = vec![hunters_start; k];
         let seed = self.budget.seed;
         let (trials, moments, censored) = self.run_group(
@@ -1564,15 +1819,16 @@ impl Session {
     fn ladder_groups(&self, g: &Graph, start: u32, ks: &[usize]) -> Vec<Group> {
         // Baseline C^1 on its historical independent stream (seed ⊕ 0xBA5E);
         // each k draws seed + k, so adding a rung never perturbs the others.
-        let mut groups = self.cover_groups(g, 1, &[start], Some(self.budget.seed ^ 0xBA5E));
+        let mut groups = self.cover_groups(g, 1, &[start], Some(self.budget.seed ^ 0xBA5E), 0);
         groups[0].label = "baseline".to_string();
-        for &k in ks {
+        for (i, &k) in ks.iter().enumerate() {
             assert!(k >= 1, "k must be ≥ 1");
             let mut gk = self.cover_groups(
                 g,
                 k,
                 &[start],
                 Some(self.budget.seed.wrapping_add(k as u64)),
+                i + 1,
             );
             gk[0].label = format!("k={k}");
             groups.append(&mut gk);
@@ -1704,6 +1960,157 @@ mod tests {
         assert!(Shard::parse("0").is_err());
         assert!(Shard::parse("a/b").is_err());
         assert!(Shard::parse("0/0").is_err());
+    }
+
+    #[test]
+    fn shard_plan_partitions_without_empty_ranges() {
+        for total in [1usize, 2, 7, 64, 513] {
+            for requested in [1usize, 2, 4, 9, 1000] {
+                let plan = ShardPlan::new(total, requested);
+                assert!(plan.count() >= 1 && plan.count() <= total.max(1));
+                assert_eq!(plan.count(), requested.clamp(1, total));
+                let mut cursor = 0;
+                for r in plan.ranges() {
+                    assert_eq!(r.start, cursor, "gap in plan({total}, {requested})");
+                    assert!(!r.is_empty(), "empty range in plan({total}, {requested})");
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, total);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_ranges_match_shard_slices() {
+        // --shard i/s and --range from the plan must describe the same work.
+        let plan = ShardPlan::new(100, 3);
+        for i in 0..3 {
+            assert_eq!(plan.range(i), Shard::new(i, 3).slice(100));
+        }
+    }
+
+    #[test]
+    fn shard_plan_split_covers_subrange() {
+        for (range, parts) in [(10..20, 3), (0..1, 5), (7..8, 1), (3..103, 7)] {
+            let pieces = ShardPlan::split(range.clone(), parts);
+            assert!(pieces.len() <= parts);
+            let mut cursor = range.start;
+            for p in &pieces {
+                assert_eq!(p.start, cursor);
+                assert!(!p.is_empty());
+                cursor = p.end;
+            }
+            assert_eq!(cursor, range.end);
+        }
+    }
+
+    #[test]
+    fn coverage_missing_is_the_complement() {
+        let total = 20;
+        let c = Coverage::from_ranges(vec![(2, 5), (9, 12)], total).unwrap();
+        assert_eq!(c.missing(total), vec![(0, 2), (5, 9), (12, 20)]);
+        assert_eq!(c.covered_trials(), 6);
+        assert_eq!(
+            Coverage::full(total).missing(total),
+            Vec::<(u64, u64)>::new()
+        );
+        let edge = Coverage::from_ranges(vec![(0, 20)], total).unwrap();
+        assert!(edge.is_full(total));
+        assert!(edge.missing(total).is_empty());
+    }
+
+    #[test]
+    fn range_sessions_merge_like_shards() {
+        let g = generators::cycle(24);
+        let q = Query::Cover {
+            k: 2,
+            starts: vec![0, 5],
+        };
+        let budget = Budget {
+            trials: 30,
+            seed: 11,
+            ..Budget::default()
+        };
+        let whole = Session::new(budget.clone()).run(&g, &q);
+        // An arbitrary (unbalanced) partition into explicit ranges.
+        let parts: Vec<Report> = [0..7, 7..8, 8..30]
+            .into_iter()
+            .map(|r| Session::new(budget.clone()).with_range(r).run(&g, &q))
+            .collect();
+        let merged = parts
+            .iter()
+            .skip(1)
+            .try_fold(parts[0].clone(), |acc, r| Report::merge(&acc, r))
+            .unwrap();
+        assert_eq!(merged, whole);
+        assert_eq!(merged.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn group_filter_runs_only_selected_groups() {
+        let g = generators::cycle(16);
+        let q = Query::Cover {
+            k: 2,
+            starts: vec![0, 3, 7],
+        };
+        let budget = Budget {
+            trials: 8,
+            seed: 2,
+            ..Budget::default()
+        };
+        let whole = Session::new(budget.clone()).run(&g, &q);
+        let filtered = Session::new(budget).with_groups(vec![1]).run(&g, &q);
+        assert_eq!(filtered.groups.len(), 3);
+        // Selected group: identical stats (streams are per-group).
+        assert_eq!(filtered.groups[1], whole.groups[1]);
+        // Excluded groups: present, labeled, empty.
+        for idx in [0, 2] {
+            assert_eq!(filtered.groups[idx].label, whole.groups[idx].label);
+            assert_eq!(filtered.groups[idx].trials, 0);
+            assert!(filtered.groups[idx].moments.is_empty());
+        }
+        // The filtered report still serializes and round-trips.
+        let back = Report::from_json(&filtered.to_json()).unwrap();
+        assert_eq!(back, filtered);
+    }
+
+    #[test]
+    fn group_filter_matches_ladder_indices() {
+        let g = generators::cycle(12);
+        let q = Query::SpeedupLadder {
+            start: 0,
+            ks: vec![2, 4],
+        };
+        let budget = Budget {
+            trials: 6,
+            seed: 3,
+            ..Budget::default()
+        };
+        let whole = Session::new(budget.clone()).run(&g, &q);
+        // Index 0 is the baseline, 1.. are the rungs.
+        let filtered = Session::new(budget).with_groups(vec![0, 2]).run(&g, &q);
+        assert_eq!(filtered.groups[0], whole.groups[0]);
+        assert_eq!(filtered.groups[2], whole.groups[2]);
+        assert_eq!(filtered.groups[1].trials, 0);
+        assert_eq!(filtered.groups[1].label, "k=2");
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_shard_slice_panics_instead_of_degenerate_coverage() {
+        let g = generators::cycle(8);
+        let budget = Budget {
+            trials: 1,
+            seed: 1,
+            ..Budget::default()
+        };
+        let _ = Session::new(budget).with_shard(Shard::new(0, 2)).run(
+            &g,
+            &Query::Cover {
+                k: 1,
+                starts: vec![0],
+            },
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Property/fuzz-style tests for the query layer's JSON codec.
+//!
+//! Two families:
+//!
+//! * **Round-trip**: generated [`Report`]s — including `u64`/`u128`
+//!   boundary moments that a float-based codec would silently corrupt —
+//!   survive `to_json → from_json` exactly, and the rendering is
+//!   canonical (`from_json → to_json` is byte-stable).
+//! * **Malformed corpus**: overlapping coverage, inconsistent moments,
+//!   truncated documents, non-finite floats, and random byte mutations
+//!   all produce `Err` (or, for mutations that happen to stay valid, a
+//!   clean parse) — **never** a panic.
+
+use mrw_core::query::{Budget, Coverage, GraphInfo, Group, Query, Report};
+use mrw_stats::IntMoments;
+use proptest::prelude::*;
+
+/// The documented exact-arithmetic domain of `IntMoments`: samples below
+/// `2^40`, so `n·Σx²` stays inside `u128` at any realistic count.
+const SAMPLE_CAP: u64 = 1 << 40;
+
+/// Builds a self-consistent report around the given per-group samples.
+fn report_from_samples(seed: u64, samples: &[Vec<u64>], censored: u64) -> Report {
+    let groups: Vec<Group> = samples
+        .iter()
+        .enumerate()
+        .map(|(i, xs)| {
+            let mut moments = IntMoments::new();
+            for &x in xs {
+                moments.push(x);
+            }
+            Group {
+                label: format!("start={i}"),
+                trials: xs.len() as u64 + censored,
+                moments,
+                censored,
+            }
+        })
+        .collect();
+    let trials = samples.iter().map(Vec::len).max().unwrap_or(1).max(1) + censored as usize;
+    Report {
+        graph: GraphInfo {
+            name: "cycle(64)".to_string(),
+            n: 64,
+        },
+        query: Query::Cover {
+            k: 2,
+            starts: (0..samples.len() as u32).collect(),
+        },
+        budget: Budget {
+            trials,
+            seed,
+            ..Budget::default()
+        },
+        coverage: Coverage::full(trials as u64),
+        groups,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_reports_round_trip_exactly(
+        seed in any::<u64>(),
+        samples in prop::collection::vec(
+            prop::collection::vec(0u64..SAMPLE_CAP, 1..40), 1..4),
+        censored in 0u64..3,
+    ) {
+        let report = report_from_samples(seed, &samples, censored);
+        let text = report.to_json();
+        let back = Report::from_json(&text).expect("own serialization parses");
+        prop_assert_eq!(&back, &report);
+        // Canonical: re-rendering the parse is byte-stable.
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn u128_scale_sums_survive_the_codec(count in 1usize..2000, seed in any::<u64>()) {
+        // Constant near-2^40 samples: Σx² ≈ count · 2^80 comfortably
+        // exceeds u64 — the codec must carry it as an exact u128 token.
+        let xs = vec![SAMPLE_CAP - 1; count];
+        let report = report_from_samples(seed, &[xs], 0);
+        prop_assert!(report.groups[0].moments.sum_sq() > u128::from(u64::MAX));
+        let back = Report::from_json(&report.to_json()).expect("parses");
+        prop_assert_eq!(back, report);
+    }
+
+    #[test]
+    fn truncated_reports_error_and_never_panic(
+        cut in 0usize..1000,
+        samples in prop::collection::vec(prop::collection::vec(0u64..100, 1..8), 1..3),
+    ) {
+        let text = report_from_samples(1, &samples, 0).to_json();
+        // Valid UTF-8 prefix of the document (skip mid-char cuts).
+        prop_assume!(cut < text.len() && text.is_char_boundary(cut));
+        let truncated = &text[..cut];
+        // Cutting only the trailing newline leaves a valid document;
+        // every shorter prefix must be a clean parse error.
+        if cut < text.len() - 1 {
+            prop_assert!(Report::from_json(truncated).is_err());
+        } else {
+            let _ = Report::from_json(truncated);
+        }
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(
+        pos in 0usize..1000,
+        replacement in 0u8..128,
+        samples in prop::collection::vec(prop::collection::vec(0u64..100, 1..8), 1..3),
+    ) {
+        let text = report_from_samples(2, &samples, 1).to_json();
+        prop_assume!(pos < text.len());
+        let mut bytes = text.into_bytes();
+        bytes[pos] = replacement;
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            // Err or a clean parse are both acceptable; a panic is not.
+            let _ = Report::from_json(&mutated);
+        }
+    }
+}
+
+#[test]
+fn boundary_observations_round_trip() {
+    // A single u64::MAX observation is inside the codec's exact domain
+    // (count 1: n·Σx² = Σx² = (2^64−1)² < 2^128).
+    for xs in [
+        vec![u64::MAX],
+        vec![0],
+        vec![0, SAMPLE_CAP - 1],
+        vec![SAMPLE_CAP - 1; 3],
+    ] {
+        let report = report_from_samples(7, std::slice::from_ref(&xs), 0);
+        let back = Report::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report, "failed for sample {xs:?}");
+        assert_eq!(back.groups[0].moments.max(), xs.iter().max().copied());
+    }
+}
+
+/// Hand-curated malformed corpus: every entry must be `Err`, never a
+/// panic, and the message should name the offending part.
+#[test]
+fn malformed_corpus_is_rejected_without_panicking() {
+    let base = report_from_samples(3, &[vec![5, 10, 15]], 0).to_json();
+    let mutate = |from: &str, to: &str| base.replace(from, to);
+    let cases: Vec<(String, &str)> = vec![
+        // Overlapping / unsorted / out-of-range coverage.
+        (mutate("null", "[[0, 2], [1, 3]]"), "coverage overlap"),
+        (mutate("null", "[[2, 1]]"), "inverted coverage"),
+        (mutate("null", "[[0, 999]]"), "coverage past the budget"),
+        (mutate("null", "[[0, 0]]"), "empty coverage range"),
+        (mutate("null", "[]"), "empty coverage array"),
+        // Moments violating Cauchy–Schwarz or min/max sanity.
+        (mutate("\"sum_sq\": 350", "\"sum_sq\": 1"), "C-S violation"),
+        (mutate("\"min\": 5", "\"min\": 99"), "min above max"),
+        (
+            mutate("\"count\": 3", "\"count\": 0"),
+            "empty count with sums",
+        ),
+        // Sums big enough to overflow the consistency check.
+        (
+            mutate("\"sum_sq\": 350", &format!("\"sum_sq\": {}", u128::MAX)),
+            "overflowing moments",
+        ),
+        // Non-finite floats (JSON has no NaN; infinities via overflow).
+        (mutate("0.95", "NaN"), "NaN confidence"),
+        (mutate("0.95", "1e999"), "infinite confidence"),
+        // Structural damage.
+        (
+            mutate("\"schema\": \"mrw-report-v1\"", "\"schema\": \"v0\""),
+            "wrong schema",
+        ),
+        (mutate("\"groups\"", "\"gruops\""), "missing groups"),
+        (mutate("\"trials\": 3", "\"trials\": -3"), "negative trials"),
+        (base.replace('[', "("), "broken arrays"),
+    ];
+    for (text, what) in cases {
+        assert_ne!(text, base, "mutation for '{what}' did not apply");
+        assert!(
+            Report::from_json(&text).is_err(),
+            "accepted a report with {what}"
+        );
+    }
+    // Adaptive-budget rules are validated, not asserted, on the way in.
+    let adaptive = r#"{"schema": "mrw-report-v1",
+        "graph": {"name": "cycle(8)", "n": 8},
+        "query": {"type": "hmax"},
+        "budget": {"trials": {"adaptive": {"target": {"absolute": TARGET},
+                                           "confidence": CONF,
+                                           "min_trials": 8, "max_trials": MAX}},
+                   "seed": 1},
+        "coverage": null, "groups": []}"#;
+    let fill = |target: &str, conf: &str, max: &str| {
+        adaptive
+            .replace("TARGET", target)
+            .replace("CONF", conf)
+            .replace("MAX", max)
+    };
+    assert!(Report::from_json(&fill("1.0", "0.95", "64")).is_ok());
+    for (text, what) in [
+        (fill("1e999", "0.95", "64"), "infinite precision target"),
+        (fill("-1.0", "0.95", "64"), "negative precision target"),
+        (fill("1.0", "1.5", "64"), "confidence above 1"),
+        (fill("1.0", "0.95", "2"), "cap below the floor"),
+    ] {
+        assert!(
+            Report::from_json(&text).is_err(),
+            "accepted a report with {what}"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Offline stand-in for `assert_cmd`.
+//!
+//! Supports the surface the `mrw` CLI's end-to-end tests use: locate a
+//! workspace binary ([`Command::cargo_bin`]), run it with arguments,
+//! environment, and stdin, and make fluent assertions on the outcome
+//! ([`Assert::success`] / [`failure`](Assert::failure) /
+//! [`stdout`](Assert::stdout) / [`stderr`](Assert::stderr)). Failure
+//! messages print the full command line plus captured stdout/stderr, like
+//! the real crate.
+//!
+//! Two deliberate deviations from the genuine article, both because the
+//! build is offline and single-crate:
+//!
+//! * `cargo_bin` resolves the binary from the *test executable's* target
+//!   directory (`target/<profile>/<name>`) instead of Cargo metadata —
+//!   the same fallback path the real crate uses.
+//! * The real crate takes predicates from the separate `predicates`
+//!   crate; here a minimal [`predicates`] module (with the same
+//!   `predicates::str::contains` spelling) ships inside this one. `&str`
+//!   and `String` arguments assert exact equality, as upstream does.
+//!
+//! Swap in the real `assert_cmd` + `predicates` and the tests need only
+//! their `use` lines adjusted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ffi::{OsStr, OsString};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Output, Stdio};
+
+pub mod predicates;
+
+use predicates::OutputPredicate;
+
+/// A command under test: a thin builder over [`std::process::Command`]
+/// that captures stdout/stderr and produces an [`Assert`].
+#[derive(Debug)]
+pub struct Command {
+    program: OsString,
+    args: Vec<OsString>,
+    envs: Vec<(OsString, Option<OsString>)>,
+    current_dir: Option<PathBuf>,
+    stdin: Option<Vec<u8>>,
+}
+
+impl Command {
+    /// A command running `program` (resolved through `PATH` as usual).
+    pub fn new(program: impl AsRef<OsStr>) -> Command {
+        Command {
+            program: program.as_ref().to_os_string(),
+            args: Vec::new(),
+            envs: Vec::new(),
+            current_dir: None,
+            stdin: None,
+        }
+    }
+
+    /// A command running the workspace binary `name`, located next to the
+    /// test executable's target directory (`target/<profile>/<name>`).
+    /// Errors if no such binary has been built.
+    pub fn cargo_bin(name: impl AsRef<str>) -> Result<Command, String> {
+        let name = name.as_ref();
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        // Test executables live in target/<profile>/deps/; binaries one
+        // level up.
+        let mut dir: &Path = exe
+            .parent()
+            .ok_or_else(|| format!("{} has no parent", exe.display()))?;
+        if dir.ends_with("deps") {
+            dir = dir
+                .parent()
+                .ok_or_else(|| format!("{} has no parent", dir.display()))?;
+        }
+        let bin = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+        if !bin.is_file() {
+            return Err(format!(
+                "cargo binary '{name}' not found at {} (build it first)",
+                bin.display()
+            ));
+        }
+        Ok(Command::new(bin))
+    }
+
+    /// Appends one argument.
+    pub fn arg(&mut self, arg: impl AsRef<OsStr>) -> &mut Command {
+        self.args.push(arg.as_ref().to_os_string());
+        self
+    }
+
+    /// Appends several arguments.
+    pub fn args<I, S>(&mut self, args: I) -> &mut Command
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<OsStr>,
+    {
+        for a in args {
+            self.arg(a);
+        }
+        self
+    }
+
+    /// Sets an environment variable for the child.
+    pub fn env(&mut self, key: impl AsRef<OsStr>, value: impl AsRef<OsStr>) -> &mut Command {
+        self.envs.push((
+            key.as_ref().to_os_string(),
+            Some(value.as_ref().to_os_string()),
+        ));
+        self
+    }
+
+    /// Removes an environment variable from the child.
+    pub fn env_remove(&mut self, key: impl AsRef<OsStr>) -> &mut Command {
+        self.envs.push((key.as_ref().to_os_string(), None));
+        self
+    }
+
+    /// Sets the child's working directory.
+    pub fn current_dir(&mut self, dir: impl AsRef<Path>) -> &mut Command {
+        self.current_dir = Some(dir.as_ref().to_path_buf());
+        self
+    }
+
+    /// Feeds the child this stdin (otherwise stdin is null).
+    pub fn write_stdin(&mut self, input: impl Into<Vec<u8>>) -> &mut Command {
+        self.stdin = Some(input.into());
+        self
+    }
+
+    /// The human-readable command line, for assertion messages.
+    fn describe(&self) -> String {
+        let mut parts = vec![self.program.to_string_lossy().into_owned()];
+        parts.extend(self.args.iter().map(|a| a.to_string_lossy().into_owned()));
+        parts.join(" ")
+    }
+
+    /// Runs the command, capturing stdout and stderr.
+    pub fn output(&mut self) -> std::io::Result<Output> {
+        let mut cmd = std::process::Command::new(&self.program);
+        cmd.args(&self.args)
+            .stdin(if self.stdin.is_some() {
+                Stdio::piped()
+            } else {
+                Stdio::null()
+            })
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in &self.envs {
+            match v {
+                Some(v) => cmd.env(k, v),
+                None => cmd.env_remove(k),
+            };
+        }
+        if let Some(dir) = &self.current_dir {
+            cmd.current_dir(dir);
+        }
+        let mut child = cmd.spawn()?;
+        if let Some(input) = &self.stdin {
+            child
+                .stdin
+                .take()
+                .expect("stdin piped above")
+                .write_all(input)?;
+        }
+        child.wait_with_output()
+    }
+
+    /// Runs the command and wraps the outcome for fluent assertions.
+    ///
+    /// # Panics
+    /// If the command cannot be spawned at all (missing binary, not an
+    /// assertion failure).
+    pub fn assert(&mut self) -> Assert {
+        let describe = self.describe();
+        match self.output() {
+            Ok(output) => Assert { output, describe },
+            Err(e) => panic!("failed to run `{describe}`: {e}"),
+        }
+    }
+}
+
+/// The captured outcome of one command run; every assertion returns
+/// `self` so checks chain.
+#[derive(Debug)]
+pub struct Assert {
+    output: Output,
+    describe: String,
+}
+
+impl Assert {
+    /// The raw captured output.
+    pub fn get_output(&self) -> &Output {
+        &self.output
+    }
+
+    fn stdout_text(&self) -> String {
+        String::from_utf8_lossy(&self.output.stdout).into_owned()
+    }
+
+    fn stderr_text(&self) -> String {
+        String::from_utf8_lossy(&self.output.stderr).into_owned()
+    }
+
+    #[track_caller]
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "{what}\ncommand: `{}`\nstatus: {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            self.describe,
+            self.output.status,
+            self.stdout_text(),
+            self.stderr_text()
+        );
+    }
+
+    /// Asserts the command exited successfully.
+    #[track_caller]
+    pub fn success(self) -> Assert {
+        if !self.output.status.success() {
+            self.fail("expected success");
+        }
+        self
+    }
+
+    /// Asserts the command failed (nonzero exit or killed by signal).
+    #[track_caller]
+    pub fn failure(self) -> Assert {
+        if self.output.status.success() {
+            self.fail("expected failure");
+        }
+        self
+    }
+
+    /// Asserts the exact exit code.
+    #[track_caller]
+    pub fn code(self, expected: i32) -> Assert {
+        match self.output.status.code() {
+            Some(code) if code == expected => self,
+            _ => self.fail(&format!("expected exit code {expected}")),
+        }
+    }
+
+    /// Asserts a predicate over captured stdout. `&str`/`String` assert
+    /// exact equality; see [`predicates::str`] for substring matching.
+    #[track_caller]
+    pub fn stdout(self, pred: impl OutputPredicate) -> Assert {
+        let text = self.stdout_text();
+        if !pred.eval(&text) {
+            self.fail(&format!("stdout mismatch: expected {}", pred.describe()));
+        }
+        self
+    }
+
+    /// Asserts a predicate over captured stderr.
+    #[track_caller]
+    pub fn stderr(self, pred: impl OutputPredicate) -> Assert {
+        let text = self.stderr_text();
+        if !pred.eval(&text) {
+            self.fail(&format!("stderr mismatch: expected {}", pred.describe()));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::predicates::str::contains;
+    use super::*;
+
+    #[test]
+    fn success_failure_and_code() {
+        Command::new("true").assert().success();
+        Command::new("false").assert().failure().code(1);
+    }
+
+    #[test]
+    fn stdout_exact_and_contains() {
+        Command::new("echo")
+            .arg("hello world")
+            .assert()
+            .success()
+            .stdout("hello world\n")
+            .stdout(contains("lo wo"));
+    }
+
+    #[test]
+    fn env_and_stdin_flow_through() {
+        Command::new("sh")
+            .args(["-c", "cat; printf %s \"$MRW_TEST_VAR\""])
+            .env("MRW_TEST_VAR", "xyz")
+            .write_stdin("abc-")
+            .assert()
+            .success()
+            .stdout("abc-xyz");
+    }
+
+    #[test]
+    #[should_panic(expected = "stdout mismatch")]
+    fn mismatch_panics_with_context() {
+        Command::new("echo")
+            .arg("actual")
+            .assert()
+            .stdout(contains("missing"));
+    }
+
+    #[test]
+    fn cargo_bin_rejects_unbuilt_names() {
+        assert!(Command::cargo_bin("no-such-binary-exists").is_err());
+    }
+}

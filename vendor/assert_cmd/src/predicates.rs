@@ -1,0 +1,84 @@
+//! The minimal predicate surface [`Assert`](crate::Assert) consumes —
+//! standing in for the separate `predicates` crate the real `assert_cmd`
+//! pairs with (same `str::contains` spelling, so swapping the genuine
+//! crates in is a `use`-line change).
+
+/// A check over one captured output stream.
+pub trait OutputPredicate {
+    /// Whether the stream satisfies the predicate.
+    fn eval(&self, text: &str) -> bool;
+    /// A human description for assertion failures.
+    fn describe(&self) -> String;
+}
+
+impl OutputPredicate for &str {
+    fn eval(&self, text: &str) -> bool {
+        text == *self
+    }
+    fn describe(&self) -> String {
+        format!("exactly {self:?}")
+    }
+}
+
+impl OutputPredicate for String {
+    fn eval(&self, text: &str) -> bool {
+        text == self
+    }
+    fn describe(&self) -> String {
+        format!("exactly {self:?}")
+    }
+}
+
+impl<F: Fn(&str) -> bool> OutputPredicate for F {
+    fn eval(&self, text: &str) -> bool {
+        self(text)
+    }
+    fn describe(&self) -> String {
+        "closure predicate".to_string()
+    }
+}
+
+/// String predicates, mirroring `predicates::str`.
+pub mod str {
+    use super::OutputPredicate;
+
+    /// Matches outputs containing `needle`.
+    pub fn contains(needle: impl Into<String>) -> ContainsPredicate {
+        ContainsPredicate {
+            needle: needle.into(),
+        }
+    }
+
+    /// Matches empty outputs.
+    pub fn is_empty() -> IsEmptyPredicate {
+        IsEmptyPredicate
+    }
+
+    /// See [`contains`].
+    #[derive(Debug, Clone)]
+    pub struct ContainsPredicate {
+        needle: String,
+    }
+
+    impl OutputPredicate for ContainsPredicate {
+        fn eval(&self, text: &str) -> bool {
+            text.contains(&self.needle)
+        }
+        fn describe(&self) -> String {
+            format!("output containing {:?}", self.needle)
+        }
+    }
+
+    /// See [`is_empty`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct IsEmptyPredicate;
+
+    impl OutputPredicate for IsEmptyPredicate {
+        fn eval(&self, text: &str) -> bool {
+            text.is_empty()
+        }
+        fn describe(&self) -> String {
+            "empty output".to_string()
+        }
+    }
+}
