@@ -155,15 +155,17 @@ fn bench_unified_engine_ablation(c: &mut Criterion) {
 }
 
 /// Best-of-`reps` ns/step for one engine path (pure horizon run, so the
-/// two paths differ only in stepping machinery).
-fn engine_ns_per_step(
-    g: &mrw_graph::Graph,
+/// two paths differ only in stepping machinery). Generic over the graph
+/// backend so CSR and implicit runs share one measurement harness.
+fn engine_ns_per_step<G: mrw_graph::GraphBackend>(
+    g: &G,
+    start: u32,
     k: usize,
     batch: BatchMode,
     rounds: u64,
     reps: usize,
 ) -> f64 {
-    let starts = vec![0u32; k];
+    let starts = vec![start; k];
     let mut arena = EngineArena::new();
     // Warmup: sizes the arena and faults the graph into cache.
     let _ = Engine::new(g, SimpleStep, ())
@@ -183,32 +185,93 @@ fn engine_ns_per_step(
     best
 }
 
-/// The perf-trajectory measurement: batched vs scalar ns/step on the
-/// cycle, torus, and barbell at `k ≥ 256`, written to `BENCH_engine.json`
-/// (workspace root, or `$BENCH_ENGINE_JSON`) for CI to archive.
+/// One graph of the perf-trajectory matrix.
+struct MatrixCase {
+    g: mrw_graph::Graph,
+    ks: Vec<usize>,
+    /// Regular families feed the CI perf gate (fixed 1.3× floor); the
+    /// irregular rows are tracked but gated only against the JSON diff.
+    regular: bool,
+    /// Implicit twin where one exists: measured batched at the same `k`
+    /// and reported as an implicit-vs-CSR column.
+    implicit: Option<mrw_graph::ImplicitGraph>,
+}
+
+/// The perf-trajectory measurement: batched vs scalar ns/step across the
+/// degree-profile matrix (regular: cycle, torus; irregular: barbell,
+/// star, a connectivity-regime G(n,p)), plus the implicit backend's
+/// batched column where an implicit twin exists. Written to
+/// `BENCH_engine.json` (workspace root, or `$BENCH_ENGINE_JSON`) for CI
+/// to archive and gate on.
 fn bench_batched_vs_scalar(_c: &mut Criterion) {
+    use mrw_graph::ImplicitGraph;
     const ROUNDS: u64 = 1_500;
     const REPS: usize = 7;
-    let cases: Vec<(mrw_graph::Graph, Vec<usize>)> = vec![
-        (generators::cycle(1 << 14), vec![256]),
-        (generators::torus_2d(256), vec![256, 1024]),
-        (generators::barbell(201), vec![256]),
+    let cases = vec![
+        MatrixCase {
+            g: generators::cycle(1 << 14),
+            ks: vec![256],
+            regular: true,
+            implicit: Some(ImplicitGraph::cycle(1 << 14)),
+        },
+        MatrixCase {
+            g: generators::torus_2d(256),
+            ks: vec![256, 1024],
+            regular: true,
+            implicit: Some(ImplicitGraph::torus_2d(256)),
+        },
+        MatrixCase {
+            g: generators::barbell(201),
+            ks: vec![256, 1024],
+            regular: false,
+            implicit: None,
+        },
+        MatrixCase {
+            g: generators::star(4096),
+            ks: vec![256],
+            regular: false,
+            implicit: None,
+        },
+        MatrixCase {
+            g: generators::erdos_renyi_connected_regime(4096, 1.5, &mut walk_rng(11)),
+            ks: vec![256],
+            regular: false,
+            implicit: None,
+        },
     ];
     let mut rows = Vec::new();
-    for (g, ks) in &cases {
-        for &k in ks {
-            let scalar = engine_ns_per_step(g, k, BatchMode::Never, ROUNDS, REPS);
-            let batched = engine_ns_per_step(g, k, BatchMode::Always, ROUNDS, REPS);
+    for case in &cases {
+        // A G(n,p) draw can leave low-index vertices isolated; start every
+        // walk on the first vertex that actually has edges.
+        let start = (0..case.g.n() as u32)
+            .find(|&v| case.g.degree(v) > 0)
+            .expect("matrix graph has at least one edge");
+        for &k in &case.ks {
+            let scalar = engine_ns_per_step(&case.g, start, k, BatchMode::Never, ROUNDS, REPS);
+            let batched = engine_ns_per_step(&case.g, start, k, BatchMode::Always, ROUNDS, REPS);
             let speedup = scalar / batched;
+            let mut implicit_col = String::new();
+            let mut implicit_note = String::new();
+            if let Some(im) = &case.implicit {
+                let ib = engine_ns_per_step(im, start, k, BatchMode::Always, ROUNDS, REPS);
+                let ratio = ib / batched;
+                implicit_col = format!(
+                    ", \"implicit_batched_ns_per_step\": {ib:.3}, \
+                     \"implicit_over_csr\": {ratio:.3}"
+                );
+                implicit_note = format!("  implicit {ib:.2} ns/step ({ratio:.2}x csr)");
+            }
             println!(
                 "engine_batched_vs_scalar/{}/k={k}     scalar {scalar:.2} ns/step  \
-                 batched {batched:.2} ns/step  speedup {speedup:.2}x",
-                g.name()
+                 batched {batched:.2} ns/step  speedup {speedup:.2}x{implicit_note}",
+                case.g.name()
             );
             rows.push(format!(
-                "    {{\"graph\": \"{}\", \"k\": {k}, \"scalar_ns_per_step\": {scalar:.3}, \
-                 \"batched_ns_per_step\": {batched:.3}, \"speedup\": {speedup:.3}}}",
-                g.name()
+                "    {{\"graph\": \"{}\", \"k\": {k}, \"regular\": {}, \
+                 \"scalar_ns_per_step\": {scalar:.3}, \
+                 \"batched_ns_per_step\": {batched:.3}, \"speedup\": {speedup:.3}{implicit_col}}}",
+                case.g.name(),
+                case.regular
             ));
         }
     }

@@ -84,12 +84,18 @@ adaptive stopping (any estimator-driven experiment):
 
 estimate options:
   --family F      graph family: cycle | path | torus | hypercube | clique |
-                  clique-loops | barbell (default: cycle)
+                  clique-loops | barbell | circulant (default: cycle)
   --n N           graph size parameter: vertices (default 64); the side for
                   torus (default 16); the dimension, 1..=30, for hypercube
                   (default 6); the bell size for barbell (default 65)
   --k K           number of parallel walks (default 4)
-  --start V       start vertex (default 0)";
+  --start V       start vertex (default 0)
+  --jumps A,B,..  circulant jump set (required for --family circulant)
+  --backend B     graph storage: auto (default) | csr | implicit
+                  auto materializes CSR arrays below a memory threshold
+                  and switches to O(1)-state arithmetic neighborhoods
+                  (cycle/torus/hypercube/circulant) above it; reports are
+                  byte-identical either way";
 
 /// Output format for tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +143,10 @@ pub struct Options {
     pub k: Option<usize>,
     /// `--start V` (the `estimate` verb's start vertex).
     pub start: Option<u32>,
+    /// `--jumps A,B,…` (the circulant family's jump set).
+    pub jumps: Option<Vec<usize>>,
+    /// `--backend B`: graph storage override (auto | csr | implicit).
+    pub backend: Option<mrw_core::BackendChoice>,
     /// `--format F`.
     pub format: Format,
     /// `--json`: emit the canonical report schema instead of a table.
@@ -184,6 +194,8 @@ impl Options {
             n: None,
             k: None,
             start: None,
+            jumps: None,
+            backend: None,
             format: Format::Ascii,
             json: false,
             shard: None,
@@ -348,6 +360,27 @@ impl Options {
                 "--start" => {
                     let v = it.next().ok_or("--start needs a value")?;
                     opts.start = Some(v.parse().map_err(|_| format!("bad --start '{v}'"))?);
+                }
+                "--jumps" => {
+                    let v = it.next().ok_or("--jumps needs a value (e.g. 1,5)")?;
+                    let jumps = v
+                        .split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&j| j >= 1)
+                                .ok_or_else(|| format!("bad --jumps entry '{s}'"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if jumps.is_empty() {
+                        return Err("--jumps needs at least one jump".into());
+                    }
+                    opts.jumps = Some(jumps);
+                }
+                "--backend" => {
+                    let v = it.next().ok_or("--backend needs a value")?;
+                    opts.backend = Some(mrw_core::query::backend_from_str(&v)?);
                 }
                 "--format" => {
                     let v = it.next().ok_or("--format needs a value")?;
@@ -619,5 +652,33 @@ mod tests {
         assert_eq!(o.k, Some(8));
         assert_eq!(o.start, Some(3));
         assert!(parse(&["estimate", "--k", "0"]).is_err());
+    }
+
+    #[test]
+    fn backend_and_jumps_flags() {
+        let o = parse(&[
+            "estimate",
+            "--family",
+            "circulant",
+            "--jumps",
+            "1,5",
+            "--backend",
+            "implicit",
+        ])
+        .unwrap();
+        assert_eq!(o.jumps, Some(vec![1, 5]));
+        assert_eq!(o.backend, Some(mrw_core::BackendChoice::Implicit));
+        assert_eq!(
+            parse(&["estimate", "--backend", "csr"]).unwrap().backend,
+            Some(mrw_core::BackendChoice::Csr)
+        );
+        assert_eq!(
+            parse(&["estimate", "--backend", "auto"]).unwrap().backend,
+            Some(mrw_core::BackendChoice::Auto)
+        );
+        assert!(parse(&["estimate", "--backend", "bogus"]).is_err());
+        assert!(parse(&["estimate", "--jumps", ""]).is_err());
+        assert!(parse(&["estimate", "--jumps", "1,0"]).is_err());
+        assert!(parse(&["estimate", "--jumps", "1,x"]).is_err());
     }
 }

@@ -43,6 +43,7 @@ use std::time::Duration;
 
 use mrw_core::query::{Coverage, ShardPlan};
 use mrw_core::{Group, Report};
+use mrw_graph::GraphBackend;
 use mrw_stats::IntMoments;
 
 use crate::args::Options;

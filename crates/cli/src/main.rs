@@ -59,7 +59,8 @@ use mrw_core::experiments::{
     expander, gap, hunting, lemma16, lemma19, matthews, mixing, projection, prop23, smallworld,
     stationary, table1, torus, Budget,
 };
-use mrw_core::{GraphSpec, Query, QuerySpec, Report, Session};
+use mrw_core::{AnyGraph, GraphSpec, Query, QuerySpec, Report, Session};
+use mrw_graph::GraphBackend;
 
 mod args;
 mod fanout;
@@ -491,7 +492,12 @@ fn estimate_spec(opts: &Options) -> QuerySpec {
         _ => 64,
     });
     QuerySpec {
-        graph: GraphSpec { family, n },
+        graph: GraphSpec {
+            family,
+            n,
+            jumps: opts.jumps.clone().unwrap_or_default(),
+            backend: opts.backend.unwrap_or_default(),
+        },
         query: Query::Cover {
             k: opts.k.unwrap_or(4),
             starts: vec![opts.start.unwrap_or(0)],
@@ -570,7 +576,7 @@ fn stop_description(report: &Report) -> (String, String) {
 /// `--json` emits the canonical report schema instead.
 fn run_estimate(opts: &Options) -> Result<(), String> {
     let spec = estimate_spec(opts);
-    let g = spec.graph.build()?;
+    let g = spec.graph.resolve()?;
     let start = opts.start.unwrap_or(0);
     if start as usize >= g.n() {
         return Err(format!("--start {start} out of range (n = {})", g.n()));
@@ -612,10 +618,13 @@ fn run_estimate(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-/// Reads and parses a spec file, applying the CLI's budget overrides and
-/// validating everything `Session::run` would otherwise panic on, so bad
-/// specs get the same friendly `error: …` path as bad flags.
-fn load_spec(opts: &Options) -> Result<(QuerySpec, mrw_graph::Graph), String> {
+/// Reads and parses a spec file, applying the CLI's budget and backend
+/// overrides and validating everything `Session::run` would otherwise
+/// panic on, so bad specs get the same friendly `error: …` path as bad
+/// flags. The graph comes back through [`GraphSpec::resolve`], so a spec
+/// (or `--backend implicit`) can pick arithmetic neighborhoods instead of
+/// CSR arrays — the report is byte-identical either way.
+fn load_spec(opts: &Options) -> Result<(QuerySpec, AnyGraph), String> {
     let path = match opts.files.as_slice() {
         [path] => path,
         [] => return Err(format!("mrw {} needs a spec file", opts.command)),
@@ -630,10 +639,13 @@ fn load_spec(opts: &Options) -> Result<(QuerySpec, mrw_graph::Graph), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut spec = QuerySpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
     apply_overrides(&mut spec.budget, opts);
+    if let Some(backend) = opts.backend {
+        spec.graph.backend = backend;
+    }
     if spec.budget.trials_budget().cap() < 1 {
         return Err(format!("{path}: budget needs at least one trial"));
     }
-    let g = spec.graph.build().map_err(|e| format!("{path}: {e}"))?;
+    let g = spec.graph.resolve().map_err(|e| format!("{path}: {e}"))?;
     spec.query
         .validate(&g)
         .map_err(|e| format!("{path}: {e}"))?;

@@ -16,7 +16,7 @@
 //! stopping rule is only evaluated at wave boundaries on index-ordered
 //! prefixes (see [`mrw_par::par_map_chunks_with`]).
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::{Graph, GraphBackend};
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::precision::{Precision, Trials};
 use mrw_stats::Summary;
@@ -209,23 +209,23 @@ impl CoverEstimate {
 
 /// Estimates `C^k_i` — the expected rounds for `k` walks from start `i` to
 /// cover the graph.
-pub struct CoverTimeEstimator<'g> {
-    g: &'g Graph,
+pub struct CoverTimeEstimator<'g, G: GraphBackend = Graph> {
+    g: &'g G,
     k: usize,
     cfg: EstimatorConfig,
 }
 
-impl<'g> CoverTimeEstimator<'g> {
+impl<'g, G: GraphBackend> CoverTimeEstimator<'g, G> {
     /// Creates an estimator for `k` parallel walks on `g`.
     ///
     /// # Panics
     /// If `k = 0`, `trials = 0`, or the graph is disconnected (infinite
     /// cover time).
-    pub fn new(g: &'g Graph, k: usize, cfg: EstimatorConfig) -> Self {
+    pub fn new(g: &'g G, k: usize, cfg: EstimatorConfig) -> Self {
         assert!(k >= 1, "need at least one walk");
         assert!(cfg.trials.cap() >= 1, "need at least one trial");
         assert!(
-            algo::is_connected(g),
+            g.is_connected(),
             "cover time is infinite on a disconnected graph"
         );
         CoverTimeEstimator { g, k, cfg }

@@ -181,11 +181,16 @@ impl Observer for EventsObserver {
         false
     }
 
-    fn placed(&mut self, _g: &Graph, _positions: &[u32]) {
+    fn placed<G: mrw_graph::GraphBackend>(&mut self, _g: &G, _positions: &[u32]) {
         self.started = true;
     }
 
-    fn end_round<R: Rng + ?Sized>(&mut self, _g: &Graph, _positions: &[u32], _rng: &mut R) -> bool {
+    fn end_round<G: mrw_graph::GraphBackend, R: Rng + ?Sized>(
+        &mut self,
+        _g: &G,
+        _positions: &[u32],
+        _rng: &mut R,
+    ) -> bool {
         self.round += 1;
         if self.cover.done() && self.cover_round.is_none() {
             self.cover_round = Some(self.round);

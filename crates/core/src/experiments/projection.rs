@@ -20,7 +20,6 @@
 //! 3. **The Theorem 24 bound.** `C^k(torus) ≥ c·n^{2/d}/log k` across the
 //!    k ladder with a fixed small `c`.
 
-use mrw_graph::Graph;
 use mrw_stats::{ks_two_sample, KsTest, Summary, Table};
 use rand::Rng;
 
@@ -169,7 +168,12 @@ impl Observer for ProjectionObserver {
         self.torus.done() && self.column.done()
     }
 
-    fn end_round<R: Rng + ?Sized>(&mut self, _g: &Graph, _positions: &[u32], _rng: &mut R) -> bool {
+    fn end_round<G: mrw_graph::GraphBackend, R: Rng + ?Sized>(
+        &mut self,
+        _g: &G,
+        _positions: &[u32],
+        _rng: &mut R,
+    ) -> bool {
         self.round += 1;
         if self.column.done() && self.column_round == 0 {
             self.column_round = self.round;

@@ -19,7 +19,7 @@
 //! / [`Query::HMax`](crate::query::Query)); the free functions here are
 //! deprecated shims that reproduce their historical samples bit-for-bit.
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::{algo, Graph, GraphBackend};
 use mrw_stats::precision::Trials;
 use mrw_stats::Summary;
 
@@ -151,7 +151,7 @@ pub const EXACT_HMAX_LIMIT: usize = 800;
 /// The deterministic candidate pairs a [`Query::HMax`](crate::query::Query)
 /// probes: two-sweep BFS-diametral endpoints in both orientations, plus
 /// evenly spaced far pairs. One report group per pair, in this order.
-pub fn hmax_candidates(g: &Graph) -> Vec<(u32, u32)> {
+pub fn hmax_candidates<G: GraphBackend>(g: &G) -> Vec<(u32, u32)> {
     let d0 = algo::bfs_distances(g, 0);
     let far1 = d0
         .iter()
@@ -185,7 +185,7 @@ pub fn hmax_candidates(g: &Graph) -> Vec<(u32, u32)> {
 /// generous multiple of a cheap upper-scale proxy (`m·n` covers
 /// `h_max ≤ 2mn` from the standard commute-time bound; we use `4mn`,
 /// floored at 10⁶).
-pub fn hmax_mc_cap(g: &Graph) -> u64 {
+pub fn hmax_mc_cap<G: GraphBackend>(g: &G) -> u64 {
     4u64.saturating_mul(g.m() as u64)
         .saturating_mul(g.n() as u64)
         .max(1_000_000)

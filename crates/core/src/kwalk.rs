@@ -32,7 +32,7 @@
 //! fanned out flat, or an adaptive precision rule that stops the fan-out
 //! once the confidence interval is tight enough.
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::GraphBackend;
 use rand::Rng;
 
 use crate::engine::{Engine, FullCover, SimpleStep};
@@ -52,8 +52,8 @@ pub use crate::engine::Discipline as KWalkMode;
 /// # Panics
 /// If `starts` is empty, any start is out of range, or (debug) the graph is
 /// disconnected.
-pub fn kwalk_cover_rounds<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn kwalk_cover_rounds<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     starts: &[u32],
     mode: KWalkMode,
     rng: &mut R,
@@ -63,10 +63,7 @@ pub fn kwalk_cover_rounds<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    debug_assert!(
-        algo::is_connected(g),
-        "cover time infinite: disconnected graph"
-    );
+    debug_assert!(g.is_connected(), "cover time infinite: disconnected graph");
 
     Engine::new(g, SimpleStep, FullCover::new(g.n()))
         .discipline(mode)
@@ -76,8 +73,8 @@ pub fn kwalk_cover_rounds<R: Rng + ?Sized>(
 
 /// Convenience: `k` walks all starting at `start` (the paper's canonical
 /// setting).
-pub fn kwalk_cover_rounds_same_start<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn kwalk_cover_rounds_same_start<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     start: u32,
     k: usize,
     mode: KWalkMode,
@@ -95,8 +92,8 @@ pub fn kwalk_cover_rounds_same_start<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// If `starts` is empty or any start is out of range.
-pub fn kwalk_covers_within<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn kwalk_covers_within<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     starts: &[u32],
     rounds: u64,
     rng: &mut R,
@@ -114,8 +111,8 @@ pub fn kwalk_covers_within<R: Rng + ?Sized>(
 /// Positions of `k` walks after `rounds` synchronous rounds — exposed for
 /// tests and for experiments that inspect walk dispersion (e.g. how many
 /// tokens entered each barbell bell).
-pub fn kwalk_positions_after<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn kwalk_positions_after<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     starts: &[u32],
     rounds: u64,
     rng: &mut R,

@@ -35,7 +35,7 @@
 //! primitives the [`Session`] executor itself
 //! plays, and are not deprecated.
 
-use mrw_graph::Graph;
+use mrw_graph::{Graph, GraphBackend};
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::Summary;
 use rand::Rng;
@@ -52,8 +52,8 @@ pub use crate::engine::PreyMove;
 ///
 /// # Panics
 /// If either start is out of range.
-pub fn meeting_rounds<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn meeting_rounds<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     a: u32,
     b: u32,
     process: WalkProcess,
@@ -102,8 +102,8 @@ pub enum PreyStrategy {
 ///
 /// # Panics
 /// If `hunters` is empty or any vertex is out of range.
-pub fn pursuit_rounds<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn pursuit_rounds<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     hunters: &[u32],
     prey: u32,
     strategy: PreyStrategy,

@@ -13,7 +13,7 @@
 //! constant fraction `k` times faster (each token sweeps its own arc) even
 //! though full cover only improves by `Θ(log k)`.
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::{Graph, GraphBackend};
 use rand::Rng;
 
 use crate::engine::{Engine, PartialCover, SimpleStep};
@@ -37,8 +37,8 @@ use crate::engine::{Engine, PartialCover, SimpleStep};
 /// # Panics
 /// If `starts` is empty, any start is out of range, `target > g.n()`, or
 /// (debug) the graph is disconnected.
-pub fn kwalk_partial_cover_rounds<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn kwalk_partial_cover_rounds<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     starts: &[u32],
     target: usize,
     rng: &mut R,
@@ -49,7 +49,7 @@ pub fn kwalk_partial_cover_rounds<R: Rng + ?Sized>(
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
     debug_assert!(
-        algo::is_connected(g),
+        g.is_connected(),
         "partial cover unreachable: disconnected graph"
     );
 

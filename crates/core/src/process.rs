@@ -40,7 +40,7 @@
 //! never re-derived. `WalkProcess` itself stays scalar-only so the
 //! reference can never be routed onto the path it is meant to check.
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::{Graph, GraphBackend};
 use rand::Rng;
 
 use crate::engine::{CompiledProcess, Engine, FullCover};
@@ -74,7 +74,7 @@ impl WalkProcess {
     /// (debug) if `pos` is isolated; `Lazy(p)` asserts `p ∈ [0,1)` —
     /// `p = 1` never moves and would loop forever in cover routines.
     #[inline]
-    pub fn step<R: Rng + ?Sized>(&self, g: &Graph, pos: u32, rng: &mut R) -> u32 {
+    pub fn step<G: GraphBackend, R: Rng + ?Sized>(&self, g: &G, pos: u32, rng: &mut R) -> u32 {
         match *self {
             WalkProcess::Simple => step(g, pos, rng),
             WalkProcess::Lazy(p) => {
@@ -134,18 +134,15 @@ impl WalkProcess {
 ///
 /// # Panics
 /// If the graph is empty/disconnected or `start` is out of range.
-pub fn cover_time_process<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn cover_time_process<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     start: u32,
     process: WalkProcess,
     rng: &mut R,
 ) -> u64 {
     assert!(g.n() > 0, "cover time of the empty graph");
     assert!((start as usize) < g.n(), "start {start} out of range");
-    debug_assert!(
-        algo::is_connected(g),
-        "cover time infinite: disconnected graph"
-    );
+    debug_assert!(g.is_connected(), "cover time infinite: disconnected graph");
     if let WalkProcess::Lazy(p) = process {
         // p = 1 never moves: the cover time is infinite.
         assert!((0.0..1.0).contains(&p), "hold probability {p} not in [0,1)");
@@ -161,8 +158,8 @@ pub fn cover_time_process<R: Rng + ?Sized>(
 ///
 /// # Panics
 /// As [`cover_time_process`], plus if `starts` is empty.
-pub fn kwalk_cover_rounds_process<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn kwalk_cover_rounds_process<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     starts: &[u32],
     process: WalkProcess,
     rng: &mut R,
@@ -172,10 +169,7 @@ pub fn kwalk_cover_rounds_process<R: Rng + ?Sized>(
     for &s in starts {
         assert!((s as usize) < g.n(), "start {s} out of range");
     }
-    debug_assert!(
-        algo::is_connected(g),
-        "cover time infinite: disconnected graph"
-    );
+    debug_assert!(g.is_connected(), "cover time infinite: disconnected graph");
     if let WalkProcess::Lazy(p) = process {
         // p = 1 never moves: the cover time is infinite.
         assert!((0.0..1.0).contains(&p), "hold probability {p} not in [0,1)");

@@ -69,7 +69,7 @@ pub mod json;
 
 use std::ops::Range;
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::{Graph, GraphBackend, ImplicitGraph};
 use mrw_par::{par_map_chunks_with, par_map_with, SeedSequence};
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::precision::PrecisionTarget;
@@ -317,23 +317,204 @@ impl ShardPlan {
     }
 }
 
+/// How a [`GraphSpec`] materializes its graph: explicit CSR arrays, the
+/// O(1)-state arithmetic backend, or a size-based automatic choice
+/// (`--backend` on the CLI).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// CSR when the arrays are small, implicit once the estimated CSR
+    /// footprint passes [`AUTO_IMPLICIT_BYTES`] (structured families
+    /// only; families without an implicit twin always build CSR).
+    #[default]
+    Auto,
+    /// Always materialize the CSR arrays ([`GraphSpec::resolve`] errors
+    /// above [`MAX_CSR_BYTES`]).
+    Csr,
+    /// Always use the arithmetic backend (errors on families without
+    /// closed-form neighborhoods).
+    Implicit,
+}
+
+/// The `--backend` CLI names for [`BackendChoice`].
+pub fn backend_to_str(backend: BackendChoice) -> &'static str {
+    match backend {
+        BackendChoice::Auto => "auto",
+        BackendChoice::Csr => "csr",
+        BackendChoice::Implicit => "implicit",
+    }
+}
+
+/// Parses a `--backend` name.
+pub fn backend_from_str(s: &str) -> Result<BackendChoice, String> {
+    match s {
+        "auto" => Ok(BackendChoice::Auto),
+        "csr" => Ok(BackendChoice::Csr),
+        "implicit" => Ok(BackendChoice::Implicit),
+        other => Err(format!("unknown backend '{other}' (auto | csr | implicit)")),
+    }
+}
+
+/// Estimated CSR footprint above which [`GraphSpec::resolve`] refuses to
+/// materialize the arrays (≈1.5 GiB — offsets are 8 bytes per vertex plus
+/// 4 bytes per edge endpoint). Structured families get a pointer to
+/// `--backend implicit` instead of an allocation failure.
+pub const MAX_CSR_BYTES: u128 = 3 << 29; // 1.5 GiB
+
+/// Estimated CSR footprint above which [`BackendChoice::Auto`] switches a
+/// structured family to the implicit backend (64 MiB): big enough that
+/// every historical CLI invocation keeps its CSR backend (and the exact
+/// report bytes it always produced), small enough that nobody pays
+/// hundreds of megabytes for arrays a formula replaces.
+pub const AUTO_IMPLICIT_BYTES: u128 = 64 << 20;
+
+/// A resolved graph: either backend behind one enum, so the CLI can
+/// thread whatever [`GraphSpec::resolve`] picked through the generic
+/// [`Session::run`] without a trait object. Implements [`GraphBackend`]
+/// by two-variant static dispatch — the engine's batched paths hoist the
+/// [`csr`](GraphBackend::csr) probe out of their inner loops, so the
+/// per-step cost is one predicted branch on the scalar path only.
+#[derive(Debug, Clone)]
+pub enum AnyGraph {
+    /// Materialized CSR arrays.
+    Csr(Graph),
+    /// O(1)-state arithmetic neighborhoods.
+    Implicit(ImplicitGraph),
+}
+
+macro_rules! any_graph_delegate {
+    ($self:ident, $g:ident => $e:expr) => {
+        match $self {
+            AnyGraph::Csr($g) => $e,
+            AnyGraph::Implicit($g) => $e,
+        }
+    };
+}
+
+impl GraphBackend for AnyGraph {
+    #[inline]
+    fn n(&self) -> usize {
+        any_graph_delegate!(self, g => g.n())
+    }
+
+    #[inline]
+    fn m(&self) -> usize {
+        any_graph_delegate!(self, g => g.m())
+    }
+
+    fn name(&self) -> &str {
+        any_graph_delegate!(self, g => GraphBackend::name(g))
+    }
+
+    #[inline]
+    fn degree(&self, v: u32) -> usize {
+        any_graph_delegate!(self, g => g.degree(v))
+    }
+
+    #[inline]
+    fn neighbor(&self, v: u32, i: usize) -> u32 {
+        any_graph_delegate!(self, g => g.neighbor(v, i))
+    }
+
+    #[inline]
+    fn regular_degree(&self) -> Option<usize> {
+        any_graph_delegate!(self, g => g.regular_degree())
+    }
+
+    #[inline]
+    fn fill_row(&self, v: u32, row: &mut [u32]) {
+        any_graph_delegate!(self, g => g.fill_row(v, row))
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, v: u32, f: impl FnMut(u32)) {
+        any_graph_delegate!(self, g => g.for_each_neighbor(v, f))
+    }
+
+    #[inline]
+    fn csr(&self) -> Option<&Graph> {
+        any_graph_delegate!(self, g => g.csr())
+    }
+
+    fn to_csr(&self) -> Graph {
+        any_graph_delegate!(self, g => g.to_csr())
+    }
+
+    fn is_connected(&self) -> bool {
+        any_graph_delegate!(self, g => g.is_connected())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        any_graph_delegate!(self, g => g.memory_bytes())
+    }
+}
+
 /// A buildable description of a graph-family instance — how query spec
 /// files and shard workers agree on the graph without shipping an edge
 /// list. The families match the `mrw estimate` CLI verb.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GraphSpec {
     /// Family name: `cycle | path | torus | hypercube | clique |
-    /// clique-loops | barbell`.
+    /// clique-loops | barbell | circulant`.
     pub family: String,
     /// The family's natural size parameter: vertices for most, the side
     /// for `torus`, the *dimension* (1..=30) for `hypercube`.
     pub n: usize,
+    /// Chord lengths for `circulant` (vertex `i` adjacent to `i ± s`);
+    /// must be empty for every other family.
+    pub jumps: Vec<usize>,
+    /// Which backend [`resolve`](GraphSpec::resolve) materializes.
+    pub backend: BackendChoice,
 }
 
 impl GraphSpec {
-    /// Builds the described graph.
+    /// A spec for `family` at size `n` with the default (automatic)
+    /// backend and no jumps.
+    pub fn new(family: impl Into<String>, n: usize) -> GraphSpec {
+        GraphSpec {
+            family: family.into(),
+            n,
+            jumps: Vec::new(),
+            backend: BackendChoice::Auto,
+        }
+    }
+
+    /// Checks circulant jump lists the way the generator would, but as an
+    /// `Err` instead of a panic (spec files are untrusted input).
+    fn validate_jumps(&self) -> Result<(), String> {
+        if self.family != "circulant" {
+            return if self.jumps.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("family '{}' takes no jumps", self.family))
+            };
+        }
+        let n = self.n;
+        if n < 3 {
+            return Err(format!("circulant needs n ≥ 3, got {n}"));
+        }
+        if self.jumps.is_empty() {
+            return Err("circulant needs at least one jump".into());
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &s in &self.jumps {
+            if s == 0 || s >= n {
+                return Err(format!("jump {s} out of range 1..{n}"));
+            }
+            if !seen.insert(s.min(n - s)) {
+                return Err(format!(
+                    "jump {s} duplicates another jump modulo ±-symmetry"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the described graph as materialized CSR arrays (the
+    /// historical path; [`resolve`](GraphSpec::resolve) adds the backend
+    /// choice and the memory guard on top).
     pub fn build(&self) -> Result<Graph, String> {
         use mrw_graph::generators;
+        self.validate_jumps()?;
         let n = self.n;
         Ok(match self.family.as_str() {
             "cycle" => generators::cycle(n),
@@ -350,13 +531,145 @@ impl GraphSpec {
             "clique" => generators::complete(n),
             "clique-loops" => generators::complete_with_loops(n),
             "barbell" => generators::barbell(n),
+            "circulant" => generators::circulant(n, &self.jumps),
             other => {
                 return Err(format!(
                     "unknown family '{other}' (cycle | path | torus | hypercube | clique | \
-                     clique-loops | barbell)"
+                     clique-loops | barbell | circulant)"
                 ))
             }
         })
+    }
+
+    /// Whether the family has a closed-form implicit twin.
+    fn has_implicit(&self) -> bool {
+        matches!(
+            self.family.as_str(),
+            "cycle" | "torus" | "hypercube" | "circulant"
+        )
+    }
+
+    /// Builds the implicit backend, validating every constructor
+    /// precondition as an `Err` first (the constructors assert).
+    fn build_implicit(&self) -> Result<ImplicitGraph, String> {
+        let n = self.n;
+        let u32_max = u32::MAX as usize;
+        Ok(match self.family.as_str() {
+            "cycle" => {
+                if n < 3 || n > u32_max {
+                    return Err(format!("implicit cycle needs 3 ≤ n ≤ {u32_max}, got {n}"));
+                }
+                ImplicitGraph::cycle(n)
+            }
+            "torus" => {
+                if !(2..=65_535).contains(&n) {
+                    return Err(format!(
+                        "implicit torus needs side in 2..=65535 (n = side² ≤ u32::MAX), got {n}"
+                    ));
+                }
+                ImplicitGraph::torus_2d(n)
+            }
+            "hypercube" => {
+                if n == 0 || n >= 31 {
+                    return Err(format!(
+                        "n = {n} is the hypercube *dimension* and must be in 1..=30"
+                    ));
+                }
+                ImplicitGraph::hypercube(n as u32)
+            }
+            "circulant" => {
+                self.validate_jumps()?;
+                if n > u32_max {
+                    return Err(format!("implicit circulant needs n ≤ {u32_max}, got {n}"));
+                }
+                let degree: usize = self
+                    .jumps
+                    .iter()
+                    .map(|&s| if 2 * s == n { 1 } else { 2 })
+                    .sum();
+                if degree > mrw_graph::MAX_IMPLICIT_DEGREE {
+                    return Err(format!(
+                        "implicit circulant degree {degree} exceeds the backend limit {}",
+                        mrw_graph::MAX_IMPLICIT_DEGREE
+                    ));
+                }
+                ImplicitGraph::circulant(n, &self.jumps)
+            }
+            other => {
+                return Err(format!(
+                    "family '{other}' has no implicit backend (cycle | torus | hypercube | \
+                     circulant)"
+                ))
+            }
+        })
+    }
+
+    /// Estimated CSR footprint in bytes (`(n+1)·8 + Σδ·4`), computed from
+    /// the family's closed-form degree sum *without* building anything —
+    /// the number the memory guard and the auto-switch compare.
+    pub fn csr_bytes_estimate(&self) -> u128 {
+        let n = self.n as u128;
+        let (verts, degree_sum): (u128, u128) = match self.family.as_str() {
+            "cycle" => (n, 2 * n),
+            "path" => (n, 2 * n.saturating_sub(1)),
+            "torus" => (n * n, if n == 2 { 8 } else { 4 * n * n }),
+            "hypercube" => {
+                let v = 1u128 << self.n.min(63);
+                (v, n * v)
+            }
+            "clique" => (n, n * n.saturating_sub(1)),
+            "clique-loops" => (n, n * n),
+            "barbell" => {
+                let m = n.saturating_sub(1) / 2;
+                (n, 2 * m * m.saturating_sub(1) + 4)
+            }
+            "circulant" => (n, 2 * n * self.jumps.len() as u128),
+            _ => (n, 2 * n),
+        };
+        (verts + 1) * 8 + degree_sum * 4
+    }
+
+    /// Materializes the graph under the spec's [`BackendChoice`]:
+    ///
+    /// * `csr` — build the arrays, but refuse (with a pointer to
+    ///   `--backend implicit` where one exists) once the estimated
+    ///   footprint passes [`MAX_CSR_BYTES`];
+    /// * `implicit` — the arithmetic backend, or an error for families
+    ///   without closed-form neighborhoods;
+    /// * `auto` — implicit for structured families whose CSR estimate
+    ///   passes [`AUTO_IMPLICIT_BYTES`], CSR (with the same hard guard)
+    ///   otherwise.
+    pub fn resolve(&self) -> Result<AnyGraph, String> {
+        let estimate = self.csr_bytes_estimate();
+        let csr_guard = |spec: &GraphSpec| -> Result<AnyGraph, String> {
+            if estimate > MAX_CSR_BYTES {
+                let hint = if spec.has_implicit() {
+                    "re-run with --backend implicit (O(1) state at any size)"
+                } else {
+                    "this family has no implicit backend — reduce n"
+                };
+                return Err(format!(
+                    "family '{}' at n = {} needs ≈{} MiB of CSR arrays \
+                     (limit {} MiB); {hint}",
+                    spec.family,
+                    spec.n,
+                    estimate >> 20,
+                    MAX_CSR_BYTES >> 20,
+                ));
+            }
+            spec.build().map(AnyGraph::Csr)
+        };
+        match self.backend {
+            BackendChoice::Csr => csr_guard(self),
+            BackendChoice::Implicit => self.build_implicit().map(AnyGraph::Implicit),
+            BackendChoice::Auto => {
+                if self.has_implicit() && estimate > AUTO_IMPLICIT_BYTES {
+                    self.build_implicit().map(AnyGraph::Implicit)
+                } else {
+                    csr_guard(self)
+                }
+            }
+        }
     }
 }
 
@@ -442,7 +755,7 @@ impl Query {
     /// expectation is infinite on a disconnected graph). [`Session::run`]
     /// panics on exactly these conditions; callers with untrusted input
     /// (spec files) should validate first and surface the error.
-    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+    pub fn validate<G: GraphBackend>(&self, g: &G) -> Result<(), String> {
         let n = g.n();
         let vertex = |label: &str, v: u32| {
             if (v as usize) < n {
@@ -452,7 +765,7 @@ impl Query {
             }
         };
         let connected = |what: &str| {
-            if algo::is_connected(g) {
+            if g.is_connected() {
                 Ok(())
             } else {
                 Err(format!("{what} is infinite on a disconnected graph"))
@@ -1006,16 +1319,25 @@ pub struct QuerySpec {
 }
 
 impl QuerySpec {
-    /// Serializes to the canonical spec-file JSON.
+    /// Serializes to the canonical spec-file JSON. `jumps` and `backend`
+    /// appear only when non-default, so every pre-backend spec file keeps
+    /// its exact historical bytes.
     pub fn to_json(&self) -> String {
+        let mut graph = vec![
+            ("family", Value::str(&self.graph.family)),
+            ("n", Value::num(self.graph.n)),
+        ];
+        if !self.graph.jumps.is_empty() {
+            graph.push((
+                "jumps",
+                Value::Arr(self.graph.jumps.iter().map(|&j| Value::num(j)).collect()),
+            ));
+        }
+        if self.graph.backend != BackendChoice::Auto {
+            graph.push(("backend", Value::str(backend_to_str(self.graph.backend))));
+        }
         Value::obj(vec![
-            (
-                "graph",
-                Value::obj(vec![
-                    ("family", Value::str(&self.graph.family)),
-                    ("n", Value::num(self.graph.n)),
-                ]),
-            ),
+            ("graph", Value::obj(graph)),
             ("query", query_to_value(&self.query)),
             ("budget", budget_to_value(&self.budget)),
         ])
@@ -1037,6 +1359,19 @@ impl QuerySpec {
                 .req("n")?
                 .as_usize()
                 .ok_or("graph.n must be an integer")?,
+            jumps: match graph.get("jumps") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or("graph.jumps must be an array")?
+                    .iter()
+                    .map(|j| j.as_usize().ok_or_else(|| "jump must be an integer".into()))
+                    .collect::<Result<Vec<_>, String>>()?,
+            },
+            backend: match graph.get("backend") {
+                None => BackendChoice::Auto,
+                Some(v) => backend_from_str(v.as_str().ok_or("graph.backend must be a string")?)?,
+            },
         };
         let query = query_from_value(v.req("query")?)?;
         let budget = match v.get("budget") {
@@ -1532,7 +1867,7 @@ impl Session {
     /// `(0, 1]`, or a disconnected graph for queries whose expectation
     /// would be infinite. Callers with untrusted input (the CLI spec
     /// path) should call `validate` first and surface the error.
-    pub fn run(&self, g: &Graph, query: &Query) -> Report {
+    pub fn run<G: GraphBackend>(&self, g: &G, query: &Query) -> Report {
         if let Err(e) = query.validate(g) {
             panic!("{e}");
         }
@@ -1634,9 +1969,9 @@ impl Session {
     /// ladder keep its historical independent per-k streams; `base` is
     /// the report-wide index of the first produced group (for the group
     /// filter).
-    fn cover_groups(
+    fn cover_groups<G: GraphBackend>(
         &self,
-        g: &Graph,
+        g: &G,
         k: usize,
         starts: &[u32],
         seed_override: Option<u64>,
@@ -1678,7 +2013,13 @@ impl Session {
             .collect()
     }
 
-    fn partial_groups(&self, g: &Graph, k: usize, start: u32, gammas: &[f64]) -> Vec<Group> {
+    fn partial_groups<G: GraphBackend>(
+        &self,
+        g: &G,
+        k: usize,
+        start: u32,
+        gammas: &[f64],
+    ) -> Vec<Group> {
         assert!(k >= 1, "need at least one walk");
         let starts = vec![start; k];
         let seed = self.budget.seed;
@@ -1712,9 +2053,9 @@ impl Session {
             .collect()
     }
 
-    fn hitting_group(
+    fn hitting_group<G: GraphBackend>(
         &self,
-        g: &Graph,
+        g: &G,
         from: u32,
         to: u32,
         cap: u64,
@@ -1744,7 +2085,7 @@ impl Session {
         }
     }
 
-    fn hmax_groups(&self, g: &Graph) -> Vec<Group> {
+    fn hmax_groups<G: GraphBackend>(&self, g: &G) -> Vec<Group> {
         let cap = hmax_mc_cap(g);
         hmax_candidates(g)
             .into_iter()
@@ -1756,7 +2097,14 @@ impl Session {
             .collect()
     }
 
-    fn meeting_group(&self, g: &Graph, a: u32, b: u32, laziness: Option<f64>, cap: u64) -> Group {
+    fn meeting_group<G: GraphBackend>(
+        &self,
+        g: &G,
+        a: u32,
+        b: u32,
+        laziness: Option<f64>,
+        cap: u64,
+    ) -> Group {
         if !self.wants(0) {
             return Self::empty_group("meeting".to_string());
         }
@@ -1781,9 +2129,9 @@ impl Session {
     }
 
     #[allow(clippy::too_many_arguments)] // private; mirrors Query::Pursuit's fields plus the group index
-    fn pursuit_group(
+    fn pursuit_group<G: GraphBackend>(
         &self,
-        g: &Graph,
+        g: &G,
         k: usize,
         hunters_start: u32,
         prey: u32,
@@ -1816,7 +2164,7 @@ impl Session {
         }
     }
 
-    fn ladder_groups(&self, g: &Graph, start: u32, ks: &[usize]) -> Vec<Group> {
+    fn ladder_groups<G: GraphBackend>(&self, g: &G, start: u32, ks: &[usize]) -> Vec<Group> {
         // Baseline C^1 on its historical independent stream (seed ⊕ 0xBA5E);
         // each k draws seed + k, so adding a rung never perturbs the others.
         let mut groups = self.cover_groups(g, 1, &[start], Some(self.budget.seed ^ 0xBA5E), 0);
@@ -1840,16 +2188,16 @@ impl Session {
 
     /// Monte-Carlo `h(from, to)` as a typed view (see
     /// [`Query::Hitting`] for the capping semantics).
-    pub fn hitting(&self, g: &Graph, from: u32, to: u32, cap: u64) -> HitEstimate {
+    pub fn hitting<G: GraphBackend>(&self, g: &G, from: u32, to: u32, cap: u64) -> HitEstimate {
         let report = self.run(g, &Query::Hitting { from, to, cap });
         HitEstimate::from_report(&report, 0)
     }
 
     /// Mean catch time of `k` hunters from `hunter_start` against a prey
     /// at `prey`, as a typed view over a one-rung [`Query::Pursuit`].
-    pub fn pursuit(
+    pub fn pursuit<G: GraphBackend>(
         &self,
-        g: &Graph,
+        g: &G,
         hunter_start: u32,
         prey: u32,
         k: usize,
@@ -1871,9 +2219,9 @@ impl Session {
 
     /// Partial-cover profile `C^k_γ` for each `γ`, as typed rows over a
     /// [`Query::PartialCover`].
-    pub fn partial_profile(
+    pub fn partial_profile<G: GraphBackend>(
         &self,
-        g: &Graph,
+        g: &G,
         start: u32,
         k: usize,
         gammas: &[f64],
@@ -1902,13 +2250,20 @@ impl Session {
     /// [`EXACT_HMAX_LIMIT`](crate::hitting_mc::EXACT_HMAX_LIMIT), a
     /// [`Query::HMax`] Monte-Carlo lower bound over candidate pairs
     /// otherwise.
-    pub fn hmax(&self, g: &Graph) -> HmaxEstimate {
+    pub fn hmax<G: GraphBackend>(&self, g: &G) -> HmaxEstimate {
         assert!(
-            algo::is_connected(g),
+            g.is_connected(),
             "h_max is infinite on a disconnected graph"
         );
         if g.n() <= crate::hitting_mc::EXACT_HMAX_LIMIT {
-            let ht = mrw_spectral::hitting_times_all(g);
+            // The spectral solver wants materialized arrays; n ≤ 800 here,
+            // so building the implicit backend's CSR twin is trivial — and
+            // it is the *exact* generator output, so the answer is the one
+            // the CSR backend reports.
+            let ht = match g.csr() {
+                Some(csr) => mrw_spectral::hitting_times_all(csr),
+                None => mrw_spectral::hitting_times_all(&g.to_csr()),
+            };
             let pair = ht.argmax();
             return HmaxEstimate {
                 hmax: ht.hmax(),
@@ -2255,10 +2610,7 @@ mod tests {
     #[test]
     fn spec_round_trips_and_builds() {
         let spec = QuerySpec {
-            graph: GraphSpec {
-                family: "cycle".into(),
-                n: 64,
-            },
+            graph: GraphSpec::new("cycle", 64),
             query: Query::SpeedupLadder {
                 start: 0,
                 ks: vec![2, 4],
@@ -2307,10 +2659,7 @@ mod tests {
             ..Budget::default()
         };
         let spec = QuerySpec {
-            graph: GraphSpec {
-                family: "torus".into(),
-                n: 8,
-            },
+            graph: GraphSpec::new("torus", 8),
             query: Query::Hitting {
                 from: 0,
                 to: 9,

@@ -9,7 +9,7 @@
 //! engine and consumes the RNG stream identically to the pre-engine
 //! hand-rolled loops.
 
-use mrw_graph::{algo, Graph};
+use mrw_graph::GraphBackend;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,10 +27,14 @@ pub fn walk_rng(seed: u64) -> WalkRng {
 
 /// One walk step from `pos`: a uniformly random neighbor.
 ///
+/// Generic over [`GraphBackend`]: the RNG draws depend only on the
+/// degree, and implicit rows are sorted identically to their CSR twins,
+/// so seeded walks agree bit-for-bit across backends.
+///
 /// # Panics
 /// (debug) if `pos` is isolated — callers must ensure connectivity.
 #[inline]
-pub fn step<R: Rng + ?Sized>(g: &Graph, pos: u32, rng: &mut R) -> u32 {
+pub fn step<G: GraphBackend, R: Rng + ?Sized>(g: &G, pos: u32, rng: &mut R) -> u32 {
     let d = g.degree(pos);
     debug_assert!(d > 0, "walk stuck at isolated vertex {pos}");
     // Power-of-two fast path: mask instead of modulo rejection.
@@ -46,13 +50,10 @@ pub fn step<R: Rng + ?Sized>(g: &Graph, pos: u32, rng: &mut R) -> u32 {
 ///
 /// # Panics
 /// If the graph is disconnected (`τ = ∞`) or empty.
-pub fn cover_time_single<R: Rng + ?Sized>(g: &Graph, start: u32, rng: &mut R) -> u64 {
+pub fn cover_time_single<G: GraphBackend, R: Rng + ?Sized>(g: &G, start: u32, rng: &mut R) -> u64 {
     assert!(g.n() > 0, "cover time of the empty graph");
     assert!((start as usize) < g.n(), "start {start} out of range");
-    debug_assert!(
-        algo::is_connected(g),
-        "cover time infinite: disconnected graph"
-    );
+    debug_assert!(g.is_connected(), "cover time infinite: disconnected graph");
     Engine::new(g, SimpleStep, FullCover::new(g.n()))
         .run(&[start], rng)
         .rounds
@@ -64,8 +65,8 @@ pub fn cover_time_single<R: Rng + ?Sized>(g: &Graph, start: u32, rng: &mut R) ->
 /// `cap` bounds the simulation; returns `None` if `to` was not reached
 /// within `cap` steps (used to keep Monte-Carlo hitting estimates bounded
 /// on slow-mixing graphs).
-pub fn steps_to_hit<R: Rng + ?Sized>(
-    g: &Graph,
+pub fn steps_to_hit<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
     from: u32,
     to: u32,
     cap: u64,
@@ -83,7 +84,12 @@ pub fn steps_to_hit<R: Rng + ?Sized>(
 
 /// Records the first `len` positions of a walk (including the start) —
 /// used by tests to validate that walks respect the edge set.
-pub fn walk_trace<R: Rng + ?Sized>(g: &Graph, start: u32, len: usize, rng: &mut R) -> Vec<u32> {
+pub fn walk_trace<G: GraphBackend, R: Rng + ?Sized>(
+    g: &G,
+    start: u32,
+    len: usize,
+    rng: &mut R,
+) -> Vec<u32> {
     Engine::new(g, SimpleStep, Trace::new(len))
         .cap(len as u64)
         .run(&[start], rng)

@@ -348,6 +348,41 @@ fn fixed_horizon_probe_is_bit_for_bit_legacy() {
 }
 
 #[test]
+fn engine_scalar_path_is_bit_for_bit_legacy() {
+    // `BatchMode::Never` forces `drive_scalar_sync`, the frozen legacy
+    // loop. The batched dispatch has been rebuilt around it twice
+    // (degree-class buckets, then the flat pick-table sweep); this pins
+    // that neither rebuild leaked into the scalar path — including on the
+    // irregular families whose *batched* routing changed.
+    use mrw_core::engine::{BatchMode, Engine, FullCover, SimpleStep};
+    let graphs = vec![
+        generators::cycle(48),
+        generators::torus_2d(6),
+        generators::barbell(13),
+        generators::star(20),
+        generators::lollipop(17),
+    ];
+    for g in &graphs {
+        for k in [1usize, 4, 8] {
+            for seed in 0..12u64 {
+                let starts = vec![0u32; k];
+                let engine = Engine::new(g, SimpleStep, FullCover::new(g.n()))
+                    .batch(BatchMode::Never)
+                    .run(&starts, &mut walk_rng(seed))
+                    .rounds;
+                let old = legacy::kwalk_cover_rounds(
+                    g,
+                    &starts,
+                    legacy::Mode::RoundSynchronous,
+                    &mut walk_rng(seed),
+                );
+                assert_eq!(engine, old, "{} k={k} seed={seed}", g.name());
+            }
+        }
+    }
+}
+
+#[test]
 fn disciplines_agree_in_distribution_ks() {
     // The two disciplines define the same process; their cover-time
     // samples must pass a two-sample KS test at any sane level.

@@ -6,13 +6,17 @@
 
 use std::collections::VecDeque;
 
+use crate::backend::GraphBackend;
 use crate::csr::Graph;
 
 /// Sentinel distance for unreachable vertices.
 pub const UNREACHABLE: u32 = u32::MAX;
 
 /// BFS distances from `src`; unreachable vertices get [`UNREACHABLE`].
-pub fn bfs_distances(g: &Graph, src: u32) -> Vec<u32> {
+///
+/// Generic over [`GraphBackend`] so implicit families can be traversed
+/// without materializing a CSR (the distance array is still `O(n)`).
+pub fn bfs_distances<G: GraphBackend>(g: &G, src: u32) -> Vec<u32> {
     assert!((src as usize) < g.n(), "source {src} out of range");
     let mut dist = vec![UNREACHABLE; g.n()];
     let mut queue = VecDeque::new();
@@ -20,18 +24,21 @@ pub fn bfs_distances(g: &Graph, src: u32) -> Vec<u32> {
     queue.push_back(src);
     while let Some(v) = queue.pop_front() {
         let dv = dist[v as usize];
-        for &u in g.neighbors(v) {
+        g.for_each_neighbor(v, |u| {
             if dist[u as usize] == UNREACHABLE {
                 dist[u as usize] = dv + 1;
                 queue.push_back(u);
             }
-        }
+        });
     }
     dist
 }
 
 /// Whether the graph is connected (vacuously true for `n ≤ 1`).
-pub fn is_connected(g: &Graph) -> bool {
+///
+/// Prefer [`GraphBackend::is_connected`] when the backend is abstract —
+/// implicit families answer arithmetically without the `O(n)` BFS.
+pub fn is_connected<G: GraphBackend>(g: &G) -> bool {
     if g.n() <= 1 {
         return true;
     }
@@ -73,7 +80,7 @@ pub fn component_count(g: &Graph) -> usize {
 
 /// Eccentricity of `src`: the greatest BFS distance to any vertex, or
 /// `None` if some vertex is unreachable.
-pub fn eccentricity(g: &Graph, src: u32) -> Option<u32> {
+pub fn eccentricity<G: GraphBackend>(g: &G, src: u32) -> Option<u32> {
     let dist = bfs_distances(g, src);
     let max = *dist.iter().max().expect("non-empty graph");
     if max == UNREACHABLE {
@@ -100,7 +107,7 @@ pub fn diameter(g: &Graph) -> Option<u32> {
 
 /// Two-sweep diameter lower bound: BFS from `start`, then BFS from the
 /// farthest vertex found; exact on trees.
-pub fn diameter_two_sweep(g: &Graph, start: u32) -> Option<u32> {
+pub fn diameter_two_sweep<G: GraphBackend>(g: &G, start: u32) -> Option<u32> {
     let d1 = bfs_distances(g, start);
     if d1.contains(&UNREACHABLE) {
         return None;

@@ -128,6 +128,15 @@ impl Graph {
         self.adjacency[self.offsets[v as usize] + i]
     }
 
+    /// `(start, end)` of `v`'s row inside [`adjacency`](Self::adjacency).
+    /// The bucketed batched sweep classifies tokens by `end - start` and
+    /// later gathers rows directly from the adjacency array.
+    #[inline]
+    pub fn row_bounds(&self, v: u32) -> (usize, usize) {
+        let v = v as usize;
+        (self.offsets[v], self.offsets[v + 1])
+    }
+
     /// Sorted neighbor slice of `v` with a single up-front bound check.
     ///
     /// [`neighbors`](Self::neighbors) pays three redundant checks per call

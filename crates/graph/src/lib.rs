@@ -20,20 +20,26 @@
 //! (the convention under which a clique-with-loops walk is exactly the
 //! coupon-collector process of the paper's Lemma 12).
 
-// `deny`, not `forbid`: the one scoped exception is the CSR row-window
-// accessor (`Graph::neighbors_unchecked`), whose safety rests on the
-// construction-time CSR invariants — see the comment at its definition.
+// `deny`, not `forbid`: the scoped exceptions are the CSR row-window
+// accessor (`Graph::neighbors_unchecked`) and the flat batched-sweep
+// kernel ([`sweep::UniformSweep`]), whose safety rests on the
+// construction-time CSR invariants plus a once-per-run position check —
+// see the comments at their definitions.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod backend;
 pub mod bitset;
 pub mod builder;
 pub mod csr;
 pub mod dot;
 pub mod generators;
 pub mod properties;
+pub mod sweep;
 
+pub use backend::{GraphBackend, ImplicitGraph, MAX_IMPLICIT_DEGREE};
 pub use bitset::NodeBitSet;
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use sweep::UniformSweep;

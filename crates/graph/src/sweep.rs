@@ -1,0 +1,249 @@
+//! The flat batched-sweep kernel for plain uniform walks on irregular
+//! CSR graphs.
+//!
+//! [`UniformSweep`] compiles a graph into a per-vertex pick table and
+//! advances a whole token population one synchronous round at a time,
+//! consuming the engine's counter-expanded draw law: round seed `r`
+//! expands through SplitMix64, token `t` takes word `t·stride`. The inner
+//! loop is deliberately branch-free and bounds-check-free — see the
+//! module-level safety argument below — because on cache-resident
+//! irregular graphs the batched walk is throughput-bound on exactly the
+//! few instructions in that loop.
+//!
+//! # The pick table
+//!
+//! The batched pick law is a mask for power-of-two rows and Lemire's
+//! widening multiply otherwise. Selecting between the two per step is a
+//! data-dependent branch (mispredicts on degree-mixed graphs) or a
+//! `cmov` chain (lengthens the critical path); both measured well above
+//! the loop's floor. Instead each vertex stores `(row_start, m, a)` with
+//!
+//! * Lemire rows: `m = degree`, `a = 0`,
+//! * power-of-two rows: `m = 0`, `a = degree - 1`,
+//!
+//! so both laws collapse into one straight-line expression
+//!
+//! ```text
+//! idx = mulhi64(w, m) | (w & a)
+//! ```
+//!
+//! — the inactive half is identically zero. One 16-byte table load, one
+//! widening multiply, two bitwise ops; no select.
+//!
+//! # Safety argument
+//!
+//! The loop indexes the table and the adjacency array without bounds
+//! checks. This is sound because every index is forced in range by
+//! invariants checked once, not per step:
+//!
+//! * [`Graph::from_csr`](crate::Graph::from_csr) validates at
+//!   construction that offsets are non-decreasing, end at
+//!   `adjacency.len()`, and that every adjacency entry is `< n`; the
+//!   graph is immutable afterwards, and the table is built against the
+//!   borrowed graph (the `'g` lifetime pins it).
+//! * [`UniformSweep::run`] asserts up front that every starting position
+//!   is `< n` with degree `≥ 1`. Each step replaces a position by an
+//!   adjacency entry, which is `< n` by construction and has degree `≥ 1`
+//!   because adjacency is symmetric (a listed vertex has at least its
+//!   reverse edge) — so the preconditions are closed under stepping.
+//! * For degree `d ≥ 1` both pick laws produce `idx < d`, hence
+//!   `row_start + idx < row_end ≤ adjacency.len()`.
+
+use crate::csr::Graph;
+use rand::rngs::SplitMix64;
+
+/// A graph compiled for flat uniform batched sweeps.
+///
+/// Built per engine run via [`UniformSweep::new`]; the table costs
+/// `16 · n` bytes, which is why construction is gated to CSR sizes where
+/// the batched fast path applies at all.
+#[derive(Debug)]
+pub struct UniformSweep<'g> {
+    g: &'g Graph,
+    /// Per-vertex `[(row_start << 32) | m, a]` — see the module docs.
+    vtab: Vec<[u64; 2]>,
+}
+
+impl<'g> UniformSweep<'g> {
+    /// Compiles `g`, or `None` when the flat kernel does not apply: an
+    /// empty graph, or an adjacency array whose row starts overflow the
+    /// packed `u32` field.
+    pub fn new(g: &'g Graph) -> Option<Self> {
+        if g.n() == 0 || g.adjacency().len() > u32::MAX as usize {
+            return None;
+        }
+        let vtab = (0..g.n() as u32)
+            .map(|v| {
+                let (s, e) = g.row_bounds(v);
+                let d = (e - s) as u64;
+                if d.is_power_of_two() {
+                    [(s as u64) << 32, d - 1]
+                } else {
+                    [((s as u64) << 32) | d, 0]
+                }
+            })
+            .collect();
+        Some(UniformSweep { g, vtab })
+    }
+
+    /// Sweeps rounds until `after_round` declines to continue, returning
+    /// the number of rounds swept.
+    ///
+    /// Round 1 expands `first_seed`; after each round `after_round` sees
+    /// the updated positions and returns the next round's seed, or `None`
+    /// to stop. Token `t` consumes draw word `t · stride` of its round's
+    /// block — exactly the word an in-token-order sweep hands it, so the
+    /// engine's batched law is preserved no matter which path steps the
+    /// tokens (`stride` is the process's words-per-step; the plain pick
+    /// reads only the first).
+    ///
+    /// # Panics
+    /// If any starting position is out of range or isolated (see the
+    /// module-level safety argument; the walk cannot *reach* an isolated
+    /// vertex, so only the entry positions need the check).
+    pub fn run<F: FnMut(&[u32]) -> Option<u64>>(
+        &self,
+        pos: &mut [u32],
+        stride: usize,
+        first_seed: u64,
+        mut after_round: F,
+    ) -> u64 {
+        let n = self.g.n();
+        assert!(
+            pos.iter()
+                .all(|&p| (p as usize) < n && self.g.degree(p) > 0),
+            "sweep position out of range or isolated"
+        );
+        let adj = self.g.adjacency();
+        let vtab = &self.vtab[..];
+        let step_gamma = SplitMix64::GAMMA.wrapping_mul(stride as u64);
+        let mut rounds = 0u64;
+        let mut seed = first_seed;
+        loop {
+            rounds += 1;
+            // Token t's word index is t·stride, i.e. Weyl state
+            // `seed + (t·stride + 1)·GAMMA`: start one GAMMA past the
+            // seed and advance by stride·GAMMA per token.
+            let mut state = seed.wrapping_add(SplitMix64::GAMMA);
+            for p in pos.iter_mut() {
+                let w = SplitMix64::finalize(state);
+                state = state.wrapping_add(step_gamma);
+                // SAFETY: `*p < n == vtab.len()` — asserted above for the
+                // starting positions and closed under stepping because
+                // every adjacency entry is `< n` (`from_csr`).
+                #[allow(unsafe_code)]
+                let t = unsafe { *vtab.get_unchecked(*p as usize) };
+                let s = (t[0] >> 32) as usize;
+                let m = t[0] & 0xFFFF_FFFF;
+                let idx = ((w as u128 * m as u128) >> 64) as usize | (w & t[1]) as usize;
+                // SAFETY: the position has degree `d ≥ 1` (asserted /
+                // closed under stepping as above), both pick laws give
+                // `idx < d`, and `from_csr` guarantees
+                // `s + d ≤ adjacency.len()`.
+                #[allow(unsafe_code)]
+                {
+                    *p = unsafe { *adj.get_unchecked(s + idx) };
+                }
+            }
+            match after_round(pos) {
+                Some(next) => seed = next,
+                None => return rounds,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::{RngCore, SeedableRng};
+
+    /// Reference implementation: per-token `SplitMix64` block draws and
+    /// the engine's safe pick law.
+    fn reference_round(g: &Graph, pos: &mut [u32], seed: u64, stride: usize) {
+        let mut block = SplitMix64::seed_from_u64(seed);
+        let mut words = Vec::new();
+        for _ in 0..pos.len() * stride {
+            words.push(block.next_u64());
+        }
+        for (t, p) in pos.iter_mut().enumerate() {
+            let row = g.neighbors(*p);
+            let d = row.len();
+            let w = words[t * stride];
+            let idx = if d.is_power_of_two() {
+                (w & (d as u64 - 1)) as usize
+            } else {
+                ((w as u128 * d as u128) >> 64) as usize
+            };
+            *p = row[idx];
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_irregular_families() {
+        let graphs = vec![
+            generators::barbell(21),
+            generators::star(17),
+            generators::lollipop(13),
+            generators::path(9),
+            generators::complete(5),
+        ];
+        for g in &graphs {
+            for stride in [1usize, 2] {
+                let sweep = UniformSweep::new(g).expect("kernel applies");
+                let mut pos: Vec<u32> = (0..8).map(|t| (t * 2) % g.n() as u32).collect();
+                let mut want = pos.clone();
+                let mut rng = SplitMix64::seed_from_u64(42);
+                let seeds: Vec<u64> = (0..20).map(|_| rng.next_u64()).collect();
+                for &s in &seeds {
+                    reference_round(g, &mut want, s, stride);
+                }
+                let mut next = seeds[1..].iter().copied();
+                let rounds = sweep.run(&mut pos, stride, seeds[0], |_| next.next());
+                assert_eq!(rounds, 20, "{}", g.name());
+                assert_eq!(pos, want, "{} stride {stride}", g.name());
+            }
+        }
+    }
+
+    #[test]
+    fn after_round_sees_each_round_and_controls_stopping() {
+        let g = generators::barbell(15);
+        let sweep = UniformSweep::new(&g).unwrap();
+        let mut pos = vec![0u32; 4];
+        let mut seen = 0u64;
+        let rounds = sweep.run(&mut pos, 1, 7, |ps| {
+            seen += 1;
+            assert_eq!(ps.len(), 4);
+            (seen < 5).then_some(seen)
+        });
+        assert_eq!(rounds, 5);
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range or isolated")]
+    fn rejects_out_of_range_start() {
+        let g = generators::cycle(8);
+        let sweep = UniformSweep::new(&g).unwrap();
+        let mut pos = vec![8u32];
+        sweep.run(&mut pos, 1, 1, |_| None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range or isolated")]
+    fn rejects_isolated_start() {
+        // Vertex 2 is isolated: edges only between 0 and 1.
+        let g = Graph::from_csr(vec![0, 1, 2, 2], vec![1, 0], "iso".into());
+        let sweep = UniformSweep::new(&g).unwrap();
+        let mut pos = vec![2u32];
+        sweep.run(&mut pos, 1, 1, |_| None);
+    }
+
+    #[test]
+    fn declines_empty_graph() {
+        let g = Graph::from_csr(vec![0], vec![], "empty".into());
+        assert!(UniformSweep::new(&g).is_none());
+    }
+}

@@ -104,7 +104,12 @@ pub trait SeedableRng: Sized {
 /// SplitMix64 — the standard seed expander for xoshiro-family generators.
 pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
+    splitmix64_mix(*state)
+}
+
+/// The SplitMix64 output finalizer over an already-advanced state.
+#[inline]
+pub(crate) fn splitmix64_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -234,6 +239,37 @@ pub mod rngs {
     #[derive(Debug, Clone, PartialEq, Eq)]
     pub struct SplitMix64 {
         state: u64,
+    }
+
+    impl SplitMix64 {
+        /// The Weyl-sequence increment (the golden-ratio constant): the
+        /// state at stream position `i` is `seed + (i + 1)·GAMMA`. Exposed
+        /// so stream consumers that walk positions *sequentially* can
+        /// maintain the state with one addition per draw and call
+        /// [`finalize`](Self::finalize), instead of paying
+        /// [`word`](Self::word)'s position multiply each time.
+        pub const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+        /// The avalanche finalizer over an already-advanced Weyl state:
+        /// `finalize(seed + (i + 1)·GAMMA)` equals the `(i + 1)`-th
+        /// [`RngCore::next_u64`] of `seed_from_u64(seed)` — the flat
+        /// batched sweep derives per-token draws this way.
+        #[inline]
+        pub fn finalize(state: u64) -> u64 {
+            crate::splitmix64_mix(state)
+        }
+
+        /// Random access into the counter stream: `word(seed, i)` equals
+        /// the `(i + 1)`-th [`RngCore::next_u64`] of `seed_from_u64(seed)`.
+        /// SplitMix64 advances its state by a fixed odd constant and
+        /// derives every output from the state alone, so any position of
+        /// a block is O(1) — the walk engine's bucketed sweep uses this
+        /// to hand tokens swept out of token order exactly the draw words
+        /// an in-order sweep would have given them.
+        #[inline]
+        pub fn word(seed: u64, i: u64) -> u64 {
+            crate::splitmix64_mix(seed.wrapping_add(i.wrapping_add(1).wrapping_mul(Self::GAMMA)))
+        }
     }
 
     impl RngCore for SplitMix64 {
@@ -508,6 +544,25 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| sm.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn splitmix_word_is_random_access_into_the_sequential_stream() {
+        use super::rngs::SplitMix64;
+        for seed in [0u64, 1, 99, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let mut sm = SplitMix64::seed_from_u64(seed);
+            let sequential: Vec<u64> = (0..64).map(|_| sm.next_u64()).collect();
+            for (i, &w) in sequential.iter().enumerate() {
+                assert_eq!(SplitMix64::word(seed, i as u64), w, "seed {seed} word {i}");
+            }
+            // The exposed Weyl walk reproduces the same stream with one
+            // addition per draw.
+            let mut state = seed;
+            for (i, &w) in sequential.iter().enumerate() {
+                state = state.wrapping_add(SplitMix64::GAMMA);
+                assert_eq!(SplitMix64::finalize(state), w, "seed {seed} state walk {i}");
+            }
+        }
     }
 
     #[test]
