@@ -37,8 +37,14 @@ experiments:
                   half-width for adaptive ones; one file round-trips)
   fanout SPEC.json --workers N
                   run a spec across N local worker processes (spawned
-                  mrw shard children, retried on failure) and merge -
-                  byte-identical to mrw run, fixed or adaptive budgets
+                  mrw shard children; work-stealing chunk scheduler with
+                  deadline-killed hangs, backoff-retried failures, and
+                  validated output) and merge - byte-identical to
+                  mrw run, fixed or adaptive budgets
+  resume CKPT.json
+                  finish an interrupted fanout from its checkpoint,
+                  dispatching only the still-missing trial ranges -
+                  completes byte-identically to an unfailed mrw run
   all             run everything
 
 options:
@@ -61,12 +67,24 @@ sharding (run / shard / merge):
   --groups I,J    run only these group indices; the others stay in the
                   report with zero trials (fanout's adaptive waves)
 
-fanout (multi-process scale-out):
+fanout / resume (multi-process scale-out):
   --workers N     concurrent worker processes (default: available threads)
   --shards S      work ranges to plan for a fixed budget
-                  (default: workers; adaptive budgets split per wave)
-  --retries R     per-range retry budget for failed/killed workers
-                  (default 2)
+                  (default: 4*workers so idle workers can steal;
+                  adaptive budgets split per wave)
+  --chunk C       dispatch chunks of at most C trials instead of the
+                  planned ranges (stealing granularity)
+  --retries R     per-range retry budget for failed/hung/corrupt
+                  workers, with exponential backoff (default 2)
+  --deadline-ms D minimum hang deadline; a chunk running past
+                  max(D, 8x the EWMA chunk latency) is SIGKILLed and
+                  requeued (default 1000)
+  --partial-ok    on retry exhaustion, emit the merged partial report
+                  and exit 0 instead of aborting (a checkpoint is
+                  written either way)
+  --checkpoint P  where to write the resume checkpoint on failure
+                  (default: mrw-checkpoint-<spec-hash>.json in the
+                  temp dir; resume reuses its input file)
 
 hunting options:
   --prey P        the moving prey's strategy: stationary | uniform
@@ -165,6 +183,15 @@ pub struct Options {
     pub fanout_shards: Option<usize>,
     /// `--retries R` (the `fanout` verb's per-range retry budget).
     pub retries: Option<usize>,
+    /// `--chunk C`: maximum trials per dispatched fanout chunk.
+    pub chunk: Option<usize>,
+    /// `--deadline-ms D`: the fanout hang-deadline floor.
+    pub deadline_ms: Option<u64>,
+    /// `--partial-ok`: accept a merged partial report on retry
+    /// exhaustion instead of aborting.
+    pub partial_ok: bool,
+    /// `--checkpoint PATH`: where fanout writes its resume checkpoint.
+    pub checkpoint: Option<String>,
     /// `--prey P` (the `hunting` verb's moving-prey strategy).
     pub prey: Option<mrw_core::PreyStrategy>,
     /// `--k-ladder KS` (the `hunting` verb's hunter counts).
@@ -204,6 +231,10 @@ impl Options {
             workers: None,
             fanout_shards: None,
             retries: None,
+            chunk: None,
+            deadline_ms: None,
+            partial_ok: false,
+            checkpoint: None,
             prey: None,
             k_ladder: None,
             files: Vec::new(),
@@ -261,6 +292,27 @@ impl Options {
                 "--retries" => {
                     let v = it.next().ok_or("--retries needs a value")?;
                     opts.retries = Some(v.parse().map_err(|_| format!("bad --retries '{v}'"))?);
+                }
+                "--chunk" => {
+                    let v = it.next().ok_or("--chunk needs a value")?;
+                    let c: usize = v.parse().map_err(|_| format!("bad --chunk '{v}'"))?;
+                    if c == 0 {
+                        return Err("--chunk must be >= 1".into());
+                    }
+                    opts.chunk = Some(c);
+                }
+                "--deadline-ms" => {
+                    let v = it.next().ok_or("--deadline-ms needs a value")?;
+                    let d: u64 = v.parse().map_err(|_| format!("bad --deadline-ms '{v}'"))?;
+                    if d == 0 {
+                        return Err("--deadline-ms must be >= 1".into());
+                    }
+                    opts.deadline_ms = Some(d);
+                }
+                "--partial-ok" => opts.partial_ok = true,
+                "--checkpoint" => {
+                    let v = it.next().ok_or("--checkpoint needs a path")?;
+                    opts.checkpoint = Some(v);
                 }
                 "--prey" => {
                     let v = it.next().ok_or("--prey needs a value")?;
@@ -625,6 +677,43 @@ mod tests {
         assert!(parse(&["fanout", "s.json", "--workers", "0"]).is_err());
         assert!(parse(&["fanout", "s.json", "--shards", "0"]).is_err());
         assert!(parse(&["fanout", "s.json", "--retries", "x"]).is_err());
+    }
+
+    #[test]
+    fn fault_tolerance_flags() {
+        let o = parse(&[
+            "fanout",
+            "s.json",
+            "--chunk",
+            "16",
+            "--deadline-ms",
+            "250",
+            "--partial-ok",
+            "--checkpoint",
+            "/tmp/ck.json",
+        ])
+        .unwrap();
+        assert_eq!(o.chunk, Some(16));
+        assert_eq!(o.deadline_ms, Some(250));
+        assert!(o.partial_ok);
+        assert_eq!(o.checkpoint.as_deref(), Some("/tmp/ck.json"));
+        // Defaults stay off.
+        let o = parse(&["fanout", "s.json"]).unwrap();
+        assert!(!o.partial_ok);
+        assert_eq!(o.chunk, None);
+        assert_eq!(o.deadline_ms, None);
+        assert_eq!(o.checkpoint, None);
+        assert!(parse(&["fanout", "s.json", "--chunk", "0"]).is_err());
+        assert!(parse(&["fanout", "s.json", "--deadline-ms", "0"]).is_err());
+        assert!(parse(&["fanout", "s.json", "--checkpoint"]).is_err());
+    }
+
+    #[test]
+    fn resume_takes_a_checkpoint_file() {
+        let o = parse(&["resume", "ck.json", "--workers", "2"]).unwrap();
+        assert_eq!(o.command, "resume");
+        assert_eq!(o.files, vec!["ck.json".to_string()]);
+        assert_eq!(o.workers, Some(2));
     }
 
     #[test]

@@ -1,510 +1,501 @@
-//! `mrw fanout` — the in-tree multi-process scale-out driver.
+//! `mrw fanout` / `mrw resume` — the in-tree multi-process scale-out
+//! driver.
 //!
 //! PR 4 made any shard partition of a trial budget merge byte-identically
-//! into the single-process run, but *running* the shards still needed an
-//! external scheduler. This module closes that gap: it splits a spec into
-//! disjoint trial ranges, spawns up to `--workers` concurrent child `mrw
-//! shard` processes (re-exec'ing [`std::env::current_exe`]), streams
-//! their JSON reports back through temp files, retries failed or killed
-//! workers, and emits one merged report **byte-identical to `mrw run`**.
+//! into the single-process run; PR 5 ran the shards in-tree. This module
+//! is the fault-tolerant generation of that driver: it cuts the trial
+//! space into small chunks pulled by idle workers through the
+//! work-stealing, deadline-aware scheduler in [`crate::dispatch`], and
+//! emits one merged report **byte-identical to `mrw run`** — no matter
+//! which worker ran which chunk, in what order, or how many times a
+//! chunk had to be retried.
 //!
 //! ## The two execution shapes
 //!
-//! * **Fixed budgets** — a [`ShardPlan`] partitions `[0, N)` into
-//!   `--shards` non-empty ranges up front; one pass through the worker
-//!   pool, then a fold of [`Report::merge`]. Classic scatter/gather.
+//! * **Fixed budgets** — `[0, N)` is cut into chunks (`--shards` many, or
+//!   `--chunk`-sized; default `4 × workers` so the pool can steal around
+//!   stragglers); one pull-driven pass, then a fold of [`Report::merge`].
 //! * **Adaptive budgets** — the sequential stopping rule is replicated at
 //!   the *driver*: trials are dispatched wave by wave on exactly the
 //!   boundaries the in-process loop uses (`Precision::next_wave`, rule
-//!   evaluated on index-ordered prefix moments), with each wave's range
-//!   split across the pool and groups dropping out of later waves the
-//!   moment their rule fires (`mrw shard --groups`). Because the wave
-//!   schedule and the rule are pure functions of the prefix sample, the
-//!   assembled report — per-group consumed counts included — is
-//!   byte-identical to the unsharded adaptive run.
+//!   evaluated on index-ordered prefix moments), with groups dropping out
+//!   of later waves the moment their rule fires (`mrw shard --groups`).
+//!   The wave *schedule* is a pure function of the consumed count, so the
+//!   driver pipelines it: the next wave's chunks are enqueued before the
+//!   current wave's stragglers finish, under the last known active-group
+//!   set — always a superset of the true one, and the prefix fold only
+//!   accumulates still-active groups, so the optimistic extra trials are
+//!   ignored and the assembled report (per-group consumed counts
+//!   included) stays byte-identical to the unsharded adaptive run.
 //!
-//! ## Failure handling and retry idempotence
+//! ## Failure handling, checkpoints, and resume
 //!
-//! A worker that exits nonzero, dies by signal, or emits an unparseable
-//! or wrong-range report is retried up to `--retries` times (fresh
-//! process, same range). Retries are idempotent *by construction*: a
-//! trial is a pure function of `(graph, seed, index)`, so a rerun
-//! produces the identical sub-report, and the coverage-overlap rejection
-//! in [`Report::merge`] turns any accidental double-submission into an
-//! error instead of silent double-counting. A range whose retry budget is
-//! exhausted aborts the run with the failure log and the batch's
-//! still-missing ranges, after killing and reaping the other in-flight
-//! workers.
+//! Worker death, hangs (deadline-SIGKILLed), and corrupt output are all
+//! retryable faults with exponential backoff (see `dispatch.rs`). When a
+//! chunk exhausts its retry budget the driver does not discard the
+//! completed work: it freezes every finished chunk into a canonical-JSON
+//! [`Checkpoint`] and either aborts with the still-missing ranges and the
+//! exact `mrw resume` command that would continue (default), or — with
+//! `--partial-ok` — prints the merged partial report and exits cleanly.
+//! `mrw resume checkpoint.json` replays the wave schedule, dispatches
+//! only the still-missing sub-ranges, and completes byte-identically to
+//! an unfailed `mrw run`.
 
 use std::ops::Range;
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
+use std::process::Command;
 use std::time::Duration;
 
-use mrw_core::query::{Coverage, ShardPlan};
-use mrw_core::{Group, Report};
+use mrw_core::query::{Checkpoint, Coverage, GraphInfo, ShardPlan};
+use mrw_core::{AnyGraph, Group, QuerySpec, Report};
 use mrw_graph::GraphBackend;
-use mrw_stats::IntMoments;
+use mrw_stats::{IntMoments, Precision};
 
 use crate::args::Options;
+use crate::dispatch::{Chunk, DispatchConfig, Dispatcher, Scratch};
 
-/// Default per-range retry budget for failed or killed workers.
+/// Default per-chunk retry budget for failed, hung, or corrupt workers.
 pub const DEFAULT_RETRIES: usize = 2;
 
-/// How often the driver polls its running children.
-const POLL_INTERVAL: Duration = Duration::from_millis(2);
+/// Default deadline floor (`--deadline-ms`): no in-flight chunk is killed
+/// as hung before running at least this long, however fast its peers are.
+pub const DEFAULT_DEADLINE_MS: u64 = 1000;
 
-/// Test/CI fault injection for the worker side, called by `mrw shard`
-/// before it starts its trials. When `MRW_FAULT_KILL_RANGE_START` equals
-/// the worker's trial-range start, the worker SIGKILLs itself mid-run —
-/// the same abrupt death as an OOM kill or preemption (no exit code, no
-/// output). With `MRW_FAULT_ONCE=<latch-path>` the fault fires only for
-/// the first worker to create the latch file, so the fanout retry
-/// recovers; without it every attempt dies, which is how the
-/// retry-exhaustion path is tested.
-pub fn fault_hook(range: &Range<usize>) {
-    let Ok(target) = std::env::var("MRW_FAULT_KILL_RANGE_START") else {
-        return;
-    };
-    if target != range.start.to_string() {
-        return;
-    }
-    if let Ok(latch) = std::env::var("MRW_FAULT_ONCE") {
-        let created = std::fs::OpenOptions::new()
+/// What the worker-side fault hook tells `mrw shard` to do after the
+/// side effects (killing, hanging, sleeping) have been applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No output-corrupting fault: emit the report normally.
+    Clean,
+    /// `MRW_FAULT_CORRUPT_RANGE_START` matched: the worker must emit
+    /// truncated JSON so the driver's output validation path is
+    /// exercised.
+    CorruptOutput,
+}
+
+/// Consumes the `MRW_FAULT_ONCE` latch if one is configured: returns
+/// whether the fault should fire. The latch file is created atomically
+/// (`create_new`), so exactly one worker across every attempt fires the
+/// fault and the fanout retry recovers; without the latch every attempt
+/// faults, which is how the retry-exhaustion paths are tested.
+fn fault_latch_open() -> bool {
+    match std::env::var("MRW_FAULT_ONCE") {
+        Err(_) => true,
+        Ok(latch) => std::fs::OpenOptions::new()
             .write(true)
             .create_new(true)
             .open(&latch)
-            .is_ok();
-        if !created {
-            return; // the fault already fired once — let the retry succeed
+            .is_ok(),
+    }
+}
+
+/// Whether a range-targeted fault variable names this worker's range.
+fn fault_targets(var: &str, range: &Range<usize>) -> bool {
+    std::env::var(var).is_ok_and(|v| v == range.start.to_string())
+}
+
+/// Test/CI fault injection for the worker side, called by `mrw shard`
+/// before it starts its trials. Each hook models one real failure class
+/// the dispatcher must survive:
+///
+/// * `MRW_FAULT_KILL_RANGE_START=<start>` — the worker SIGKILLs itself,
+///   the same abrupt death as an OOM kill or preemption (no exit code,
+///   no output).
+/// * `MRW_FAULT_HANG_RANGE_START=<start>` — the worker sleeps forever,
+///   like a wedged NFS mount or a livelocked host; only the driver's
+///   deadline policy can clear it.
+/// * `MRW_FAULT_CORRUPT_RANGE_START=<start>` — the worker emits
+///   truncated JSON (a torn write / full disk), which output validation
+///   must turn into a retryable fault.
+/// * `MRW_FAULT_SLOW_MS=<ms>` — the worker stalls that long before its
+///   trials (a straggler); untargeted, so with `MRW_FAULT_ONCE` exactly
+///   one chunk straggles while the pool steals the rest.
+///
+/// All four honor the `MRW_FAULT_ONCE=<latch-path>` latch (see
+/// [`fault_latch_open`]).
+pub fn fault_hook(range: &Range<usize>) -> FaultAction {
+    if let Ok(ms) = std::env::var("MRW_FAULT_SLOW_MS") {
+        if let Ok(ms) = ms.parse::<u64>() {
+            if fault_latch_open() {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
         }
     }
-    let _ = Command::new("kill")
-        .args(["-9", &std::process::id().to_string()])
-        .status();
-    // `kill` missing from the box: still die abruptly, without unwinding.
-    std::process::abort();
-}
-
-/// One unit of child work: a trial range, optionally restricted to the
-/// groups whose stopping rule has not fired yet.
-#[derive(Debug, Clone)]
-struct Task {
-    range: Range<usize>,
-    groups: Option<Vec<usize>>,
-    attempt: usize,
-}
-
-/// A spawned worker and where its report is being streamed.
-struct Worker {
-    task: Task,
-    child: Child,
-    out_path: PathBuf,
-}
-
-/// Scratch directory for the resolved spec and per-worker report files;
-/// removed (best effort) when the driver finishes, success or not.
-struct Scratch {
-    dir: PathBuf,
-}
-
-impl Scratch {
-    fn new() -> Result<Scratch, String> {
-        let dir = std::env::temp_dir().join(format!(
-            "mrw-fanout-{}-{:x}",
-            std::process::id(),
-            std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map_or(0, |d| d.as_nanos())
-        ));
-        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-        Ok(Scratch { dir })
+    if fault_targets("MRW_FAULT_KILL_RANGE_START", range) && fault_latch_open() {
+        let _ = Command::new("kill")
+            .args(["-9", &std::process::id().to_string()])
+            .status();
+        // `kill` missing from the box: still die abruptly, without
+        // unwinding.
+        std::process::abort();
     }
-
-    fn path(&self, name: &str) -> PathBuf {
-        self.dir.join(name)
+    if fault_targets("MRW_FAULT_HANG_RANGE_START", range) && fault_latch_open() {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
     }
+    if fault_targets("MRW_FAULT_CORRUPT_RANGE_START", range) && fault_latch_open() {
+        return FaultAction::CorruptOutput;
+    }
+    FaultAction::Clean
 }
 
-impl Drop for Scratch {
-    fn drop(&mut self) {
-        let _ = std::fs::remove_dir_all(&self.dir);
-    }
+/// A run stopped by retry exhaustion: what stopped it, what finished
+/// anyway (merged per wave window, ready for a [`Checkpoint`]), and the
+/// dispatched-but-incomplete trial ranges.
+struct Interrupted {
+    error: String,
+    waves: Vec<Report>,
+    missing: Vec<(u64, u64)>,
 }
 
-/// The worker pool: spawns up to `workers` concurrent `mrw shard`
-/// children and runs each [`Task`] through the failure/retry state
-/// machine.
-struct Pool<'a> {
-    exe: PathBuf,
-    spec_path: PathBuf,
-    scratch: &'a Scratch,
-    workers: usize,
-    retries: usize,
-    threads: Option<usize>,
-    next_file: usize,
-    /// Every failure observed, for the abort diagnostic.
+/// What a drive produced, plus the scheduler's bookkeeping for the
+/// summary line and the checkpoint's failure log.
+struct DriveResult {
+    outcome: Result<Report, Interrupted>,
     failures: Vec<String>,
-    /// Attempts beyond the first that eventually produced a report.
     retries_used: usize,
 }
 
-impl<'a> Pool<'a> {
-    fn new(
-        spec_path: PathBuf,
-        scratch: &'a Scratch,
-        workers: usize,
-        retries: usize,
-        threads: Option<usize>,
-    ) -> Result<Pool<'a>, String> {
-        let exe =
-            std::env::current_exe().map_err(|e| format!("cannot find the mrw binary: {e}"))?;
-        Ok(Pool {
-            exe,
-            spec_path,
-            scratch,
-            workers,
-            retries,
-            threads,
-            next_file: 0,
-            failures: Vec::new(),
-            retries_used: 0,
-        })
-    }
-
-    fn spawn(&mut self, task: Task) -> Result<Worker, String> {
-        let out_path = self
-            .scratch
-            .path(&format!("report-{}.json", self.next_file));
-        self.next_file += 1;
-        let out =
-            std::fs::File::create(&out_path).map_err(|e| format!("{}: {e}", out_path.display()))?;
-        let mut cmd = Command::new(&self.exe);
-        cmd.arg("shard")
-            .arg(&self.spec_path)
-            .arg("--range")
-            .arg(format!("{}..{}", task.range.start, task.range.end));
-        if let Some(groups) = &task.groups {
-            let csv: Vec<String> = groups.iter().map(|g| g.to_string()).collect();
-            cmd.arg("--groups").arg(csv.join(","));
-        }
-        if let Some(t) = self.threads {
-            cmd.arg("--threads").arg(t.to_string());
-        }
-        let child = cmd
-            .stdin(Stdio::null())
-            .stdout(Stdio::from(out))
-            .spawn()
-            .map_err(|e| format!("spawning worker for trials {:?}: {e}", task.range))?;
-        Ok(Worker {
-            task,
-            child,
-            out_path,
-        })
-    }
-
-    /// Handles one finished worker: either a validated [`Report`] or a
-    /// retryable failure description.
-    fn harvest(&mut self, worker: &mut Worker) -> Result<Report, String> {
-        let status = worker.child.wait().map_err(|e| format!("wait: {e}"))?;
-        if !status.success() {
-            return Err(format!(
-                "worker for trials {:?} died ({status}) on attempt {}",
-                worker.task.range,
-                worker.task.attempt + 1
-            ));
-        }
-        let text = std::fs::read_to_string(&worker.out_path)
-            .map_err(|e| format!("{}: {e}", worker.out_path.display()))?;
-        let report = Report::from_json(&text).map_err(|e| {
-            format!(
-                "worker for trials {:?} emitted a malformed report: {e}",
-                worker.task.range
-            )
-        })?;
-        let expected = [(worker.task.range.start as u64, worker.task.range.end as u64)];
-        if report.coverage.ranges() != expected {
-            return Err(format!(
-                "worker for trials {:?} reported coverage {:?}",
-                worker.task.range,
-                report.coverage.ranges()
-            ));
-        }
-        Ok(report)
-    }
-
-    /// Runs a batch of tasks to completion (all ranges reported, retries
-    /// included) and returns the reports in range order. On abort the
-    /// still-running workers are killed and reaped — no orphan processes
-    /// computing into a scratch directory that is about to vanish.
-    fn run_tasks(&mut self, tasks: Vec<Task>) -> Result<Vec<Report>, String> {
-        let mut running: Vec<Worker> = Vec::new();
-        let result = self.drive(tasks, &mut running);
-        if result.is_err() {
-            for mut worker in running {
-                let _ = worker.child.kill();
-                let _ = worker.child.wait();
-                let _ = std::fs::remove_file(&worker.out_path);
-            }
-        }
-        result
-    }
-
-    /// The pool loop behind [`run_tasks`](Pool::run_tasks), separated so
-    /// the caller can reap `running` on any error path.
-    fn drive(
-        &mut self,
-        tasks: Vec<Task>,
-        running: &mut Vec<Worker>,
-    ) -> Result<Vec<Report>, String> {
-        // The batch always covers one contiguous absolute span — the whole
-        // plan for a fixed budget, one wave for an adaptive one.
-        let span = (
-            tasks
-                .iter()
-                .map(|t| t.range.start as u64)
-                .min()
-                .unwrap_or(0),
-            tasks.iter().map(|t| t.range.end as u64).max().unwrap_or(0),
-        );
-        let mut queue: Vec<Task> = tasks.into_iter().rev().collect();
-        let mut done: Vec<Report> = Vec::new();
-        while !queue.is_empty() || !running.is_empty() {
-            while running.len() < self.workers {
-                let Some(task) = queue.pop() else { break };
-                match self.spawn(task.clone()) {
-                    Ok(worker) => running.push(worker),
-                    Err(e) => self.task_failed(task, e, &mut queue, &done, span)?,
-                }
-            }
-            let mut idx = 0;
-            while idx < running.len() {
-                let exited = match running[idx].child.try_wait() {
-                    Ok(status) => status.is_some(),
-                    Err(_) => true, // treat an unpollable child as dead
-                };
-                if !exited {
-                    idx += 1;
-                    continue;
-                }
-                let mut worker = running.swap_remove(idx);
-                match self.harvest(&mut worker) {
-                    Ok(report) => {
-                        self.retries_used += worker.task.attempt;
-                        let _ = std::fs::remove_file(&worker.out_path);
-                        done.push(report);
-                    }
-                    Err(e) => {
-                        let _ = std::fs::remove_file(&worker.out_path);
-                        self.task_failed(worker.task, e, &mut queue, &done, span)?;
-                    }
-                }
-            }
-            if !running.is_empty() {
-                std::thread::sleep(POLL_INTERVAL);
-            }
-        }
-        // Deterministic order for the merge fold (merge is commutative, so
-        // this is cosmetic — but it keeps logs stable).
-        done.sort_by_key(|r| r.coverage.ranges()[0]);
-        Ok(done)
-    }
-
-    /// Requeues a failed task or aborts the run once its retry budget is
-    /// exhausted, reporting the full failure log and the trial ranges of
-    /// this batch's `span` still missing. Ranges are absolute trial
-    /// indices (a wave's span starts mid-budget), so the gap walk is done
-    /// here rather than through `Coverage::missing`'s zero-based form.
-    fn task_failed(
-        &mut self,
-        task: Task,
-        error: String,
-        queue: &mut Vec<Task>,
-        done: &[Report],
-        span: (u64, u64),
-    ) -> Result<(), String> {
-        eprintln!("mrw fanout: {error}");
-        self.failures.push(error);
-        if task.attempt < self.retries {
-            queue.push(Task {
-                attempt: task.attempt + 1,
-                ..task
-            });
-            return Ok(());
-        }
-        let mut covered: Vec<(u64, u64)> = done
-            .iter()
-            .flat_map(|r| r.coverage.ranges().iter().copied())
-            .collect();
-        covered.sort_unstable();
-        let mut missing = Vec::new();
-        let mut cursor = span.0;
-        for (lo, hi) in covered {
-            if cursor < lo {
-                missing.push((cursor, lo));
-            }
-            cursor = cursor.max(hi);
-        }
-        if cursor < span.1 {
-            missing.push((cursor, span.1));
-        }
-        Err(format!(
-            "trials {:?} failed {} attempt(s); still missing {:?} of this batch; failures: [{}]",
-            task.range,
-            task.attempt + 1,
-            missing,
-            self.failures.join("; ")
-        ))
-    }
-}
-
-/// Merges a wave of same-structure shard reports (coverage-overlap
-/// rejection included — a double-submitted range is an error here, never
-/// a double count).
+/// Merges same-structure shard reports (coverage-overlap rejection
+/// included — a double-submitted range is an error here, never a double
+/// count).
 fn merge_all(reports: &[Report]) -> Result<Report, String> {
     let mut it = reports.iter();
     let first = it.next().ok_or("no shard reports to merge")?.clone();
     it.try_fold(first, |acc, r| Report::merge(&acc, r))
 }
 
-/// `mrw fanout spec.json --workers N [--shards S] [--retries R]`: run a
-/// spec across local worker processes and print the merged report —
-/// byte-identical to `mrw run spec.json` for fixed *and* adaptive
-/// budgets, even when workers die and are retried.
-pub fn run_fanout(opts: &Options) -> Result<(), String> {
-    let (spec, g) = crate::load_spec(opts)?;
+/// Cuts a contiguous gap into chunks of at most `chunk_len` trials.
+fn split_chunks(gap: Range<usize>, chunk_len: usize) -> Vec<Range<usize>> {
+    ShardPlan::split(gap.clone(), gap.len().div_ceil(chunk_len.max(1)))
+}
+
+/// The still-missing chunk ranges of one wave window, given whatever a
+/// checkpoint already covers of it.
+fn window_gaps(window: &Range<usize>, saved: Option<&Report>) -> Vec<Range<usize>> {
+    match saved {
+        None => vec![window.clone()],
+        Some(r) => r
+            .coverage
+            .missing_within(window.start as u64, window.end as u64)
+            .into_iter()
+            .map(|(lo, hi)| lo as usize..hi as usize)
+            .collect(),
+    }
+}
+
+/// Runs a spec across the worker pool, fresh (`saved` empty) or resumed
+/// from a checkpoint's per-wave partial reports. All scheduling goes
+/// through one [`Dispatcher`]; the fixed path is the one-window special
+/// case of the wave machinery.
+fn drive(
+    spec: &QuerySpec,
+    g: &AnyGraph,
+    saved: &[Report],
+    opts: &Options,
+) -> Result<DriveResult, String> {
     let workers = opts.workers.unwrap_or_else(mrw_par::available_threads);
     let retries = opts.retries.unwrap_or(DEFAULT_RETRIES);
     let cap = spec.budget.trials_budget().cap();
 
     let scratch = Scratch::new()?;
-    // The children must see the *resolved* budget (CLI overrides applied),
-    // so the driver ships its own spec file rather than the user's.
+    // The children must see the *resolved* spec (CLI overrides applied —
+    // or, on resume, the checkpoint's frozen spec), so the driver ships
+    // its own spec file rather than the user's.
     let spec_path = scratch.path("spec.json");
     std::fs::write(&spec_path, spec.to_json())
         .map_err(|e| format!("{}: {e}", spec_path.display()))?;
-    let mut pool = Pool::new(spec_path, &scratch, workers, retries, opts.threads)?;
+    let cfg = DispatchConfig {
+        workers,
+        retries,
+        threads: opts.threads,
+        deadline_floor: Duration::from_millis(opts.deadline_ms.unwrap_or(DEFAULT_DEADLINE_MS)),
+        jitter_seed: spec.budget.seed,
+    };
+    let mut pool = Dispatcher::new(spec_path, &scratch, cfg)?;
 
-    let merged = match spec.budget.precision {
+    let outcome = match spec.budget.precision {
+        None => drive_fixed(saved, opts, cap, workers, &mut pool)?,
+        Some(rule) => drive_adaptive(spec, g, saved, opts, cap, workers, rule, &mut pool)?,
+    };
+    Ok(DriveResult {
+        outcome,
+        failures: std::mem::take(&mut pool.failures),
+        retries_used: pool.retries_used,
+    })
+}
+
+/// The fixed-budget drive: one wave window `[0, cap)`, scatter the
+/// missing chunks, gather, merge.
+fn drive_fixed(
+    saved: &[Report],
+    opts: &Options,
+    cap: usize,
+    workers: usize,
+    pool: &mut Dispatcher,
+) -> Result<Result<Report, Interrupted>, String> {
+    let prior = match saved {
+        [] => None,
+        more => Some(merge_all(more)?),
+    };
+    let fresh = prior.is_none();
+    let gaps: Vec<Range<usize>> = match &prior {
+        None => std::iter::once(0..cap).collect(),
+        Some(r) => r
+            .coverage
+            .missing(cap as u64)
+            .into_iter()
+            .map(|(lo, hi)| lo as usize..hi as usize)
+            .collect(),
+    };
+    if gaps.is_empty() {
+        // A checkpoint that was already complete: nothing to dispatch.
+        return Ok(Ok(prior.expect("complete coverage implies a report")));
+    }
+    let chunks: Vec<Range<usize>> = if fresh && opts.chunk.is_none() {
+        // A fresh run plans like `--shards` always did (default: four
+        // chunks per worker, so idle workers have something to steal).
+        let shards = opts.fanout_shards.unwrap_or((workers * 4).min(cap)).max(1);
+        ShardPlan::new(cap, shards).ranges().collect()
+    } else {
+        let chunk_len = opts
+            .chunk
+            .unwrap_or_else(|| cap.div_ceil((workers * 4).min(cap).max(1)));
+        gaps.into_iter()
+            .flat_map(|gap| split_chunks(gap, chunk_len))
+            .collect()
+    };
+    for range in chunks {
+        pool.enqueue(Chunk::new(0, range, None));
+    }
+    let stopped = pool.run_until_wave_done(0).err();
+    let mut parts = pool.take_completed(0);
+    parts.extend(prior);
+    match stopped {
         None => {
-            let plan = ShardPlan::new(cap, opts.fanout_shards.unwrap_or(workers));
-            let tasks = plan
-                .ranges()
-                .map(|range| Task {
-                    range,
-                    groups: None,
-                    attempt: 0,
-                })
-                .collect();
-            let reports = pool.run_tasks(tasks)?;
-            let merged = merge_all(&reports)?;
+            let merged = merge_all(&parts)?;
             if !merged.is_complete() {
                 return Err(format!(
                     "merged report is incomplete: missing trial ranges {:?}",
                     merged.coverage.missing(cap as u64)
                 ));
             }
-            merged
+            Ok(Ok(merged))
         }
-        Some(rule) => {
-            // Driver-side replication of the in-process sequential loop:
-            // same wave boundaries, same rule, same prefix moments — so
-            // the assembled report is byte-identical to `mrw run`.
-            let mut consumed = 0usize;
-            let mut active: Option<Vec<usize>> = None; // None = all (first wave)
-            let mut labels: Vec<String> = Vec::new();
-            let mut acc: Vec<(u64, IntMoments, u64)> = Vec::new();
-            let mut finished: Vec<Option<Group>> = Vec::new();
-            loop {
-                // Retire groups whose rule fired at this boundary.
-                if let Some(ids) = &mut active {
-                    ids.retain(|&gi| {
-                        let (trials, moments, censored) = &acc[gi];
-                        if rule.satisfied_by(&moments.summary()) {
-                            finished[gi] = Some(Group {
-                                label: labels[gi].clone(),
-                                trials: *trials,
-                                moments: *moments,
-                                censored: *censored,
-                            });
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    if ids.is_empty() {
-                        break;
-                    }
-                }
-                let wave = rule.next_wave(consumed);
-                if wave == 0 {
-                    // Cap reached: whatever is still active stops here.
-                    let ids = active.unwrap_or_default();
-                    for gi in ids {
-                        let (trials, moments, censored) = acc[gi];
-                        finished[gi] = Some(Group {
-                            label: labels[gi].clone(),
-                            trials,
-                            moments,
-                            censored,
-                        });
-                    }
-                    break;
-                }
-                let range = consumed..consumed + wave;
-                let tasks = ShardPlan::split(range, workers)
-                    .into_iter()
-                    .map(|range| Task {
-                        range,
-                        groups: active.clone(),
-                        attempt: 0,
-                    })
-                    .collect();
-                let reports = pool.run_tasks(tasks)?;
-                let wave_report = merge_all(&reports)?;
-                if active.is_none() {
-                    // First wave: learn the group structure.
-                    labels = wave_report.groups.iter().map(|g| g.label.clone()).collect();
-                    acc = vec![(0, IntMoments::new(), 0); labels.len()];
-                    finished = vec![None; labels.len()];
-                    active = Some((0..labels.len()).collect());
-                }
-                for &gi in active.as_ref().expect("initialized above") {
-                    let group = &wave_report.groups[gi];
-                    acc[gi].0 += group.trials;
-                    acc[gi].1.merge(&group.moments);
-                    acc[gi].2 += group.censored;
-                }
-                consumed += wave;
-            }
-            Report {
-                graph: mrw_core::query::GraphInfo {
-                    name: g.name().to_string(),
-                    n: g.n(),
-                },
-                query: spec.query.clone(),
-                budget: spec.budget.clone(),
-                coverage: Coverage::full(cap as u64),
-                groups: finished
-                    .into_iter()
-                    .map(|g| g.expect("every group finalized"))
-                    .collect(),
-            }
-        }
-    };
+        Some(error) => Ok(Err(Interrupted {
+            error,
+            waves: if parts.is_empty() {
+                Vec::new()
+            } else {
+                vec![merge_all(&parts)?]
+            },
+            missing: pool.missing_ranges(),
+        })),
+    }
+}
 
+/// The adaptive drive: replays the sequential stopping rule wave by wave
+/// across the pool, pipelining the (purely schedulable) next wave behind
+/// the current one. See the module docs for why the optimistic
+/// active-set superset preserves byte-identity.
+#[allow(clippy::too_many_arguments)]
+fn drive_adaptive(
+    spec: &QuerySpec,
+    g: &AnyGraph,
+    saved: &[Report],
+    opts: &Options,
+    cap: usize,
+    workers: usize,
+    rule: Precision,
+    pool: &mut Dispatcher,
+) -> Result<Result<Report, Interrupted>, String> {
+    // The wave schedule is a pure function of the consumed count — no
+    // sample data needed — which is what makes both pipelining and
+    // checkpoint replay possible.
+    let mut windows: Vec<Range<usize>> = Vec::new();
+    let mut consumed = 0usize;
+    loop {
+        let wave = rule.next_wave(consumed);
+        if wave == 0 {
+            break;
+        }
+        windows.push(consumed..consumed + wave);
+        consumed += wave;
+    }
+
+    // Slot each checkpointed partial into its wave window.
+    let mut saved_by: Vec<Option<Report>> = vec![None; windows.len()];
+    for report in saved {
+        let start = report.coverage.ranges()[0].0 as usize;
+        let w = windows
+            .iter()
+            .position(|win| win.start <= start && start < win.end)
+            .ok_or_else(|| {
+                format!("checkpoint wave at trial {start} is outside the spec's wave schedule")
+            })?;
+        let (lo, hi) = (windows[w].start as u64, windows[w].end as u64);
+        if report
+            .coverage
+            .ranges()
+            .iter()
+            .any(|&(a, b)| a < lo || b > hi)
+        {
+            return Err(format!(
+                "checkpoint wave covering {:?} crosses the wave boundary at trial {hi}",
+                report.coverage.ranges()
+            ));
+        }
+        saved_by[w] = Some(match saved_by[w].take() {
+            None => report.clone(),
+            Some(prev) => Report::merge(&prev, report)?,
+        });
+    }
+
+    let enqueue_window =
+        |pool: &mut Dispatcher, w: usize, groups: &Option<Vec<usize>>, saved: Option<&Report>| {
+            let window = &windows[w];
+            for gap in window_gaps(window, saved) {
+                let chunks = if opts.chunk.is_none() && gap == *window {
+                    // A full fresh window splits exactly like the
+                    // in-process wave fan-out (and PR 5's driver).
+                    ShardPlan::split(gap, workers)
+                } else {
+                    let chunk_len = opts
+                        .chunk
+                        .unwrap_or_else(|| window.len().div_ceil(workers.min(window.len()).max(1)));
+                    split_chunks(gap, chunk_len)
+                };
+                for range in chunks {
+                    pool.enqueue(Chunk::new(w, range, groups.clone()));
+                }
+            }
+        };
+
+    // Prime the pipeline: the first two windows, unrestricted (the group
+    // structure is unknown until wave 0 reports; "all groups" is the
+    // superset of every later active set).
+    for (w, saved) in saved_by.iter().enumerate().take(2) {
+        enqueue_window(pool, w, &None, saved.as_ref());
+    }
+
+    // Driver-side replication of the in-process sequential loop: same
+    // wave boundaries, same rule, same prefix moments.
+    let mut active: Option<Vec<usize>> = None; // None = structure unknown
+    let mut labels: Vec<String> = Vec::new();
+    let mut acc: Vec<(u64, IntMoments, u64)> = Vec::new();
+    let mut finished: Vec<Option<Group>> = Vec::new();
+    let mut folded: Vec<Report> = Vec::new(); // complete waves, for checkpoints
+    let mut w = 0;
+    while w < windows.len() {
+        if let Err(error) = pool.run_until_wave_done(w) {
+            let mut waves = folded;
+            for (later, saved) in saved_by.iter_mut().enumerate().skip(w) {
+                let mut parts = pool.take_completed(later);
+                parts.extend(saved.take());
+                if !parts.is_empty() {
+                    waves.push(merge_all(&parts)?);
+                }
+            }
+            return Ok(Err(Interrupted {
+                error,
+                waves,
+                missing: pool.missing_ranges(),
+            }));
+        }
+        let mut parts = pool.take_completed(w);
+        parts.extend(saved_by[w].take());
+        let wave_report = merge_all(&parts)?;
+        debug_assert_eq!(
+            wave_report.coverage.ranges(),
+            [(windows[w].start as u64, windows[w].end as u64)],
+            "a completed wave must cover its whole window"
+        );
+        if active.is_none() {
+            // First wave: learn the group structure.
+            labels = wave_report.groups.iter().map(|g| g.label.clone()).collect();
+            acc = vec![(0, IntMoments::new(), 0); labels.len()];
+            finished = vec![None; labels.len()];
+            active = Some((0..labels.len()).collect());
+        }
+        let ids = active.as_mut().expect("initialized above");
+        for &gi in ids.iter() {
+            let group = &wave_report.groups[gi];
+            acc[gi].0 += group.trials;
+            acc[gi].1.merge(&group.moments);
+            acc[gi].2 += group.censored;
+        }
+        folded.push(wave_report);
+        // Retire groups whose rule fired at this boundary.
+        ids.retain(|&gi| {
+            let (trials, moments, censored) = &acc[gi];
+            if rule.satisfied_by(&moments.summary()) {
+                finished[gi] = Some(Group {
+                    label: labels[gi].clone(),
+                    trials: *trials,
+                    moments: *moments,
+                    censored: *censored,
+                });
+                false
+            } else {
+                true
+            }
+        });
+        if ids.is_empty() {
+            break;
+        }
+        // Window w+1 is already in flight under the previous (superset)
+        // active set; pipeline w+2 under the set we just refined.
+        if w + 2 < windows.len() {
+            let groups = Some(ids.clone());
+            enqueue_window(pool, w + 2, &groups, saved_by[w + 2].as_ref());
+        }
+        w += 1;
+    }
+    // Cancel whatever the pipeline ran ahead on (the rule retired every
+    // group, or the cap cut the schedule), then finalize: groups still
+    // active at the cap stop with their accumulated prefix.
+    pool.abort_in_flight();
+    if let Some(ids) = active {
+        for gi in ids {
+            let (trials, moments, censored) = acc[gi];
+            finished[gi] = Some(Group {
+                label: labels[gi].clone(),
+                trials,
+                moments,
+                censored,
+            });
+        }
+    }
+    Ok(Ok(Report {
+        graph: GraphInfo {
+            name: g.name().to_string(),
+            n: g.n(),
+        },
+        query: spec.query.clone(),
+        budget: spec.budget.clone(),
+        coverage: Coverage::full(cap as u64),
+        groups: finished
+            .into_iter()
+            .map(|g| g.expect("every group finalized"))
+            .collect(),
+    }))
+}
+
+/// Prints a completed merged report exactly like `mrw run` would, plus
+/// the fanout summary line on stderr.
+fn emit_complete(merged: &Report, opts: &Options, workers: usize, retries_used: usize) {
     eprintln!(
         "mrw fanout: {} trials across {} worker(s), {} retr{} used",
         merged.consumed_trials(),
         workers,
-        pool.retries_used,
-        if pool.retries_used == 1 { "y" } else { "ies" }
+        retries_used,
+        if retries_used == 1 { "y" } else { "ies" }
     );
     if opts.json {
         print!("{}", merged.to_json());
-        return Ok(());
+        return;
     }
-    crate::print_table(&crate::report_table(&merged), opts.format);
+    crate::print_table(&crate::report_table(merged), opts.format);
     if let Some(certified) = merged.certified() {
         println!(
             "precision rule {} on every group ({} trials total)",
@@ -516,5 +507,149 @@ pub fn run_fanout(opts: &Options) -> Result<(), String> {
             merged.consumed_trials()
         );
     }
-    Ok(())
+}
+
+/// Shared tail of `mrw fanout` and `mrw resume`: emit the completed
+/// report, or checkpoint the partial progress and either abort with the
+/// resume instructions or (`--partial-ok`) emit the merged partial.
+fn conclude(
+    spec: QuerySpec,
+    result: DriveResult,
+    opts: &Options,
+    prior_failures: Vec<String>,
+    reuse_checkpoint: Option<String>,
+) -> Result<(), String> {
+    let workers = opts.workers.unwrap_or_else(mrw_par::available_threads);
+    let interrupted = match result.outcome {
+        Ok(merged) => {
+            emit_complete(&merged, opts, workers, result.retries_used);
+            return Ok(());
+        }
+        Err(interrupted) => interrupted,
+    };
+    let mut failures = prior_failures;
+    failures.extend(result.failures);
+    let checkpoint = Checkpoint {
+        spec,
+        failures,
+        waves: interrupted.waves,
+    };
+    // Precedence: --checkpoint, then the checkpoint file being resumed
+    // (progress folds back into it), then a spec-hash-derived temp path.
+    let path = opts
+        .checkpoint
+        .clone()
+        .or(reuse_checkpoint)
+        .unwrap_or_else(|| {
+            std::env::temp_dir()
+                .join(format!("mrw-checkpoint-{}.json", checkpoint.spec_hash()))
+                .display()
+                .to_string()
+        });
+    std::fs::write(&path, checkpoint.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    if opts.partial_ok {
+        eprintln!(
+            "mrw fanout: {}; still missing {:?}; emitting the merged partial report \
+             ({} of {} trials); checkpointed to {path} — finish with: mrw resume {path}",
+            interrupted.error,
+            interrupted.missing,
+            checkpoint.covered_trials(),
+            spec_trial_space(&checkpoint),
+            path = path
+        );
+        if checkpoint.waves.is_empty() {
+            return Err(format!(
+                "{}; no chunk completed, so there is no partial report to emit \
+                 (checkpoint still written to {path})",
+                interrupted.error
+            ));
+        }
+        let partial = merge_all(&checkpoint.waves)?;
+        if opts.json {
+            print!("{}", partial.to_json());
+        } else {
+            crate::print_table(&crate::report_table(&partial), opts.format);
+        }
+        Ok(())
+    } else {
+        Err(format!(
+            "{}; still missing {:?}; partial progress checkpointed to {path} — \
+             finish with: mrw resume {path} (or pass --partial-ok to accept the \
+             partial report); failures: [{}]",
+            interrupted.error,
+            interrupted.missing,
+            checkpoint.failures.join("; "),
+            path = path
+        ))
+    }
+}
+
+/// The trial-index space of a checkpoint's spec.
+fn spec_trial_space(checkpoint: &Checkpoint) -> u64 {
+    checkpoint.spec.budget.trials_budget().cap() as u64
+}
+
+/// `mrw fanout spec.json --workers N [--shards S | --chunk C] [--retries
+/// R] [--deadline-ms D] [--partial-ok] [--checkpoint PATH]`: run a spec
+/// across local worker processes and print the merged report —
+/// byte-identical to `mrw run spec.json` for fixed *and* adaptive
+/// budgets, even when workers die, hang, straggle, or corrupt their
+/// output and are retried.
+pub fn run_fanout(opts: &Options) -> Result<(), String> {
+    let (spec, g) = crate::load_spec(opts)?;
+    let result = drive(&spec, &g, &[], opts)?;
+    conclude(spec, result, opts, Vec::new(), None)
+}
+
+/// `mrw resume checkpoint.json`: finish an interrupted fanout from its
+/// checkpoint, dispatching only the still-missing trial ranges. The
+/// output completes byte-identically to an unfailed `mrw run` of the
+/// same spec. Execution knobs (`--workers`, `--retries`, `--threads`,
+/// `--deadline-ms`, `--chunk`, `--json`) apply; budget overrides are
+/// rejected because byte-identity requires the checkpointed spec
+/// unchanged.
+pub fn run_resume(opts: &Options) -> Result<(), String> {
+    let path = match opts.files.as_slice() {
+        [path] => path.clone(),
+        [] => return Err("mrw resume needs a checkpoint file".into()),
+        more => {
+            return Err(format!(
+                "mrw resume takes exactly one checkpoint file (got {})",
+                more.len()
+            ))
+        }
+    };
+    if opts.trials.is_some()
+        || opts.seed.is_some()
+        || opts.batch.is_some()
+        || opts.backend.is_some()
+        || opts.precision_rule()?.is_some()
+    {
+        return Err(
+            "mrw resume cannot override the checkpointed spec (budget/backend flags \
+             would change what byte-identical completion means); only execution \
+             knobs like --workers/--retries/--threads/--deadline-ms/--chunk apply"
+                .into(),
+        );
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let checkpoint = Checkpoint::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let g = checkpoint
+        .spec
+        .graph
+        .resolve()
+        .map_err(|e| format!("{path}: {e}"))?;
+    checkpoint
+        .spec
+        .query
+        .validate(&g)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let result = drive(&checkpoint.spec, &g, &checkpoint.waves, opts)?;
+    conclude(
+        checkpoint.spec,
+        result,
+        opts,
+        checkpoint.failures,
+        Some(path),
+    )
 }

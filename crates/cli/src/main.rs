@@ -63,6 +63,7 @@ use mrw_core::{AnyGraph, GraphSpec, Query, QuerySpec, Report, Session};
 use mrw_graph::GraphBackend;
 
 mod args;
+mod dispatch;
 mod fanout;
 
 use args::{Format, Options};
@@ -719,13 +720,24 @@ fn run_shard(opts: &Options) -> Result<(), String> {
     }
     let (spec, g) = load_spec(opts)?;
     let range = resolve_range(opts, &spec)?;
-    fanout::fault_hook(&range);
+    let fault = fanout::fault_hook(&range);
     let mut session = Session::new(spec.budget.clone()).with_range(range);
     if let Some(groups) = &opts.groups {
         session = session.with_groups(groups.clone());
     }
     let report = session.run(&g, &spec.query);
-    print!("{}", report.to_json());
+    let json = report.to_json();
+    if fault == fanout::FaultAction::CorruptOutput {
+        // Emit a torn write: truncate at a char boundary around the
+        // midpoint, so the driver's parse validation sees garbage.
+        let mut cut = json.len() / 2;
+        while cut > 0 && !json.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        print!("{}", &json[..cut]);
+        return Ok(());
+    }
+    print!("{json}");
     Ok(())
 }
 
@@ -799,7 +811,8 @@ fn main() -> ExitCode {
     let command = opts.command.as_str();
     // Only the file-taking verbs accept positional arguments; anywhere
     // else a stray token is almost certainly a typo'd flag value.
-    if !matches!(command, "run" | "shard" | "merge" | "fanout") && !opts.files.is_empty() {
+    if !matches!(command, "run" | "shard" | "merge" | "fanout" | "resume") && !opts.files.is_empty()
+    {
         eprintln!(
             "error: unexpected argument '{}' for '{command}'\n",
             opts.files[0]
@@ -808,12 +821,13 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     match command {
-        "estimate" | "run" | "shard" | "merge" | "fanout" => {
+        "estimate" | "run" | "shard" | "merge" | "fanout" | "resume" => {
             let result = match command {
                 "estimate" => run_estimate(&opts),
                 "run" => run_spec(&opts),
                 "shard" => run_shard(&opts),
                 "fanout" => fanout::run_fanout(&opts),
+                "resume" => fanout::run_resume(&opts),
                 _ => run_merge(&opts),
             };
             if let Err(e) = result {

@@ -42,9 +42,14 @@ impl Drop for TempDir {
 
 fn mrw() -> Command {
     let mut cmd = Command::cargo_bin("mrw").expect("mrw binary built for integration tests");
-    // Never inherit fault hooks from an outer environment.
+    // Never inherit fault hooks (or a scratch override) from an outer
+    // environment.
     cmd.env_remove("MRW_FAULT_KILL_RANGE_START")
-        .env_remove("MRW_FAULT_ONCE");
+        .env_remove("MRW_FAULT_HANG_RANGE_START")
+        .env_remove("MRW_FAULT_CORRUPT_RANGE_START")
+        .env_remove("MRW_FAULT_SLOW_MS")
+        .env_remove("MRW_FAULT_ONCE")
+        .env_remove("MRW_TMPDIR");
     cmd
 }
 
@@ -75,7 +80,7 @@ fn oracle(spec: &Path) -> String {
 fn help_lists_every_verb_and_unknown_verbs_fail() {
     let assert = mrw().arg("help").assert().success();
     let usage = String::from_utf8(assert.get_output().stdout.clone()).unwrap();
-    for verb in ["estimate", "run ", "shard ", "merge ", "fanout "] {
+    for verb in ["estimate", "run ", "shard ", "merge ", "fanout ", "resume "] {
         assert!(usage.contains(verb), "usage is missing '{verb}'");
     }
     mrw()
@@ -360,4 +365,255 @@ fn fanout_human_output_certifies_adaptive_runs() {
         .assert()
         .success()
         .stdout(contains("precision rule satisfied"));
+}
+
+// ---------------------------------------------------------------------------
+// The fault matrix: hang, corrupt, straggle, exhaust → checkpoint → resume.
+
+#[test]
+fn fanout_deadline_kills_a_hung_worker_and_recovers_byte_identically() {
+    let tmp = TempDir::new("fanhang");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    let latch = tmp.path("latch");
+    // The worker owning trials [0, 12) sleeps forever, once. Only the
+    // deadline policy can clear it: the driver learns the EWMA chunk
+    // latency from its healthy peers, SIGKILLs the hung child past the
+    // deadline, and the requeued range completes on retry.
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "4",
+            "--deadline-ms",
+            "500",
+            "--json",
+        ])
+        .env("MRW_FAULT_HANG_RANGE_START", "0")
+        .env("MRW_FAULT_ONCE", &latch)
+        .assert()
+        .success()
+        .stdout(reference)
+        .stderr(contains("deadline"))
+        .stderr(contains("1 retry used"));
+    assert!(latch.exists(), "the hang hook never fired");
+}
+
+#[test]
+fn fanout_retries_corrupt_worker_output_byte_identically() {
+    let tmp = TempDir::new("fancorrupt");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    let latch = tmp.path("latch");
+    // The worker owning trials [0, 12) emits truncated JSON, once — a
+    // torn write. Output validation must turn that into a retry, never
+    // into merging garbage.
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "4", "--json"])
+        .env("MRW_FAULT_CORRUPT_RANGE_START", "0")
+        .env("MRW_FAULT_ONCE", &latch)
+        .assert()
+        .success()
+        .stdout(reference)
+        .stderr(contains("malformed report"))
+        .stderr(contains("1 retry used"));
+    assert!(latch.exists(), "the corrupt hook never fired");
+}
+
+#[test]
+fn fanout_steals_around_a_straggler_without_retries() {
+    let tmp = TempDir::new("fanslow");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    let latch = tmp.path("latch");
+    // One chunk (whichever wins the latch) stalls well under the
+    // deadline; the idle workers steal the remaining chunks and the
+    // merged output is unchanged, with no retry spent.
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "4", "--json"])
+        .env("MRW_FAULT_SLOW_MS", "300")
+        .env("MRW_FAULT_ONCE", &latch)
+        .assert()
+        .success()
+        .stdout(reference)
+        .stderr(contains("0 retries used"));
+}
+
+#[test]
+fn fanout_cleans_its_scratch_dir_on_success_and_on_abort() {
+    let tmp = TempDir::new("fanscratch");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let scratch_root = tmp.path("scratch");
+    std::fs::create_dir_all(&scratch_root).unwrap();
+    mrw()
+        .args(["fanout", spec.to_str().unwrap(), "--workers", "2", "--json"])
+        .env("MRW_TMPDIR", &scratch_root)
+        .assert()
+        .success();
+    let leftover: Vec<_> = std::fs::read_dir(&scratch_root).unwrap().collect();
+    assert!(leftover.is_empty(), "scratch leaked: {leftover:?}");
+    // The abort path (retry exhaustion) must clean up too.
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--checkpoint",
+            tmp.path("scratch-ck.json").to_str().unwrap(),
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "0")
+        .env("MRW_TMPDIR", &scratch_root)
+        .assert()
+        .failure();
+    let leftover: Vec<_> = std::fs::read_dir(&scratch_root).unwrap().collect();
+    assert!(leftover.is_empty(), "abort leaked scratch: {leftover:?}");
+}
+
+#[test]
+fn fanout_abort_names_the_checkpoint_and_the_resume_command() {
+    let tmp = TempDir::new("fanabortmsg");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let ck = tmp.path("ck.json");
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "84")
+        .assert()
+        .failure()
+        // The exact list may also include a chunk that was in flight
+        // when the abort hit (it is killed and re-counted as missing).
+        .stderr(contains("still missing [("))
+        .stderr(contains(format!("mrw resume {}", ck.display())))
+        .stderr(contains("--partial-ok"));
+    assert!(ck.exists(), "abort must leave a checkpoint behind");
+}
+
+#[test]
+fn fixed_partial_checkpoint_resumes_byte_identically_to_run() {
+    let tmp = TempDir::new("fanresume");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let reference = oracle(&spec);
+    let ck = tmp.path("ck.json");
+    // Trials [84, 96) die on every attempt with no retry budget; with
+    // --partial-ok the driver exits 0, emits the merged partial report,
+    // and checkpoints. (Killing the *last* chunk guarantees completed
+    // waves exist, so there is a partial report to print.)
+    let assert = mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--partial-ok",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "84")
+        .assert()
+        .success()
+        .stderr(contains("still missing [("));
+    let partial = String::from_utf8(assert.get_output().stdout.clone()).unwrap();
+    assert_ne!(partial, reference, "the partial report must be partial");
+    assert!(
+        partial.contains("\"coverage\""),
+        "partial coverage must be explicit: {partial}"
+    );
+    // Resuming (fault hooks gone) dispatches only [84, 96) and completes
+    // byte-identically to the unfailed run.
+    mrw()
+        .args(["resume", ck.to_str().unwrap(), "--json"])
+        .assert()
+        .success()
+        .stdout(reference);
+}
+
+#[test]
+fn adaptive_partial_checkpoint_resumes_byte_identically_to_run() {
+    let tmp = TempDir::new("fanresumeadaptive");
+    let spec = tmp.file("spec.json", ADAPTIVE_SPEC);
+    let reference = oracle(&spec);
+    let ck = tmp.path("ck.json");
+    // Wave 2 (absolute trials [16, 24)) dies persistently; wave 1 is
+    // already folded, so the checkpoint carries completed wave state that
+    // resume must stitch to the re-run gap without double-counting.
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "1",
+            "--partial-ok",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "16")
+        .assert()
+        .success()
+        .stderr(contains("still missing"));
+    mrw()
+        .args(["resume", ck.to_str().unwrap(), "--json"])
+        .assert()
+        .success()
+        .stdout(reference);
+}
+
+#[test]
+fn resume_rejects_budget_overrides_and_tampered_checkpoints() {
+    let tmp = TempDir::new("fanresumeguard");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let ck = tmp.path("ck.json");
+    mrw()
+        .args([
+            "fanout",
+            spec.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "0",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            "--json",
+        ])
+        .env("MRW_FAULT_KILL_RANGE_START", "84")
+        .assert()
+        .failure();
+    // Budget overrides would change what byte-identical completion means.
+    mrw()
+        .args(["resume", ck.to_str().unwrap(), "--trials", "10"])
+        .assert()
+        .failure()
+        .stderr(contains("cannot override"));
+    mrw()
+        .args(["resume", ck.to_str().unwrap(), "--seed", "1"])
+        .assert()
+        .failure()
+        .stderr(contains("cannot override"));
+    // A hand-edited spec is caught by the fingerprint.
+    let text = std::fs::read_to_string(&ck).unwrap();
+    let tampered = tmp.file("tampered.json", &text.replace("\"seed\": 7", "\"seed\": 8"));
+    mrw()
+        .args(["resume", tampered.to_str().unwrap()])
+        .assert()
+        .failure()
+        .stderr(contains("spec_hash mismatch"));
 }

@@ -65,7 +65,10 @@
 //! assert_eq!(merged.to_json(), whole.to_json()); // byte-identical
 //! ```
 
+pub mod checkpoint;
 pub mod json;
+
+pub use checkpoint::{spec_hash, Checkpoint};
 
 use std::ops::Range;
 
@@ -996,6 +999,36 @@ impl Coverage {
         gaps
     }
 
+    /// The complement restricted to an arbitrary `[lo, hi)` window: which
+    /// sub-ranges of the window this coverage does not contain. This is
+    /// the wave-relative form of [`missing`](Coverage::missing) — the
+    /// resumable fanout driver replans an interrupted adaptive wave by
+    /// asking a checkpointed wave report which slices of the wave's
+    /// window still have to run.
+    pub fn missing_within(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut gaps = Vec::new();
+        let mut cursor = lo;
+        for &(a, b) in &self.0 {
+            if b <= cursor {
+                continue;
+            }
+            if a >= hi {
+                break;
+            }
+            if cursor < a {
+                gaps.push((cursor, a.min(hi)));
+            }
+            cursor = cursor.max(b);
+            if cursor >= hi {
+                return gaps;
+            }
+        }
+        if cursor < hi {
+            gaps.push((cursor, hi));
+        }
+        gaps
+    }
+
     /// The disjoint union of two coverages (coalescing adjacent ranges).
     /// Fails if any trial index is covered by both — the double-counting
     /// guard behind [`Report::merge`].
@@ -1149,7 +1182,7 @@ impl Report {
         self.to_value().render()
     }
 
-    fn to_value(&self) -> Value {
+    pub(crate) fn to_value(&self) -> Value {
         let mut fields = vec![
             ("schema", Value::str("mrw-report-v1")),
             (
@@ -1212,7 +1245,10 @@ impl Report {
     /// `half_width`, `certified`) are ignored and recomputed from the
     /// exact statistics.
     pub fn from_json(text: &str) -> Result<Report, String> {
-        let v = json::parse(text)?;
+        Report::from_value(&json::parse(text)?)
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<Report, String> {
         if v.req("schema")?.as_str() != Some("mrw-report-v1") {
             return Err("unknown schema (expected mrw-report-v1)".into());
         }
@@ -1323,6 +1359,10 @@ impl QuerySpec {
     /// appear only when non-default, so every pre-backend spec file keeps
     /// its exact historical bytes.
     pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    pub(crate) fn to_value(&self) -> Value {
         let mut graph = vec![
             ("family", Value::str(&self.graph.family)),
             ("n", Value::num(self.graph.n)),
@@ -1341,13 +1381,15 @@ impl QuerySpec {
             ("query", query_to_value(&self.query)),
             ("budget", budget_to_value(&self.budget)),
         ])
-        .render()
     }
 
     /// Parses a spec file. The `budget` object (and any of its fields)
     /// may be omitted; [`Budget::default`] fills the gaps.
     pub fn from_json(text: &str) -> Result<QuerySpec, String> {
-        let v = json::parse(text)?;
+        QuerySpec::from_value(&json::parse(text)?)
+    }
+
+    pub(crate) fn from_value(v: &Value) -> Result<QuerySpec, String> {
         let graph = v.req("graph")?;
         let graph = GraphSpec {
             family: graph
@@ -2372,6 +2414,26 @@ mod tests {
         let edge = Coverage::from_ranges(vec![(0, 20)], total).unwrap();
         assert!(edge.is_full(total));
         assert!(edge.missing(total).is_empty());
+    }
+
+    #[test]
+    fn coverage_missing_within_restricts_to_the_window() {
+        let c = Coverage::from_ranges(vec![(2, 5), (9, 12), (14, 16)], 20).unwrap();
+        // Window == whole space agrees with `missing`.
+        assert_eq!(c.missing_within(0, 20), c.missing(20));
+        // Window cut mid-range on both sides.
+        assert_eq!(c.missing_within(3, 15), vec![(5, 9), (12, 14)]);
+        // Window entirely inside one covered range: nothing missing.
+        assert_eq!(c.missing_within(9, 12), Vec::<(u64, u64)>::new());
+        assert_eq!(c.missing_within(10, 11), Vec::<(u64, u64)>::new());
+        // Window entirely inside a gap: everything missing.
+        assert_eq!(c.missing_within(6, 8), vec![(6, 8)]);
+        // Window past every covered range.
+        assert_eq!(c.missing_within(16, 20), vec![(16, 20)]);
+        // Empty window.
+        assert_eq!(c.missing_within(7, 7), Vec::<(u64, u64)>::new());
+        // Coverage that ends exactly at the window start is skipped.
+        assert_eq!(c.missing_within(5, 9), vec![(5, 9)]);
     }
 
     #[test]

@@ -71,6 +71,59 @@ proptest! {
         prop_assert_eq!(&backward, &whole);
     }
 
+    /// The work-stealing dispatcher's headline guarantee, pinned at the
+    /// protocol layer: determinism comes from `Report::merge`'s coverage
+    /// accounting, never from chunk *assignment*. Any randomized cut of
+    /// the trial space into chunks, merged in any randomized order
+    /// (as if chunks were stolen and completed in arbitrary interleaving,
+    /// including after retries), reproduces the whole run byte for byte.
+    #[test]
+    fn any_randomized_chunk_schedule_reproduces_the_whole_run(
+        n in 8usize..28,
+        k in 1usize..4,
+        trials in 8usize..48,
+        seed in 0u64..500,
+        raw_cuts in prop::collection::vec(0usize..1_000, 0..6),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let (g, q, budget) = cover_setup(n, k, trials, seed);
+        let whole = Session::new(budget.clone()).run(&g, &q);
+        // Random cut points -> a sorted, deduped chunk partition.
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| 1 + c % trials.max(2)).collect();
+        cuts.push(0);
+        cuts.push(trials);
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut chunks: Vec<Report> = cuts
+            .windows(2)
+            .filter(|w| w[0] < w[1])
+            .map(|w| {
+                Session::new(budget.clone())
+                    .with_range(w[0]..w[1])
+                    .run(&g, &q)
+            })
+            .collect();
+        // A seeded Fisher–Yates shuffle stands in for the arbitrary
+        // completion order of a stealing pool.
+        let mut state = shuffle_seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..chunks.len()).rev() {
+            chunks.swap(i, (next() % (i as u64 + 1)) as usize);
+        }
+        let mut merged = chunks[0].clone();
+        for c in &chunks[1..] {
+            merged = Report::merge(&merged, c).unwrap();
+        }
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.to_json(), whole.to_json());
+    }
+
     /// Merging is independent of the merge *tree*: (a ⊕ b) ⊕ c equals
     /// a ⊕ (b ⊕ c) exactly, for shards produced under different thread
     /// counts (thread count must not leak into the statistics).
