@@ -45,6 +45,14 @@ experiments:
                   finish an interrupted fanout from its checkpoint,
                   dispatching only the still-missing trial ranges -
                   completes byte-identically to an unfailed mrw run
+  serve --listen ADDR
+                  resident estimate daemon with an incremental report
+                  cache: repeated, extending, and precision-upgrading
+                  queries run only the missing trial ranges, and every
+                  response is byte-identical to a cold mrw run
+  serve-ctl <run SPEC.json | stats | ping | shutdown> --connect ADDR
+                  line client for mrw serve; 'run' prints exactly the
+                  bytes 'mrw run SPEC.json --json' would print
   all             run everything
 
 options:
@@ -85,6 +93,17 @@ fanout / resume (multi-process scale-out):
   --checkpoint P  where to write the resume checkpoint on failure
                   (default: mrw-checkpoint-<spec-hash>.json in the
                   temp dir; resume reuses its input file)
+
+serve / serve-ctl (resident estimate service):
+  --listen ADDR   where the daemon listens: host:port (TCP; port 0
+                  picks a free port, reported on the ready line) or a
+                  unix socket path (anything without a ':')
+  --connect ADDR  the daemon address serve-ctl talks to (same forms)
+  --cache-bytes B report-cache bound in bytes; least-recently-used
+                  entries are evicted past it (default 64 MiB) - an
+                  evicted entry recomputes, never changes bytes
+  --graph-cache-bytes B
+                  resident-graph cache bound in bytes (default 256 MiB)
 
 hunting options:
   --prey P        the moving prey's strategy: stationary | uniform
@@ -192,6 +211,15 @@ pub struct Options {
     pub partial_ok: bool,
     /// `--checkpoint PATH`: where fanout writes its resume checkpoint.
     pub checkpoint: Option<String>,
+    /// `--listen ADDR` (the `serve` verb's bind address: `host:port`
+    /// for TCP, a filesystem path for a Unix socket).
+    pub listen: Option<String>,
+    /// `--connect ADDR` (the `serve-ctl` verb's daemon address).
+    pub connect: Option<String>,
+    /// `--cache-bytes B`: the serve report-cache LRU bound.
+    pub cache_bytes: Option<u64>,
+    /// `--graph-cache-bytes B`: the serve graph-cache LRU bound.
+    pub graph_cache_bytes: Option<u64>,
     /// `--prey P` (the `hunting` verb's moving-prey strategy).
     pub prey: Option<mrw_core::PreyStrategy>,
     /// `--k-ladder KS` (the `hunting` verb's hunter counts).
@@ -235,6 +263,10 @@ impl Options {
             deadline_ms: None,
             partial_ok: false,
             checkpoint: None,
+            listen: None,
+            connect: None,
+            cache_bytes: None,
+            graph_cache_bytes: None,
             prey: None,
             k_ladder: None,
             files: Vec::new(),
@@ -313,6 +345,26 @@ impl Options {
                 "--checkpoint" => {
                     let v = it.next().ok_or("--checkpoint needs a path")?;
                     opts.checkpoint = Some(v);
+                }
+                "--listen" => {
+                    let v = it.next().ok_or("--listen needs an address")?;
+                    opts.listen = Some(v);
+                }
+                "--connect" => {
+                    let v = it.next().ok_or("--connect needs an address")?;
+                    opts.connect = Some(v);
+                }
+                "--cache-bytes" => {
+                    let v = it.next().ok_or("--cache-bytes needs a value")?;
+                    opts.cache_bytes =
+                        Some(v.parse().map_err(|_| format!("bad --cache-bytes '{v}'"))?);
+                }
+                "--graph-cache-bytes" => {
+                    let v = it.next().ok_or("--graph-cache-bytes needs a value")?;
+                    opts.graph_cache_bytes = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad --graph-cache-bytes '{v}'"))?,
+                    );
                 }
                 "--prey" => {
                     let v = it.next().ok_or("--prey needs a value")?;
@@ -706,6 +758,48 @@ mod tests {
         assert!(parse(&["fanout", "s.json", "--chunk", "0"]).is_err());
         assert!(parse(&["fanout", "s.json", "--deadline-ms", "0"]).is_err());
         assert!(parse(&["fanout", "s.json", "--checkpoint"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags() {
+        let o = parse(&["serve", "--listen", "127.0.0.1:0", "--cache-bytes", "4096"]).unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.cache_bytes, Some(4096));
+        assert_eq!(o.graph_cache_bytes, None);
+        let o = parse(&[
+            "serve",
+            "--listen",
+            "/tmp/mrw.sock",
+            "--graph-cache-bytes",
+            "65536",
+        ])
+        .unwrap();
+        assert_eq!(o.listen.as_deref(), Some("/tmp/mrw.sock"));
+        assert_eq!(o.graph_cache_bytes, Some(65536));
+        assert!(parse(&["serve", "--listen"]).is_err());
+        assert!(parse(&["serve", "--cache-bytes", "lots"]).is_err());
+        assert!(parse(&["serve", "--graph-cache-bytes"]).is_err());
+    }
+
+    #[test]
+    fn serve_ctl_flags() {
+        let o = parse(&[
+            "serve-ctl",
+            "run",
+            "spec.json",
+            "--connect",
+            "127.0.0.1:7777",
+        ])
+        .unwrap();
+        assert_eq!(o.connect.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(
+            o.files,
+            vec!["run".to_string(), "spec.json".to_string()],
+            "the verb and spec ride the positional list"
+        );
+        let o = parse(&["serve-ctl", "stats", "--connect", "/tmp/mrw.sock"]).unwrap();
+        assert_eq!(o.files, vec!["stats".to_string()]);
+        assert!(parse(&["serve-ctl", "ping", "--connect"]).is_err());
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //!   shard           run one shard of a spec's trial range (JSON report)
 //!   merge           losslessly merge shard reports
 //!   fanout          run a spec across N local worker processes and merge
+//!   serve           resident estimate daemon with an incremental report cache
+//!   serve-ctl       line client for mrw serve (run | stats | ping | shutdown)
 //!   all             every experiment above, in order
 //! ```
 //!
@@ -65,6 +67,7 @@ use mrw_graph::GraphBackend;
 mod args;
 mod dispatch;
 mod fanout;
+mod serve;
 
 use args::{Format, Options};
 
@@ -811,7 +814,10 @@ fn main() -> ExitCode {
     let command = opts.command.as_str();
     // Only the file-taking verbs accept positional arguments; anywhere
     // else a stray token is almost certainly a typo'd flag value.
-    if !matches!(command, "run" | "shard" | "merge" | "fanout" | "resume") && !opts.files.is_empty()
+    if !matches!(
+        command,
+        "run" | "shard" | "merge" | "fanout" | "resume" | "serve-ctl"
+    ) && !opts.files.is_empty()
     {
         eprintln!(
             "error: unexpected argument '{}' for '{command}'\n",
@@ -821,13 +827,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     match command {
-        "estimate" | "run" | "shard" | "merge" | "fanout" | "resume" => {
+        "estimate" | "run" | "shard" | "merge" | "fanout" | "resume" | "serve" | "serve-ctl" => {
             let result = match command {
                 "estimate" => run_estimate(&opts),
                 "run" => run_spec(&opts),
                 "shard" => run_shard(&opts),
                 "fanout" => fanout::run_fanout(&opts),
                 "resume" => fanout::run_resume(&opts),
+                "serve" => serve::run_serve(&opts),
+                "serve-ctl" => serve::run_serve_ctl(&opts),
                 _ => run_merge(&opts),
             };
             if let Err(e) = result {

@@ -1,0 +1,850 @@
+//! `mrw serve` — a resident estimate service with an incremental report
+//! cache — and `mrw serve-ctl`, its line client.
+//!
+//! ## Protocol
+//!
+//! The daemon listens on a TCP address (`host:port`) or a Unix socket
+//! path and speaks blank-line-terminated JSON frames: a request is a
+//! JSON document followed by one empty line, the response likewise. The
+//! canonical renderer never emits empty lines inside a document, so the
+//! framing is unambiguous — and a `run` response body is the **exact
+//! bytes** `mrw run spec.json --json` would print, which is the
+//! contract the black-box harness in `tests/serve.rs` byte-diffs.
+//!
+//! Verbs: `{"verb": "run", "spec": {…}}` answers with a bare
+//! `mrw-report-v1` document; `{"verb": "stats"}` reports the cache
+//! counters (`mrw-serve-stats-v1`); `ping` answers `pong`; `shutdown`
+//! stops the daemon after responding. Anything malformed gets an
+//! `mrw-serve-error-v1` frame and the connection stays alive.
+//!
+//! ## The incremental report cache
+//!
+//! A trial is a pure function of `(seed, group, index)` — never of the
+//! budget's total — and group statistics are exact integer sums. So the
+//! daemon caches, per `QuerySpec::report_key` (graph + query + seed +
+//! mode + batch; *not* trial count or precision rule), a per-group
+//! ledger of cumulative prefix snapshots: the group's exact statistics
+//! over trials `[0, b)` at every boundary `b` a request has touched.
+//! Serving a budget then runs only the missing index range:
+//!
+//! * **fixed `n`**: merge the greatest cached prefix `b ≤ n` with a
+//!   fresh `b..n` slice (a pure *extension* when the entry already
+//!   existed);
+//! * **adaptive rule**: replay the sequential wave schedule — the same
+//!   `satisfied_by`/`next_wave` loop `Session::run` executes — against
+//!   the cached prefixes, dispatching only waves the ledger cannot
+//!   answer (a precision *upgrade* resumes from the cached moments).
+//!
+//! Every boundary served is inserted into the ledger, so repeated and
+//! overlapping queries from many clients compose instead of recomputing.
+//! Graphs are cached separately under `GraphSpec::cache_key` (family,
+//! size, jumps, resolved backend). Both caches are LRU-bounded
+//! (`--cache-bytes` / `--graph-cache-bytes`) with deterministic
+//! per-entry cost accounting; an evicted entry is recomputed on the next
+//! request — slower, never different bytes.
+//!
+//! Requests are served under one state lock, so concurrent identical
+//! queries serialize into one computation plus cache hits — which is
+//! what makes the `stats` counters (including `trials_executed`)
+//! deterministic enough for the e2e harness to assert exact values.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use mrw_core::query::json::{self, Value};
+use mrw_core::query::{Budget, Coverage, GraphInfo, Group, Query, QuerySpec, Report, Session};
+use mrw_core::AnyGraph;
+use mrw_graph::GraphBackend;
+use mrw_stats::IntMoments;
+
+use crate::args::Options;
+
+/// Hard cap on one request frame — hostile input must not buffer
+/// unboundedly. Oversize frames get one error response, then the
+/// connection is dropped.
+const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// How often the accept loop polls the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Default `--cache-bytes` bound for the report cache.
+const DEFAULT_CACHE_BYTES: u64 = 64 << 20;
+
+/// Default `--graph-cache-bytes` bound for resident graphs.
+const DEFAULT_GRAPH_CACHE_BYTES: u64 = 256 << 20;
+
+/// Set by the signal handler (and by the `shutdown` verb); the accept
+/// loop exits at the next poll.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// SIGTERM/SIGINT registration — the one hand-declared libc surface in
+/// the workspace (the build is offline; no signal crate to add). The
+/// handler only stores to an atomic flag, which is async-signal-safe.
+mod sig {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    pub fn install() {
+        // SAFETY: registering an async-signal-safe handler through the C
+        // library's `signal`; the return value (the previous handler) is
+        // deliberately ignored.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport: one listener/stream pair covering TCP and Unix sockets.
+
+/// Where the daemon listens: `host:port` (any string containing `:`) is
+/// TCP, anything else is a Unix socket path.
+fn is_tcp_addr(addr: &str) -> bool {
+    addr.contains(':')
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(std::os::unix::net::UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    /// Binds, returning the listener and the resolved address for the
+    /// ready line (TCP port 0 resolves to the kernel-assigned port).
+    fn bind(addr: &str) -> Result<(Listener, String), String> {
+        if is_tcp_addr(addr) {
+            let l = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = l.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+            Ok((Listener::Tcp(l), local.to_string()))
+        } else {
+            let l = std::os::unix::net::UnixListener::bind(addr)
+                .map_err(|e| format!("bind {addr}: {e}"))?;
+            Ok((Listener::Unix(l, addr.into()), addr.to_string()))
+        }
+    }
+
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(true),
+            Listener::Unix(l, _) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// One accepted connection (or one client-side connection).
+enum Conn {
+    Tcp(TcpStream),
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Result<Conn, String> {
+        if is_tcp_addr(addr) {
+            TcpStream::connect(addr)
+                .map(Conn::Tcp)
+                .map_err(|e| format!("connect {addr}: {e}"))
+        } else {
+            std::os::unix::net::UnixStream::connect(addr)
+                .map(Conn::Unix)
+                .map_err(|e| format!("connect {addr}: {e}"))
+        }
+    }
+
+    /// Splits into independent reader/writer handles over one socket.
+    fn split(self) -> std::io::Result<(Conn, Conn)> {
+        Ok(match self {
+            Conn::Tcp(s) => (Conn::Tcp(s.try_clone()?), Conn::Tcp(s)),
+            Conn::Unix(s) => (Conn::Unix(s.try_clone()?), Conn::Unix(s)),
+        })
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+/// One `read_frame` outcome.
+enum FrameRead {
+    /// A complete frame body (the bytes before the blank line, trailing
+    /// newlines included).
+    Frame(Vec<u8>),
+    /// Clean end of stream before any frame data.
+    Eof,
+    /// The frame passed [`MAX_FRAME_BYTES`]; the connection must drop.
+    Oversize,
+}
+
+/// Reads one blank-line-terminated frame. Leading blank lines are
+/// tolerated (a sloppy client's extra separator); EOF mid-frame is an
+/// error.
+fn read_frame(r: &mut impl BufRead) -> std::io::Result<FrameRead> {
+    let mut body: Vec<u8> = Vec::new();
+    let mut line_start = 0usize;
+    loop {
+        let (consumed, newline_at) = {
+            let buf = r.fill_buf()?;
+            if buf.is_empty() {
+                return if body.is_empty() {
+                    Ok(FrameRead::Eof)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    body.extend_from_slice(&buf[..=i]);
+                    (i + 1, true)
+                }
+                None => {
+                    body.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        r.consume(consumed);
+        if newline_at {
+            let line = &body[line_start..];
+            if line == b"\n" || line == b"\r\n" {
+                if line_start == 0 {
+                    body.clear();
+                    continue;
+                }
+                body.truncate(line_start);
+                return Ok(FrameRead::Frame(body));
+            }
+            line_start = body.len();
+        }
+        if body.len() > MAX_FRAME_BYTES {
+            return Ok(FrameRead::Oversize);
+        }
+    }
+}
+
+/// Writes `body` as one frame: the bytes, a newline if the body lacks
+/// one, and the blank-line terminator.
+fn write_frame(w: &mut impl Write, body: &str) -> std::io::Result<()> {
+    w.write_all(body.as_bytes())?;
+    if !body.ends_with('\n') {
+        w.write_all(b"\n")?;
+    }
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+fn error_frame(msg: &str) -> String {
+    Value::obj(vec![
+        ("schema", Value::str("mrw-serve-error-v1")),
+        ("error", Value::str(msg)),
+    ])
+    .render()
+}
+
+fn ok_frame(msg: &str) -> String {
+    Value::obj(vec![
+        ("schema", Value::str("mrw-serve-ok-v1")),
+        ("ok", Value::str(msg)),
+    ])
+    .render()
+}
+
+// ---------------------------------------------------------------------------
+// Server state: the graph cache, the report cache, and the counters.
+
+#[derive(Default)]
+struct Stats {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    extensions: u64,
+    errors: u64,
+    trials_executed: u64,
+    report_evictions: u64,
+    graph_hits: u64,
+    graph_misses: u64,
+    graph_evictions: u64,
+}
+
+struct GraphEntry {
+    graph: Arc<AnyGraph>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// One group's cumulative prefix ledger: exact statistics over trials
+/// `[0, b)` at every boundary `b` some request has served. Strictly
+/// increasing in `b`; boundaries are inserted wherever a request lands,
+/// so the ledger answers any previously-seen budget with zero trials and
+/// any new one by running only `[greatest b ≤ n, n)`.
+struct GroupLedger {
+    label: String,
+    prefixes: Vec<(u64, Group)>,
+}
+
+/// One report-cache entry: the per-group ledgers plus everything needed
+/// to assemble byte-identical responses (graph identity, query, and the
+/// budget template carrying the key's seed / mode / batch).
+struct ReportEntry {
+    graph: GraphInfo,
+    query: Query,
+    budget: Budget,
+    groups: Vec<GroupLedger>,
+    tick: u64,
+}
+
+impl ReportEntry {
+    fn new(spec: &QuerySpec, g: &AnyGraph) -> ReportEntry {
+        ReportEntry {
+            graph: GraphInfo {
+                name: g.name().to_string(),
+                n: g.n(),
+            },
+            query: spec.query.clone(),
+            budget: Budget {
+                precision: None,
+                ..spec.budget.clone()
+            },
+            groups: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Deterministic cost estimate — a fixed header plus a per-snapshot
+    /// charge — used by the LRU accounting (not an allocator
+    /// measurement, so eviction tests can size `--cache-bytes` exactly).
+    fn bytes(&self) -> usize {
+        256 + self
+            .groups
+            .iter()
+            .map(|l| 64 + l.label.len() + l.prefixes.len() * 96)
+            .sum::<usize>()
+    }
+
+    /// First contact: run trials `[0, n)` unfiltered to discover the
+    /// group structure (labels can depend on the graph — `hmax` derives
+    /// its candidate pairs from it) and seed every ledger with the
+    /// boundary. Returns the trial count dispatched.
+    fn initialize(&mut self, g: &AnyGraph, n: usize) -> u64 {
+        let budget = Budget {
+            trials: n,
+            ..self.budget.clone()
+        };
+        let report = Session::new(budget).run(g, &self.query);
+        self.groups = report
+            .groups
+            .into_iter()
+            .map(|grp| {
+                let label = grp.label.clone();
+                GroupLedger {
+                    label,
+                    prefixes: vec![(n as u64, grp)],
+                }
+            })
+            .collect();
+        (n * self.groups.len()) as u64
+    }
+
+    /// Cumulative statistics of group `idx` over trials `[0, n)`,
+    /// running only the missing tail `[b, n)` past the greatest cached
+    /// boundary `b ≤ n` (zero trials when `n` is itself a boundary).
+    /// The result is inserted as a new boundary, so the ledger grows
+    /// wherever requests actually land. Returns the group and the trial
+    /// count dispatched.
+    fn prefix(&mut self, g: &AnyGraph, idx: usize, n: u64) -> (Group, u64) {
+        let empty = |label: String| Group {
+            label,
+            trials: 0,
+            moments: IntMoments::new(),
+            censored: 0,
+        };
+        if n == 0 {
+            return (empty(self.groups[idx].label.clone()), 0);
+        }
+        match self.groups[idx].prefixes.binary_search_by_key(&n, |p| p.0) {
+            Ok(pos) => (self.groups[idx].prefixes[pos].1.clone(), 0),
+            Err(pos) => {
+                let (lo, base) = if pos == 0 {
+                    (0, empty(self.groups[idx].label.clone()))
+                } else {
+                    let (hi, cum) = &self.groups[idx].prefixes[pos - 1];
+                    (*hi, cum.clone())
+                };
+                let budget = Budget {
+                    trials: n as usize,
+                    ..self.budget.clone()
+                };
+                let delta = Session::new(budget)
+                    .with_range(lo as usize..n as usize)
+                    .with_groups(vec![idx])
+                    .run(g, &self.query)
+                    .groups
+                    .swap_remove(idx);
+                let cum = base.merge(&delta);
+                self.groups[idx].prefixes.insert(pos, (n, cum.clone()));
+                (cum, n - lo)
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    graphs: HashMap<String, GraphEntry>,
+    reports: HashMap<String, ReportEntry>,
+    tick: u64,
+    stats: Stats,
+}
+
+impl Inner {
+    /// The resident graph for `spec`, resolving (and caching) on miss.
+    fn graph_for(
+        &mut self,
+        spec: &QuerySpec,
+        key: &str,
+        tick: u64,
+        bound: u64,
+    ) -> Result<Arc<AnyGraph>, String> {
+        if let Some(e) = self.graphs.get_mut(key) {
+            e.tick = tick;
+            self.stats.graph_hits += 1;
+            return Ok(Arc::clone(&e.graph));
+        }
+        let g = Arc::new(spec.graph.resolve()?);
+        self.stats.graph_misses += 1;
+        self.graphs.insert(
+            key.to_string(),
+            GraphEntry {
+                graph: Arc::clone(&g),
+                bytes: g.memory_bytes(),
+                tick,
+            },
+        );
+        self.evict_graphs(bound);
+        Ok(g)
+    }
+
+    fn evict_graphs(&mut self, bound: u64) {
+        while !self.graphs.is_empty()
+            && self.graphs.values().map(|e| e.bytes as u64).sum::<u64>() > bound
+        {
+            let victim = self
+                .graphs
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            self.graphs.remove(&victim);
+            self.stats.graph_evictions += 1;
+        }
+    }
+
+    fn evict_reports(&mut self, bound: u64) {
+        while !self.reports.is_empty()
+            && self.reports.values().map(|e| e.bytes() as u64).sum::<u64>() > bound
+        {
+            let victim = self
+                .reports
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            self.reports.remove(&victim);
+            self.stats.report_evictions += 1;
+        }
+    }
+}
+
+struct Server {
+    inner: Mutex<Inner>,
+    cache_bytes: u64,
+    graph_cache_bytes: u64,
+}
+
+impl Server {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic while serving one request must not wedge the daemon:
+        // entry updates are transactional (remove → mutate → insert), so
+        // recovering from poison is safe — a half-served entry was simply
+        // never reinserted.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request handling.
+
+/// Serves one `run` request from the caches, dispatching only trial
+/// ranges the ledgers cannot answer. Returns the report plus how many
+/// trials actually ran (the `stats` verb's `trials_executed` currency).
+fn serve_run(server: &Server, spec: &QuerySpec) -> Result<Report, String> {
+    let cap = spec.budget.trials_budget().cap();
+    if cap < 1 {
+        return Err("budget needs at least one trial".into());
+    }
+    let graph_key = spec.graph.cache_key();
+    let report_key = spec.report_key();
+    let mut inner = server.lock();
+    inner.tick += 1;
+    let tick = inner.tick;
+    let graph = inner.graph_for(spec, &graph_key, tick, server.graph_cache_bytes)?;
+    spec.query.validate(graph.as_ref())?;
+    let existed = inner.reports.contains_key(&report_key);
+    // Transactional update: the entry leaves the map while it mutates and
+    // is only reinserted on success, so a panic mid-compute costs a cache
+    // entry, never corrupts one.
+    let mut entry = inner
+        .reports
+        .remove(&report_key)
+        .unwrap_or_else(|| ReportEntry::new(spec, graph.as_ref()));
+    let mut ran = 0u64;
+    let mut groups = Vec::new();
+    match spec.budget.precision {
+        None => {
+            let n = spec.budget.trials;
+            if entry.groups.is_empty() {
+                ran += entry.initialize(graph.as_ref(), n);
+            }
+            for idx in 0..entry.groups.len() {
+                let (cum, r) = entry.prefix(graph.as_ref(), idx, n as u64);
+                ran += r;
+                groups.push(cum);
+            }
+        }
+        Some(rule) => {
+            if entry.groups.is_empty() {
+                ran += entry.initialize(graph.as_ref(), rule.next_wave(0));
+            }
+            // Per group, replay the exact sequential wave schedule
+            // `Session::run` executes: evaluate the rule on the sample so
+            // far, dispatch the next wave if it hasn't fired, stop at the
+            // cap. Cached prefixes answer waves for free; only genuinely
+            // new ranges run.
+            for idx in 0..entry.groups.len() {
+                let mut consumed = 0usize;
+                let cum = loop {
+                    let (cum, r) = entry.prefix(graph.as_ref(), idx, consumed as u64);
+                    ran += r;
+                    let wave = if rule.satisfied_by(&cum.moments.summary()) {
+                        0
+                    } else {
+                        rule.next_wave(consumed)
+                    };
+                    if wave == 0 {
+                        break cum;
+                    }
+                    consumed += wave;
+                };
+                groups.push(cum);
+            }
+        }
+    }
+    let report = Report {
+        graph: entry.graph.clone(),
+        query: spec.query.clone(),
+        budget: spec.budget.clone(),
+        coverage: Coverage::full(cap as u64),
+        groups,
+    };
+    entry.tick = tick;
+    inner.reports.insert(report_key, entry);
+    inner.evict_reports(server.cache_bytes);
+    inner.stats.trials_executed += ran;
+    if !existed {
+        inner.stats.misses += 1;
+    } else if ran == 0 {
+        inner.stats.hits += 1;
+    } else {
+        inner.stats.extensions += 1;
+    }
+    Ok(report)
+}
+
+fn stats_frame(inner: &Inner) -> String {
+    let s = &inner.stats;
+    let report_bytes: u64 = inner.reports.values().map(|e| e.bytes() as u64).sum();
+    let graph_bytes: u64 = inner.graphs.values().map(|e| e.bytes as u64).sum();
+    Value::obj(vec![
+        ("schema", Value::str("mrw-serve-stats-v1")),
+        ("requests", Value::num(s.requests)),
+        ("hits", Value::num(s.hits)),
+        ("misses", Value::num(s.misses)),
+        ("extensions", Value::num(s.extensions)),
+        ("errors", Value::num(s.errors)),
+        ("trials_executed", Value::num(s.trials_executed)),
+        (
+            "report_cache",
+            Value::obj(vec![
+                ("entries", Value::num(inner.reports.len())),
+                ("bytes", Value::num(report_bytes)),
+                ("evictions", Value::num(s.report_evictions)),
+            ]),
+        ),
+        (
+            "graph_cache",
+            Value::obj(vec![
+                ("entries", Value::num(inner.graphs.len())),
+                ("bytes", Value::num(graph_bytes)),
+                ("hits", Value::num(s.graph_hits)),
+                ("misses", Value::num(s.graph_misses)),
+                ("evictions", Value::num(s.graph_evictions)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// Dispatches one parsed request frame. Returns the response body and
+/// whether the daemon should shut down after sending it.
+fn handle_request(server: &Server, text: &str) -> (String, bool) {
+    server.lock().stats.requests += 1;
+    let fail = |msg: String| {
+        server.lock().stats.errors += 1;
+        (error_frame(&msg), false)
+    };
+    let v = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("bad request: {e}")),
+    };
+    let verb = match v.req("verb").map(|verb| verb.as_str()) {
+        Ok(Some(verb)) => verb.to_string(),
+        Ok(None) => return fail("verb must be a string".into()),
+        Err(e) => return fail(format!("bad request: {e}")),
+    };
+    match verb.as_str() {
+        "ping" => (ok_frame("pong"), false),
+        "shutdown" => (ok_frame("shutting down"), true),
+        "stats" => (stats_frame(&server.lock()), false),
+        "run" => {
+            let spec = match v.req("spec") {
+                Ok(spec) => spec,
+                Err(e) => return fail(format!("bad request: {e}")),
+            };
+            // Round-trip through the canonical renderer: the daemon
+            // accepts exactly the spec-file schema `mrw run` reads.
+            let spec = match QuerySpec::from_json(&spec.render()) {
+                Ok(spec) => spec,
+                Err(e) => return fail(format!("bad spec: {e}")),
+            };
+            match serve_run(server, &spec) {
+                Ok(report) => (report.to_json(), false),
+                Err(e) => fail(e),
+            }
+        }
+        other => fail(format!(
+            "unknown verb '{other}' (run | stats | ping | shutdown)"
+        )),
+    }
+}
+
+/// One connection's request loop: read a frame, answer it, repeat until
+/// the peer hangs up. Malformed frames answer an error and keep the
+/// loop; a panic while serving answers an error and keeps the loop (the
+/// transactional cache update makes that safe); only oversize frames and
+/// transport errors drop the connection.
+fn handle_conn(conn: Conn, server: Arc<Server>) {
+    let (reader, mut writer) = match conn.split() {
+        Ok(pair) => pair,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader);
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(FrameRead::Frame(frame)) => frame,
+            Ok(FrameRead::Eof) | Err(_) => return,
+            Ok(FrameRead::Oversize) => {
+                let _ = write_frame(
+                    &mut writer,
+                    &error_frame("request frame exceeds the 4 MiB cap"),
+                );
+                return;
+            }
+        };
+        let (body, shutdown) = match String::from_utf8(frame) {
+            Err(_) => {
+                server.lock().stats.errors += 1;
+                (error_frame("request is not valid UTF-8"), false)
+            }
+            Ok(text) => match catch_unwind(AssertUnwindSafe(|| handle_request(&server, &text))) {
+                Ok(response) => response,
+                Err(_) => {
+                    server.lock().stats.errors += 1;
+                    (
+                        error_frame("internal error while serving the request"),
+                        false,
+                    )
+                }
+            },
+        };
+        if write_frame(&mut writer, &body).is_err() {
+            return;
+        }
+        if shutdown {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+/// `mrw serve --listen <addr|unix-path>`: bind, print the ready line,
+/// and serve until SIGTERM/SIGINT or a `shutdown` request.
+pub fn run_serve(opts: &Options) -> Result<(), String> {
+    let addr = opts
+        .listen
+        .as_deref()
+        .ok_or("mrw serve needs --listen <host:port | unix-path>")?;
+    let server = Arc::new(Server {
+        inner: Mutex::new(Inner::default()),
+        cache_bytes: opts.cache_bytes.unwrap_or(DEFAULT_CACHE_BYTES),
+        graph_cache_bytes: opts.graph_cache_bytes.unwrap_or(DEFAULT_GRAPH_CACHE_BYTES),
+    });
+    let (listener, local) = Listener::bind(addr)?;
+    listener
+        .set_nonblocking()
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    sig::install();
+    // The ready line the spawn/ready harness waits for (and where a TCP
+    // port 0 reports the kernel-assigned port).
+    println!("mrw-serve listening on {local}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || handle_conn(conn, server));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The line client.
+
+/// `mrw serve-ctl <run SPEC.json | stats | ping | shutdown> --connect
+/// <addr>`: send one request, print the response body — for `run`,
+/// exactly the bytes `mrw run SPEC.json --json` would print, so shell
+/// pipelines can `diff` the daemon against the oracle.
+pub fn run_serve_ctl(opts: &Options) -> Result<(), String> {
+    let addr = opts
+        .connect
+        .as_deref()
+        .ok_or("mrw serve-ctl needs --connect <host:port | unix-path>")?;
+    let (verb, rest) = opts
+        .files
+        .split_first()
+        .ok_or("mrw serve-ctl needs a verb: run SPEC.json | stats | ping | shutdown")?;
+    let request = match verb.as_str() {
+        "run" => {
+            let path = match rest {
+                [path] => path,
+                _ => return Err("mrw serve-ctl run takes exactly one spec file".into()),
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let mut spec = QuerySpec::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+            // The same budget/backend overrides `mrw run` applies, so
+            // `serve-ctl run spec.json --trials N` asks the daemon for
+            // exactly what `mrw run spec.json --trials N` computes.
+            crate::apply_overrides(&mut spec.budget, opts);
+            if let Some(backend) = opts.backend {
+                spec.graph.backend = backend;
+            }
+            let spec = json::parse(&spec.to_json()).expect("canonical spec re-parses");
+            Value::obj(vec![("verb", Value::str("run")), ("spec", spec)])
+        }
+        "stats" | "ping" | "shutdown" => {
+            if !rest.is_empty() {
+                return Err(format!("mrw serve-ctl {verb} takes no further arguments"));
+            }
+            Value::obj(vec![("verb", Value::str(verb))])
+        }
+        other => {
+            return Err(format!(
+                "unknown serve-ctl verb '{other}' (run | stats | ping | shutdown)"
+            ))
+        }
+    };
+    let (reader, mut writer) = Conn::connect(addr)?
+        .split()
+        .map_err(|e| format!("split: {e}"))?;
+    write_frame(&mut writer, &request.render()).map_err(|e| format!("send: {e}"))?;
+    let mut reader = BufReader::new(reader);
+    let body = match read_frame(&mut reader).map_err(|e| format!("receive: {e}"))? {
+        FrameRead::Frame(frame) => {
+            String::from_utf8(frame).map_err(|_| "response is not valid UTF-8".to_string())?
+        }
+        FrameRead::Eof => return Err("daemon closed the connection without responding".into()),
+        FrameRead::Oversize => return Err("response frame exceeds the 4 MiB cap".into()),
+    };
+    // Error frames surface as CLI errors; everything else prints as the
+    // exact body bytes.
+    if let Ok(v) = json::parse(&body) {
+        if v.get("schema").and_then(Value::as_str) == Some("mrw-serve-error-v1") {
+            let msg = v
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown daemon error");
+            return Err(format!("daemon: {msg}"));
+        }
+    }
+    print!("{body}");
+    Ok(())
+}

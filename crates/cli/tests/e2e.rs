@@ -80,7 +80,16 @@ fn oracle(spec: &Path) -> String {
 fn help_lists_every_verb_and_unknown_verbs_fail() {
     let assert = mrw().arg("help").assert().success();
     let usage = String::from_utf8(assert.get_output().stdout.clone()).unwrap();
-    for verb in ["estimate", "run ", "shard ", "merge ", "fanout ", "resume "] {
+    for verb in [
+        "estimate",
+        "run ",
+        "shard ",
+        "merge ",
+        "fanout ",
+        "resume ",
+        "serve ",
+        "serve-ctl ",
+    ] {
         assert!(usage.contains(verb), "usage is missing '{verb}'");
     }
     mrw()

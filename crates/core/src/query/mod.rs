@@ -674,6 +674,40 @@ impl GraphSpec {
             }
         }
     }
+
+    /// The backend [`resolve`](GraphSpec::resolve) would materialize,
+    /// predicted from the closed-form size estimate without building
+    /// anything — `Auto` collapses to the concrete choice. This is the
+    /// graph-cache identity `mrw serve` keys on: two specs with equal
+    /// family/size parameters and equal resolved backends share one
+    /// resident graph.
+    pub fn resolved_backend(&self) -> BackendChoice {
+        match self.backend {
+            BackendChoice::Auto => {
+                if self.has_implicit() && self.csr_bytes_estimate() > AUTO_IMPLICIT_BYTES {
+                    BackendChoice::Implicit
+                } else {
+                    BackendChoice::Csr
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// A canonical string identity for the *resolved* graph: family, size
+    /// parameter, jump set, and the concrete backend `resolve` picks.
+    /// Equal keys build identical graph objects, so a cache may share one
+    /// resident instance across them.
+    pub fn cache_key(&self) -> String {
+        let jumps: Vec<String> = self.jumps.iter().map(|j| j.to_string()).collect();
+        format!(
+            "{}:{}:[{}]:{}",
+            self.family,
+            self.n,
+            jumps.join(","),
+            backend_to_str(self.resolved_backend())
+        )
+    }
 }
 
 /// A typed, serializable description of one Monte-Carlo estimate — the
@@ -890,7 +924,12 @@ impl Group {
         normal_ci(&self.summary(), level)
     }
 
-    fn merge(&self, other: &Group) -> Group {
+    /// Losslessly combines this group's sample with `other`'s (exact
+    /// integer sums). The caller owns disjointness: this is the per-group
+    /// kernel of [`Report::merge`] (which checks coverage) and of the
+    /// serve-layer report cache (whose segment ledger tracks disjoint
+    /// trial prefixes itself).
+    pub fn merge(&self, other: &Group) -> Group {
         let mut moments = self.moments;
         moments.merge(&other.moments);
         Group {
@@ -1175,6 +1214,39 @@ impl Report {
         })
     }
 
+    /// Reinterprets a fixed-budget report inside a larger trial space:
+    /// the same sample, now presented as partial coverage of a
+    /// `trials`-trial budget. Because a trial is a pure function of
+    /// `(seed, group, index)` — never of the budget's total — a complete
+    /// `0..n` run restated to `m > n` is exactly the `[0, n)` shard of
+    /// the `m`-trial run, so merging it with a fresh `n..m` slice
+    /// reproduces the direct `0..m` run byte-for-byte. This is the
+    /// cache-extension lemma `mrw serve` leans on: serve a bigger budget
+    /// by running only the missing index range.
+    ///
+    /// Fails for adaptive budgets (their trial space is the rule's cap,
+    /// not a free parameter) and when the coverage doesn't fit inside the
+    /// new space.
+    pub fn restate_trials(&self, trials: usize) -> Result<Report, String> {
+        if self.budget.precision.is_some() {
+            return Err("cannot restate an adaptive budget's trial space".into());
+        }
+        if let Some(&(_, hi)) = self.coverage.ranges().last() {
+            if hi > trials as u64 {
+                return Err(format!(
+                    "coverage reaches trial {hi}, past the new {trials}-trial space"
+                ));
+            }
+        }
+        Ok(Report {
+            budget: Budget {
+                trials,
+                ..self.budget.clone()
+            },
+            ..self.clone()
+        })
+    }
+
     /// Serializes to the canonical JSON shard-report schema
     /// (`mrw-report-v1`). Equal reports render byte-identically; see the
     /// module docs' determinism contract.
@@ -1381,6 +1453,36 @@ impl QuerySpec {
             ("query", query_to_value(&self.query)),
             ("budget", budget_to_value(&self.budget)),
         ])
+    }
+
+    /// The report-cache identity of this spec: a canonical rendering of
+    /// everything that determines per-trial outcomes — graph family,
+    /// size, and jumps; the query; and the budget's seed, stepping mode,
+    /// and batch discipline — and *nothing* that doesn't. Trial count,
+    /// precision rule, confidence, thread count, and backend are all
+    /// excluded: trial `i` of a group is a pure function of
+    /// `(seed, group, i)`, so two specs with equal keys draw identical
+    /// outcome streams and a report cached under one serves the other at
+    /// any budget (by running only the missing index ranges).
+    pub fn report_key(&self) -> String {
+        Value::obj(vec![
+            (
+                "graph",
+                Value::obj(vec![
+                    ("family", Value::str(&self.graph.family)),
+                    ("n", Value::num(self.graph.n)),
+                    (
+                        "jumps",
+                        Value::Arr(self.graph.jumps.iter().map(|&j| Value::num(j)).collect()),
+                    ),
+                ]),
+            ),
+            ("query", query_to_value(&self.query)),
+            ("seed", Value::num(self.budget.seed)),
+            ("mode", Value::str(mode_to_str(self.budget.mode))),
+            ("batch", Value::str(batch_to_str(self.budget.batch))),
+        ])
+        .render()
     }
 
     /// Parses a spec file. The `budget` object (and any of its fields)

@@ -198,6 +198,60 @@ proptest! {
         prop_assert_eq!(&back, &report);
         prop_assert_eq!(back.to_json(), text);
     }
+
+    /// The cache-extension soundness lemma, independent of the daemon: a
+    /// complete `0..n` run restated into an `m`-trial space and merged
+    /// with a fresh `n..m` slice is JSON-byte-identical to the direct
+    /// `0..m` run — trials are pure functions of `(seed, group, index)`,
+    /// never of the budget's total, so a cached report extends by
+    /// running only the missing range.
+    #[test]
+    fn range_extension_merges_to_the_direct_run(
+        n in 6usize..24,
+        k in 1usize..4,
+        small in 3usize..30,
+        extra in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let (g, q, budget) = cover_setup(n, k, small, seed);
+        let m = small + extra;
+        let cached = Session::new(budget.clone()).run(&g, &q);
+        assert!(cached.is_complete());
+        let big_budget = Budget { trials: m, ..budget };
+        let direct = Session::new(big_budget.clone()).run(&g, &q);
+        // Restate the cached 0..small run in the m-trial space, run only
+        // the missing small..m slice, and merge.
+        let restated = cached.restate_trials(m).unwrap();
+        prop_assert!(!restated.is_complete());
+        let tail = Session::new(big_budget).with_range(small..m).run(&g, &q);
+        let extended = Report::merge(&restated, &tail).unwrap();
+        prop_assert_eq!(&extended, &direct);
+        prop_assert_eq!(extended.to_json(), direct.to_json());
+        // Shrinking the space back is the inverse where coverage allows.
+        let back = restated.restate_trials(small).unwrap();
+        prop_assert_eq!(back.to_json(), cached.to_json());
+        prop_assert!(restated.restate_trials(small - 1).is_err());
+    }
+}
+
+/// `restate_trials` guards its preconditions: adaptive budgets have no
+/// free trial-space parameter, and coverage must fit in the new space.
+#[test]
+fn restate_trials_rejects_adaptive_budgets() {
+    let g = generators::cycle(12);
+    let q = Query::Cover {
+        k: 2,
+        starts: vec![0],
+    };
+    let rule = Precision::relative(0.5)
+        .with_min_trials(4)
+        .with_max_trials(16);
+    let budget = Budget {
+        precision: Some(rule),
+        ..Budget::default()
+    };
+    let report = Session::new(budget).run(&g, &q);
+    assert!(report.restate_trials(64).is_err());
 }
 
 /// The deprecated estimator facade and a raw `Session` run are the same

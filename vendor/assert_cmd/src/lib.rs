@@ -178,6 +178,144 @@ impl Command {
             Err(e) => panic!("failed to run `{describe}`: {e}"),
         }
     }
+
+    /// Spawns the command as a long-running [`Daemon`] instead of waiting
+    /// for it: stdout is piped and drained line-by-line on a background
+    /// thread (so the child never blocks on a full pipe and tests can
+    /// [wait for a ready line](Daemon::wait_for_line)), stderr is
+    /// inherited (daemon diagnostics land in the test log).
+    pub fn spawn_daemon(&mut self) -> std::io::Result<Daemon> {
+        let describe = self.describe();
+        let mut cmd = std::process::Command::new(&self.program);
+        cmd.args(&self.args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        for (k, v) in &self.envs {
+            match v {
+                Some(v) => cmd.env(k, v),
+                None => cmd.env_remove(k),
+            };
+        }
+        if let Some(dir) = &self.current_dir {
+            cmd.current_dir(dir);
+        }
+        let mut child = cmd.spawn()?;
+        let stdout = child.stdout.take().expect("stdout piped above");
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            use std::io::BufRead as _;
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(Daemon {
+            child,
+            lines: rx,
+            describe,
+        })
+    }
+}
+
+/// A spawned long-running child under test (see
+/// [`Command::spawn_daemon`]): its stdout arrives as lines through a
+/// channel, shutdown is a real `SIGTERM`, and dropping the handle kills
+/// the child so a failing test never leaks a daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    child: std::process::Child,
+    lines: std::sync::mpsc::Receiver<String>,
+    describe: String,
+}
+
+impl Daemon {
+    /// The child's OS process id.
+    pub fn id(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Blocks until the child prints a stdout line containing `needle`
+    /// (returning the full line) or `timeout` elapses — the spawn/ready
+    /// handshake for servers that announce their address on startup.
+    pub fn wait_for_line(
+        &self,
+        needle: &str,
+        timeout: std::time::Duration,
+    ) -> Result<String, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or_else(|| {
+                    format!(
+                        "`{}` printed no line containing {needle:?} within {timeout:?}",
+                        self.describe
+                    )
+                })?;
+            match self.lines.recv_timeout(left) {
+                Ok(line) if line.contains(needle) => return Ok(line),
+                Ok(_) => continue,
+                Err(_) => {
+                    return Err(format!(
+                        "`{}` printed no line containing {needle:?} within {timeout:?} \
+                         (stdout closed or silent)",
+                        self.describe
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Sends the child `SIGTERM` (via the `kill` binary — this crate is
+    /// `forbid(unsafe_code)`, so no direct libc call) without waiting for
+    /// it to exit; pair with [`wait_with_timeout`](Daemon::wait_with_timeout).
+    pub fn terminate(&self) -> Result<(), String> {
+        let status = std::process::Command::new("kill")
+            .args(["-TERM", &self.child.id().to_string()])
+            .status()
+            .map_err(|e| format!("spawning kill: {e}"))?;
+        if status.success() {
+            Ok(())
+        } else {
+            Err(format!("kill -TERM {} failed: {status}", self.child.id()))
+        }
+    }
+
+    /// Polls until the child exits, returning its status, or errors after
+    /// `timeout` — so a wedged daemon fails the test instead of hanging it.
+    pub fn wait_with_timeout(
+        &mut self,
+        timeout: std::time::Duration,
+    ) -> Result<std::process::ExitStatus, String> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return Ok(status),
+                Ok(None) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(format!(
+                            "`{}` still running after {timeout:?}",
+                            self.describe
+                        ));
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => return Err(format!("wait `{}`: {e}", self.describe)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Best-effort cleanup: a test that panicked mid-flight must not
+        // leave the daemon running (or its socket bound) for the next one.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
 }
 
 /// The captured outcome of one command run; every assertion returns
@@ -306,5 +444,29 @@ mod tests {
     #[test]
     fn cargo_bin_rejects_unbuilt_names() {
         assert!(Command::cargo_bin("no-such-binary-exists").is_err());
+    }
+
+    #[test]
+    fn daemon_spawn_ready_terminate() {
+        let timeout = std::time::Duration::from_secs(5);
+        let mut d = Command::new("sh")
+            .args(["-c", "echo booting; echo ready on port 0; exec sleep 30"])
+            .spawn_daemon()
+            .unwrap();
+        assert!(d.id() > 0);
+        let line = d.wait_for_line("ready on", timeout).unwrap();
+        assert_eq!(line, "ready on port 0");
+        d.terminate().unwrap();
+        let status = d.wait_with_timeout(timeout).unwrap();
+        assert!(!status.success(), "SIGTERM death is not a clean exit");
+    }
+
+    #[test]
+    fn daemon_ready_timeout_reports_the_command() {
+        let d = Command::new("sleep").arg("30").spawn_daemon().unwrap();
+        let err = d
+            .wait_for_line("never printed", std::time::Duration::from_millis(50))
+            .unwrap_err();
+        assert!(err.contains("sleep 30"), "unhelpful error: {err}");
     }
 }
