@@ -1,0 +1,232 @@
+//! The checked-in allowlist (`analyze.allow` at the workspace root):
+//! every sanctioned exception to a rule, one line each, with a reason.
+//!
+//! Grammar (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! RULE path[ count=N] -- reason
+//! ```
+//!
+//! * `path` ending in `/` matches every file under that prefix;
+//!   otherwise it must match the file exactly.
+//! * `count=N` pins the number of suppressed findings to exactly `N` —
+//!   used for `#[allow(unsafe_code)]` site registration (U1), where a
+//!   new site in an already-allowlisted file must still fail the pass.
+//! * An entry that suppresses nothing is **stale** and itself an error:
+//!   when the exception disappears, so must its allowlist line.
+
+use crate::rules::Violation;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule ID this entry suppresses.
+    pub rule: String,
+    /// Exact file path, or a `/`-terminated prefix.
+    pub path: String,
+    /// Exact number of findings this entry must suppress (None = "one
+    /// or more").
+    pub count: Option<usize>,
+    /// Why the exception is sound.
+    pub reason: String,
+    /// 1-based line in the allowlist file (for diagnostics).
+    pub line: usize,
+}
+
+impl Entry {
+    fn matches(&self, v: &Violation) -> bool {
+        self.rule == v.rule
+            && if self.path.ends_with('/') {
+                v.file.starts_with(&self.path)
+            } else {
+                v.file == self.path
+            }
+    }
+}
+
+/// Parses the allowlist text. Malformed lines are hard errors — a typo
+/// must not silently widen (or narrow) an exception.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (head, reason) = trimmed
+            .split_once(" -- ")
+            .ok_or_else(|| format!("analyze.allow:{line}: missing ` -- reason`"))?;
+        let reason = reason.trim();
+        if reason.is_empty() {
+            return Err(format!("analyze.allow:{line}: empty reason"));
+        }
+        let mut fields = head.split_whitespace();
+        let rule = fields
+            .next()
+            .ok_or_else(|| format!("analyze.allow:{line}: missing rule ID"))?
+            .to_string();
+        let path = fields
+            .next()
+            .ok_or_else(|| format!("analyze.allow:{line}: missing path"))?
+            .to_string();
+        let mut count = None;
+        for extra in fields {
+            let n = extra
+                .strip_prefix("count=")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    format!("analyze.allow:{line}: unrecognized field `{extra}` (want count=N)")
+                })?;
+            count = Some(n);
+        }
+        if count.is_some() && path.ends_with('/') {
+            return Err(format!(
+                "analyze.allow:{line}: count=N requires an exact file path, not a prefix"
+            ));
+        }
+        entries.push(Entry {
+            rule,
+            path,
+            count,
+            reason: reason.to_string(),
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Applies `entries` to raw `violations`: returns the findings that
+/// survive, plus allowlist integrity errors (stale entries, count
+/// mismatches). Each violation is suppressed by the first matching
+/// entry, so overlapping entries behave predictably (file-exact lines
+/// should precede prefix lines).
+pub fn apply(violations: Vec<Violation>, entries: &[Entry]) -> (Vec<Violation>, Vec<String>) {
+    let mut suppressed = vec![0usize; entries.len()];
+    let mut kept = Vec::new();
+    for v in violations {
+        match entries.iter().position(|e| e.matches(&v)) {
+            Some(i) => suppressed[i] += 1,
+            None => kept.push(v),
+        }
+    }
+    let mut errors = Vec::new();
+    for (e, &got) in entries.iter().zip(&suppressed) {
+        match e.count {
+            Some(want) if got != want => errors.push(format!(
+                "analyze.allow:{}: {} {} expects exactly {want} finding{}, saw {got} — {}",
+                e.line,
+                e.rule,
+                e.path,
+                if want == 1 { "" } else { "s" },
+                if got < want {
+                    "remove or renumber the entry"
+                } else {
+                    "a new unregistered site appeared"
+                }
+            )),
+            None if got == 0 => errors.push(format!(
+                "analyze.allow:{}: stale entry — {} {} no longer suppresses anything; \
+                 delete the line",
+                e.line, e.rule, e.path
+            )),
+            _ => {}
+        }
+    }
+    (kept, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, file: &str, line: usize) -> Violation {
+        Violation {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let text = "\
+# comment
+U1 crates/graph/src/csr.rs count=1 -- bounds elided after an up-front check
+
+F1 crates/core/src/experiments/ -- human tables
+";
+        let e = parse(text).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].count, Some(1));
+        assert_eq!(e[0].line, 2);
+        assert!(e[1].path.ends_with('/'));
+        assert_eq!(e[1].count, None);
+    }
+
+    #[test]
+    fn parse_rejects_missing_reason_and_bad_fields() {
+        assert!(parse("U1 foo.rs").is_err());
+        assert!(parse("U1 foo.rs -- ").is_err());
+        assert!(parse("U1 foo.rs count=x -- r").is_err());
+        assert!(parse("U1 foo.rs count=0 -- r").is_err());
+        assert!(parse("U1 some/dir/ count=2 -- prefix with count").is_err());
+    }
+
+    #[test]
+    fn exact_and_prefix_matching() {
+        let entries = parse(
+            "D2 crates/cli/src/dispatch.rs -- timing\n\
+             F1 crates/core/src/experiments/ -- tables\n",
+        )
+        .unwrap();
+        let (kept, errors) = apply(
+            vec![
+                v("D2", "crates/cli/src/dispatch.rs", 3),
+                v("D2", "crates/cli/src/serve.rs", 4),
+                v("F1", "crates/core/src/experiments/cycle.rs", 5),
+            ],
+            &entries,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].file, "crates/cli/src/serve.rs");
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn stale_entry_is_an_error() {
+        let entries = parse("P1 crates/cli/src/serve.rs -- legacy\n").unwrap();
+        let (kept, errors) = apply(vec![], &entries);
+        assert!(kept.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("stale"));
+    }
+
+    #[test]
+    fn count_mismatch_both_directions() {
+        let entries = parse("U1 a.rs count=2 -- two sites\n").unwrap();
+        // Too few: the second site was removed but the entry not updated.
+        let (_, errs) = apply(vec![v("U1", "a.rs", 1)], &entries);
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("saw 1"));
+        // Too many: an unregistered site crept in.
+        let (_, errs) = apply(
+            vec![v("U1", "a.rs", 1), v("U1", "a.rs", 2), v("U1", "a.rs", 3)],
+            &entries,
+        );
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].contains("saw 3"));
+        // Exact: clean.
+        let (kept, errs) = apply(vec![v("U1", "a.rs", 1), v("U1", "a.rs", 2)], &entries);
+        assert!(kept.is_empty() && errs.is_empty());
+    }
+
+    #[test]
+    fn rule_must_match_not_just_path() {
+        let entries = parse("D1 crates/core/src/foo.rs -- sanctioned\n").unwrap();
+        let (kept, _) = apply(vec![v("D2", "crates/core/src/foo.rs", 9)], &entries);
+        assert_eq!(kept.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! # mrw-analyze — the workspace's contracts, as an executable pass
+//!
+//! The reproduction's value rests on contracts `rustc` cannot see:
+//! byte-identical reports across thread counts, shards, fanout faults,
+//! and cache hits; a handful of scoped `unsafe` sites with written
+//! safety arguments; no panics escaping the serve/dispatch request
+//! paths; exactly one float serializer behind the canonical JSON bytes.
+//! This crate encodes those invariants as named rules with `file:line`
+//! diagnostics (see [`rules::RULES`]) and a checked-in allowlist for the
+//! sanctioned exceptions ([`allowlist`]), and runs them over every
+//! non-test source file in the workspace.
+//!
+//! ```text
+//! cargo run -p mrw-analyze -- --workspace          # human diagnostics
+//! cargo run -p mrw-analyze -- --workspace --json   # machine-readable
+//! cargo run -p mrw-analyze -- --list-rules         # the rule registry
+//! ```
+//!
+//! The pass exits 0 only when the tree is clean *and* the allowlist is
+//! exact: stale entries (suppressing nothing) and count drift (a new
+//! `#[allow(unsafe_code)]` site in an already-registered file) are
+//! errors too. `cargo test -p mrw-analyze` self-checks the live tree,
+//! so a violation anywhere in the workspace fails tier-1 before CI.
+
+#![forbid(unsafe_code)]
+
+pub mod allowlist;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use rules::{analyze_source, RuleInfo, Violation, RULES};
+
+/// Name of the allowlist file at the workspace root.
+pub const ALLOWLIST_FILE: &str = "analyze.allow";
+
+/// Directory names the walk never descends into: build output, VCS
+/// metadata, and test/bench/example/fixture code (the contracts guard
+/// shipped paths; test code may panic, hash, and format freely).
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "fixtures"];
+
+/// The result of analyzing a workspace.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations that survived the allowlist, sorted by (file, line).
+    pub violations: Vec<Violation>,
+    /// Allowlist integrity errors: stale entries, count drift, parse
+    /// failures.
+    pub errors: Vec<String>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+impl Outcome {
+    /// Whether the pass should exit zero.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under `root` the pass should see, as
+/// `(workspace-relative path, absolute path)`, sorted for deterministic
+/// diagnostics.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walk stays under root")
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs every rule over every source file under `root`, then applies
+/// the allowlist at `root/analyze.allow` (missing file = empty list).
+pub fn analyze_workspace(root: &Path) -> io::Result<Outcome> {
+    let files = collect_sources(root)?;
+    let mut raw = Vec::new();
+    for (rel, abs) in &files {
+        let text = fs::read_to_string(abs)?;
+        raw.extend(analyze_source(rel, &text));
+    }
+    let mut outcome = Outcome {
+        files: files.len(),
+        ..Outcome::default()
+    };
+    let allow_path = root.join(ALLOWLIST_FILE);
+    let entries = if allow_path.exists() {
+        match allowlist::parse(&fs::read_to_string(&allow_path)?) {
+            Ok(entries) => entries,
+            Err(e) => {
+                outcome.errors.push(e);
+                outcome.violations = raw;
+                sort_violations(&mut outcome.violations);
+                return Ok(outcome);
+            }
+        }
+    } else {
+        Vec::new()
+    };
+    let (kept, errors) = allowlist::apply(raw, &entries);
+    outcome.violations = kept;
+    outcome.errors = errors;
+    sort_violations(&mut outcome.violations);
+    Ok(outcome)
+}
+
+fn sort_violations(v: &mut [Violation]) {
+    v.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+}
+
+/// Locates the workspace root: walks up from `start` to the first
+/// directory holding a `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

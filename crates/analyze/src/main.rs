@@ -1,0 +1,167 @@
+//! `mrw-analyze` — run the workspace contract rules from the command
+//! line. See the crate docs ([`mrw_analyze`]) for the rule registry and
+//! allowlist format.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mrw_analyze::{analyze_workspace, find_workspace_root, Outcome, RULES};
+
+const USAGE: &str = "\
+usage: mrw-analyze [--workspace] [--root PATH] [--json] [--list-rules]
+
+  --workspace   analyze the enclosing workspace (the default)
+  --root PATH   analyze the workspace rooted at PATH instead
+  --json        machine-readable output (schema mrw-analyze-v1)
+  --list-rules  print the rule registry and exit
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mrw-analyze: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mrw-analyze: unrecognized argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for r in RULES {
+            println!("{:4} {}", r.id, r.title);
+            println!("     {}", r.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("mrw-analyze: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("mrw-analyze: no enclosing [workspace]; pass --root PATH");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let outcome = match analyze_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mrw-analyze: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&outcome));
+    } else {
+        render_text(&outcome);
+    }
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn render_text(o: &Outcome) {
+    for v in &o.violations {
+        println!("{} {}:{} — {}", v.rule, v.file, v.line, v.message);
+    }
+    for e in &o.errors {
+        println!("ALLOWLIST {e}");
+    }
+    let status = if o.clean() { "clean" } else { "FAILED" };
+    eprintln!(
+        "mrw-analyze: {} files, {} violation{}, {} allowlist error{} — {status}",
+        o.files,
+        o.violations.len(),
+        if o.violations.len() == 1 { "" } else { "s" },
+        o.errors.len(),
+        if o.errors.len() == 1 { "" } else { "s" },
+    );
+}
+
+fn render_json(o: &Outcome) -> String {
+    let mut s = String::from("{\n  \"schema\": \"mrw-analyze-v1\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", o.files));
+    s.push_str(&format!("  \"clean\": {},\n", o.clean()));
+    s.push_str("  \"violations\": [");
+    for (i, v) in o.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(v.rule),
+            json_str(&v.file),
+            v.line,
+            json_str(&v.message)
+        ));
+    }
+    if !o.violations.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"allowlist_errors\": [");
+    for (i, e) in o.errors.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\n    {}", json_str(e)));
+    }
+    if !o.errors.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping (the analyzer is dependency-free by
+/// design — it must not depend on the crates it audits).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,469 @@
+//! The rule registry: each rule is a named, documented check over one
+//! lexed file, scoped by workspace-relative path. Rules return plain
+//! [`Violation`]s; allowlisting happens afterwards (see
+//! [`crate::allowlist`]), so a rule never needs to know which of its
+//! findings are sanctioned.
+
+use crate::lexer::{in_ranges, lex, test_ranges, Lexed, TokKind};
+
+/// One rule violation, pre-allowlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule ID, e.g. `D1`.
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable diagnosis.
+    pub message: String,
+}
+
+/// Static metadata for `--list-rules` and the docs table.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub rationale: &'static str,
+}
+
+/// Every rule the pass enforces, in report order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "U1",
+        title: "unsafe needs a SAFETY comment; allow(unsafe_code) needs an allowlist entry",
+        rationale: "Every unsafe block or fn must be immediately preceded by a `// SAFETY:` \
+                    comment arguing why it is sound, and every `#[allow(unsafe_code)]` site \
+                    must be registered (with a count) in analyze.allow so new sites are a \
+                    deliberate, reviewed act.",
+    },
+    RuleInfo {
+        id: "U2",
+        title: "crate roots must forbid or deny unsafe_code",
+        rationale: "Each crate root (src/lib.rs, src/main.rs) must declare \
+                    `#![forbid(unsafe_code)]` or `#![deny(unsafe_code)]`, so unsafe can only \
+                    enter through a scoped, allowlisted `#[allow]`.",
+    },
+    RuleInfo {
+        id: "D1",
+        title: "no HashMap/HashSet in mrw-core, mrw-stats, mrw-graph",
+        rationale: "Hash iteration order is nondeterministic; one stray iteration in a report \
+                    path breaks the byte-identical contract every layer is built on. Use \
+                    BTreeMap/BTreeSet or a sorted Vec.",
+    },
+    RuleInfo {
+        id: "D2",
+        title: "no wall-clock or ambient entropy in the library crates",
+        rationale: "`Instant::now`/`SystemTime::now` (and `env::var`, `thread_rng`, \
+                    `from_entropy`, `OsRng` in the library crates) make results depend on the \
+                    machine, not the seed. Wall-clock is allowed only in the CLI's \
+                    dispatch/serve timing, via the allowlist.",
+    },
+    RuleInfo {
+        id: "P1",
+        title: "no panics in the serve/dispatch/fanout request paths",
+        rationale: "`unwrap()`, `expect(`, `panic!`, `todo!`, `unimplemented!` are forbidden \
+                    in crates/cli/src/{serve,dispatch,fanout}.rs non-test code: a fault there \
+                    must become an error frame or a retryable failure, never an abort that \
+                    takes the daemon or the dispatcher down.",
+    },
+    RuleInfo {
+        id: "F1",
+        title: "exactly one float serializer",
+        rationale: "Float formatting (precision/exponent format specs) is forbidden outside \
+                    query::json and the allowlisted presentation modules, so canonical-JSON \
+                    bytes have exactly one shortest-round-trip float serializer.",
+    },
+    RuleInfo {
+        id: "DP1",
+        title: "deprecated items must carry a removal note",
+        rationale: "Every `#[deprecated]` attribute must say when the item will be removed \
+                    (a note containing 'remove'), so shims cannot linger unowned.",
+    },
+];
+
+// ---------------------------------------------------------------------------
+// Scoping: which rules look at which workspace-relative paths.
+
+/// Crates whose non-test code must be deterministic end to end (D1).
+const HASH_FORBIDDEN: &[&str] = &["crates/core/src/", "crates/stats/src/", "crates/graph/src/"];
+
+/// Crates where wall-clock reads are forbidden (D2); the CLI is included
+/// so its two timing modules must be explicitly allowlisted.
+const CLOCK_FORBIDDEN: &[&str] = &[
+    "crates/core/src/",
+    "crates/stats/src/",
+    "crates/graph/src/",
+    "crates/par/src/",
+    "crates/spectral/src/",
+    "crates/cli/src/",
+];
+
+/// Crates where ambient entropy (env vars, OS RNGs) is forbidden (D2).
+/// The CLI legitimately reads env (scratch dirs, fault-injection hooks).
+const ENTROPY_FORBIDDEN: &[&str] = &[
+    "crates/core/src/",
+    "crates/stats/src/",
+    "crates/graph/src/",
+    "crates/par/src/",
+    "crates/spectral/src/",
+];
+
+/// The request paths that must degrade, not abort (P1).
+const PANIC_FORBIDDEN: &[&str] = &[
+    "crates/cli/src/serve.rs",
+    "crates/cli/src/dispatch.rs",
+    "crates/cli/src/fanout.rs",
+];
+
+/// The one sanctioned float serializer (F1 exemption).
+const FLOAT_SERIALIZER: &str = "crates/core/src/query/json.rs";
+
+fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// Whether `path` is a crate root that must carry the unsafe_code lint.
+fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || path == "src/main.rs"
+        || path.ends_with("/src/lib.rs")
+        || path.ends_with("/src/main.rs")
+}
+
+// ---------------------------------------------------------------------------
+// The analysis entry point.
+
+/// Runs every applicable rule over one file. `path` must be the
+/// workspace-relative, `/`-separated location — it decides rule scope,
+/// so fixtures can impersonate any location in the tree.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Violation> {
+    let lx = lex(src);
+    let tests = test_ranges(&lx);
+    let mut v = Vec::new();
+    let vendored = path.starts_with("vendor/");
+
+    check_u1(path, &lx, &tests, &mut v);
+    if is_crate_root(path) {
+        check_u2(path, &lx, &mut v);
+    }
+    if !vendored {
+        if starts_with_any(path, HASH_FORBIDDEN) {
+            check_d1(path, &lx, &tests, &mut v);
+        }
+        check_d2(path, &lx, &tests, &mut v);
+        if PANIC_FORBIDDEN.contains(&path) {
+            check_p1(path, &lx, &tests, &mut v);
+        }
+        if (path.starts_with("crates/") || path.starts_with("src/")) && path != FLOAT_SERIALIZER {
+            check_f1(path, &lx, &tests, &mut v);
+        }
+        check_dp1(path, &lx, &tests, &mut v);
+    }
+    v
+}
+
+// ---------------------------------------------------------------------------
+// U1 — SAFETY comments and allow(unsafe_code) registration.
+
+fn check_u1(path: &str, lx: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Violation>) {
+    let toks = &lx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_word("unsafe") && !in_ranges(tests, t.line) && !safety_commented(lx, t.line) {
+            out.push(Violation {
+                rule: "U1",
+                file: path.to_string(),
+                line: t.line,
+                message: "`unsafe` without an immediately preceding `// SAFETY:` comment"
+                    .to_string(),
+            });
+        }
+        // `allow ( … unsafe_code` — a scoped opt-out; each one must be
+        // matched by an analyze.allow entry (enforced by the allowlist
+        // pass: these violations are *expected* to be suppressed there).
+        if t.is_word("allow")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_word("unsafe_code"))
+        {
+            out.push(Violation {
+                rule: "U1",
+                file: path.to_string(),
+                line: t.line,
+                message: "`#[allow(unsafe_code)]` site — must be registered in analyze.allow"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the lines immediately above `line` (skipping attributes and
+/// blank lines, absorbing multi-line comment blocks) contain `SAFETY:`.
+/// A comment on `line` itself also counts.
+fn safety_commented(lx: &Lexed, line: usize) -> bool {
+    let has_safety = |l: usize| lx.comment_on(l).is_some_and(|c| c.contains("SAFETY:"));
+    if has_safety(line) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        if has_safety(l) {
+            return true;
+        }
+        match lx.first_token_on(l) {
+            // Attribute lines (e.g. `#[allow(unsafe_code)]`) sit between
+            // the SAFETY comment and the unsafe token; keep scanning.
+            Some(t) if t.is_punct('#') => continue,
+            // Real code ends the search (its trailing comment was already
+            // checked above).
+            Some(_) => return false,
+            // Blank or comment-only line without SAFETY: keep scanning —
+            // the comment block may carry the marker a few lines up.
+            None => continue,
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// U2 — crate-root lint attribute.
+
+fn check_u2(path: &str, lx: &Lexed, out: &mut Vec<Violation>) {
+    let toks = &lx.tokens;
+    let declared = toks.windows(6).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && (w[3].is_word("forbid") || w[3].is_word("deny"))
+            && w[4].is_punct('(')
+            && w[5].is_word("unsafe_code")
+    });
+    if !declared {
+        out.push(Violation {
+            rule: "U2",
+            file: path.to_string(),
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]` / `#![deny(unsafe_code)]`"
+                .to_string(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D1 — hash collections in the deterministic crates.
+
+fn check_d1(path: &str, lx: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Violation>) {
+    for t in &lx.tokens {
+        if (t.is_word("HashMap") || t.is_word("HashSet")) && !in_ranges(tests, t.line) {
+            out.push(Violation {
+                rule: "D1",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a determinism-critical crate — use BTreeMap/BTreeSet or a \
+                     sorted Vec (hash iteration order is nondeterministic)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — wall-clock and ambient entropy.
+
+fn check_d2(path: &str, lx: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Violation>) {
+    let toks = &lx.tokens;
+    let clock_scope = starts_with_any(path, CLOCK_FORBIDDEN);
+    let entropy_scope = starts_with_any(path, ENTROPY_FORBIDDEN);
+    if !clock_scope && !entropy_scope {
+        return;
+    }
+    let path_call = |i: usize, head: &str, tail: &str| {
+        toks[i].is_word(head)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_word(tail))
+    };
+    for (i, tok) in toks.iter().enumerate() {
+        let line = tok.line;
+        if in_ranges(tests, line) {
+            continue;
+        }
+        if clock_scope && (path_call(i, "Instant", "now") || path_call(i, "SystemTime", "now")) {
+            out.push(Violation {
+                rule: "D2",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "wall-clock read `{}::now` — results must be a function of the seed, \
+                     not the machine",
+                    tok.text
+                ),
+            });
+        }
+        if entropy_scope
+            && (path_call(i, "env", "var")
+                || (tok.kind == TokKind::Word
+                    && ["from_entropy", "thread_rng", "OsRng"].contains(&tok.text.as_str())))
+        {
+            out.push(Violation {
+                rule: "D2",
+                file: path.to_string(),
+                line,
+                message: format!(
+                    "ambient entropy `{}` in a library crate — seed-derived RNG streams only",
+                    tok.text
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P1 — panic discipline on the request paths.
+
+fn check_p1(path: &str, lx: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Violation>) {
+    let toks = &lx.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if in_ranges(tests, t.line) {
+            continue;
+        }
+        let method_call = |name: &str| {
+            i > 0
+                && toks[i - 1].is_punct('.')
+                && t.is_word(name)
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        };
+        let bang_macro =
+            |name: &str| t.is_word(name) && toks.get(i + 1).is_some_and(|t| t.is_punct('!'));
+        let found = if method_call("unwrap") {
+            Some(".unwrap()")
+        } else if method_call("expect") {
+            Some(".expect(")
+        } else if bang_macro("panic") {
+            Some("panic!")
+        } else if bang_macro("todo") {
+            Some("todo!")
+        } else if bang_macro("unimplemented") {
+            Some("unimplemented!")
+        } else {
+            None
+        };
+        if let Some(what) = found {
+            out.push(Violation {
+                rule: "P1",
+                file: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{what}` on a request path — faults here must become error frames or \
+                     retryable failures, not aborts"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// F1 — one float serializer.
+
+fn check_f1(path: &str, lx: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Violation>) {
+    for t in &lx.tokens {
+        if t.kind == TokKind::Str && !in_ranges(tests, t.line) {
+            if let Some(spec) = float_format_spec(&t.text) {
+                out.push(Violation {
+                    rule: "F1",
+                    file: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "float format spec `{{{spec}}}` outside query::json — canonical \
+                         bytes allow exactly one float serializer (presentation modules \
+                         belong in analyze.allow)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The first float-formatting placeholder in a format string, if any: a
+/// `{…:spec}` whose spec carries a precision (`.`) or renders exponent
+/// notation (trailing `e`/`E`). `{{` escapes are honored. This is a
+/// lexical proxy — `format!("{}", x)` on an f64 is invisible to it — but
+/// it catches the whole class of hand-tuned float renderings that would
+/// fork the canonical byte format.
+fn float_format_spec(s: &str) -> Option<String> {
+    let b: Vec<char> = s.chars().collect();
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] != '{' {
+            i += 1;
+            continue;
+        }
+        if b.get(i + 1) == Some(&'{') {
+            i += 2; // escaped literal brace
+            continue;
+        }
+        let close = (i + 1..b.len()).find(|&j| b[j] == '}')?;
+        let seg: String = b[i + 1..close].iter().collect();
+        if let Some((_, spec)) = seg.split_once(':') {
+            if spec.contains('.') || spec.ends_with('e') || spec.ends_with('E') {
+                return Some(seg);
+            }
+        }
+        i = close + 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// DP1 — deprecations carry removal notes.
+
+fn check_dp1(path: &str, lx: &Lexed, tests: &[(usize, usize)], out: &mut Vec<Violation>) {
+    let toks = &lx.tokens;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        if !(toks[i].is_punct('#')
+            && toks[i + 1].is_punct('[')
+            && toks[i + 2].is_word("deprecated"))
+        {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        if in_ranges(tests, line) {
+            i += 3;
+            continue;
+        }
+        // Span the attribute and look for `note = "… remove …"`.
+        let mut depth = 1usize; // the '[' at i+1
+        let mut j = i + 2;
+        let mut noted = false;
+        while j < toks.len() && depth > 0 {
+            if toks[j].is_punct('[') {
+                depth += 1;
+            } else if toks[j].is_punct(']') {
+                depth -= 1;
+            } else if toks[j].is_word("note")
+                && toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                && toks.get(j + 2).is_some_and(|t| {
+                    t.kind == TokKind::Str && t.text.to_lowercase().contains("remov")
+                })
+            {
+                noted = true;
+            }
+            j += 1;
+        }
+        if !noted {
+            out.push(Violation {
+                rule: "DP1",
+                file: path.to_string(),
+                line,
+                message: "`#[deprecated]` without a removal note — say when it goes \
+                          (note = \"…; removed in <version>\")"
+                    .to_string(),
+            });
+        }
+        i = j;
+    }
+}

@@ -1,0 +1,147 @@
+//! The pass's own gate: a fixture corpus proving every rule both fires
+//! and stays quiet, a self-check that the *live* workspace is clean, and
+//! allowlist round-trip checks (stale entries and count drift are
+//! errors, not warnings).
+
+use std::path::Path;
+
+use mrw_analyze::allowlist;
+use mrw_analyze::{analyze_source, analyze_workspace, find_workspace_root, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Runs one fixture under a virtual workspace path and returns the rule
+/// IDs that fired, in file order.
+fn rules_fired(fixture_name: &str, virtual_path: &str) -> Vec<&'static str> {
+    analyze_source(virtual_path, &fixture(fixture_name))
+        .into_iter()
+        .map(|v: Violation| v.rule)
+        .collect()
+}
+
+#[test]
+fn fixture_corpus_fires_and_stays_quiet() {
+    // (fixture, virtual path that puts it in scope, expected rule IDs)
+    let cases: &[(&str, &str, &[&str])] = &[
+        ("u1_fire.rs", "crates/graph/src/fx.rs", &["U1"]),
+        ("u1_clean.rs", "crates/graph/src/fx.rs", &[]),
+        // A well-commented allow site still registers one U1 finding —
+        // that finding is what the count-pinned allowlist entry absorbs.
+        ("u1_allow_site.rs", "crates/graph/src/fx.rs", &["U1"]),
+        ("u2_fire.rs", "crates/fx/src/lib.rs", &["U2"]),
+        ("u2_clean.rs", "crates/fx/src/lib.rs", &[]),
+        // The same file *not* at a crate root owes no lint attribute.
+        ("u2_fire.rs", "crates/fx/src/helper.rs", &[]),
+        ("d1_fire.rs", "crates/core/src/fx.rs", &["D1"]),
+        ("d1_clean.rs", "crates/core/src/fx.rs", &[]),
+        // Out of the deterministic crates, hashing is not D1's business.
+        ("d1_fire.rs", "crates/cli/src/fx.rs", &[]),
+        ("d2_fire.rs", "crates/core/src/fx.rs", &["D2", "D2"]),
+        ("d2_clean.rs", "crates/core/src/fx.rs", &[]),
+        // The CLI may read env vars (scratch dirs, fault hooks) but its
+        // wall-clock reads still need the allowlist.
+        ("d2_fire.rs", "crates/cli/src/fx.rs", &["D2"]),
+        ("p1_fire.rs", "crates/cli/src/serve.rs", &["P1", "P1", "P1"]),
+        ("p1_clean.rs", "crates/cli/src/serve.rs", &[]),
+        // P1 guards exactly the request paths, not the whole CLI.
+        ("p1_fire.rs", "crates/cli/src/fx.rs", &[]),
+        ("f1_fire.rs", "crates/stats/src/fx.rs", &["F1"]),
+        ("f1_clean.rs", "crates/stats/src/fx.rs", &[]),
+        // The one sanctioned float serializer is exempt by path.
+        ("f1_fire.rs", "crates/core/src/query/json.rs", &[]),
+        ("dp1_fire.rs", "crates/core/src/fx.rs", &["DP1"]),
+        ("dp1_clean.rs", "crates/core/src/fx.rs", &[]),
+    ];
+    for (name, path, expect) in cases {
+        let fired = rules_fired(name, path);
+        assert_eq!(
+            &fired, expect,
+            "{name} as {path}: expected {expect:?}, got {fired:?}"
+        );
+    }
+}
+
+#[test]
+fn fixture_diagnostics_carry_file_and_line() {
+    let v = analyze_source("crates/graph/src/fx.rs", &fixture("u1_fire.rs"));
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].file, "crates/graph/src/fx.rs");
+    assert_eq!(v[0].line, 4, "the unsafe block sits on line 4");
+    assert!(v[0].message.contains("SAFETY"));
+}
+
+/// The tree this crate ships in must pass its own analysis — a violation
+/// anywhere in the workspace fails `cargo test` before CI even runs the
+/// dedicated analyze job.
+#[test]
+fn live_workspace_is_clean() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above crates/analyze");
+    let outcome = analyze_workspace(&root).expect("workspace scan");
+    assert!(
+        outcome.files > 50,
+        "scan missed the tree: {}",
+        outcome.files
+    );
+    assert!(
+        outcome.clean(),
+        "live tree has {} violation(s) / {} allowlist error(s):\n{}\n{}",
+        outcome.violations.len(),
+        outcome.errors.len(),
+        outcome
+            .violations
+            .iter()
+            .map(|v| format!("{} {}:{} — {}", v.rule, v.file, v.line, v.message))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        outcome.errors.join("\n"),
+    );
+}
+
+/// The checked-in allowlist parses, and every entry earns its keep
+/// against the live tree (analyze_workspace already errors on stale
+/// entries; this pins the file itself).
+#[test]
+fn checked_in_allowlist_is_exact() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root");
+    let text = std::fs::read_to_string(root.join(mrw_analyze::ALLOWLIST_FILE))
+        .expect("analyze.allow at workspace root");
+    let entries = allowlist::parse(&text).expect("allowlist parses");
+    assert!(!entries.is_empty());
+    for e in &entries {
+        assert!(!e.reason.is_empty(), "entry for {} lacks a reason", e.path);
+    }
+}
+
+#[test]
+fn stale_allowlist_entry_is_an_error() {
+    let entries =
+        allowlist::parse("D1 crates/core/src/retired.rs -- was needed once\n").expect("parses");
+    let (kept, errors) = allowlist::apply(Vec::new(), &entries);
+    assert!(kept.is_empty());
+    assert_eq!(errors.len(), 1, "stale entry must be flagged: {errors:?}");
+    assert!(errors[0].contains("retired.rs"), "{}", errors[0]);
+}
+
+#[test]
+fn count_drift_is_an_error() {
+    let entries = allowlist::parse("U1 crates/graph/src/fx.rs count=1 -- one blessed site\n")
+        .expect("parses");
+    // Two findings in a file registered for one: a new, unreviewed site.
+    let mk = |line| Violation {
+        rule: "U1",
+        file: "crates/graph/src/fx.rs".to_string(),
+        line,
+        message: "site".to_string(),
+    };
+    let (kept, errors) = allowlist::apply(vec![mk(3), mk(9)], &entries);
+    assert!(kept.is_empty(), "count entries absorb their matches");
+    assert_eq!(errors.len(), 1, "{errors:?}");
+    assert!(errors[0].contains("expects exactly 1"), "{}", errors[0]);
+}

@@ -1,0 +1,22 @@
+pub fn index(keys: &[u32]) -> usize {
+    let mut m = std::collections::BTreeMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i);
+    }
+    m.len()
+}
+
+// The string below mentions HashMap but is opaque to the lexer's word
+// stream; so is this comment: HashMap.
+pub const DOC: &str = "do not use HashMap here";
+
+#[cfg(test)]
+mod tests {
+    // Test code may hash freely; the contract guards shipped paths.
+    #[test]
+    fn scratch() {
+        let mut s = std::collections::HashSet::new();
+        s.insert(1u32);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+pub fn index(keys: &[u32]) -> usize {
+    let mut m = std::collections::HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        m.insert(k, i);
+    }
+    m.len()
+}

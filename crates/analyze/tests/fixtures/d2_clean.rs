@@ -1,0 +1,15 @@
+// Instant::now() in a comment is fine, and so is the string below.
+pub const HINT: &str = "never call Instant::now() in library code";
+
+pub fn derived(seed: u64, trial: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(trial)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_a_test_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,7 @@
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn entropy() -> Option<String> {
+    std::env::var("MRW_SECRET").ok()
+}

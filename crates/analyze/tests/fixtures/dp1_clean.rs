@@ -1,0 +1,5 @@
+#[deprecated(
+    since = "0.2.0",
+    note = "use shiny::new_thing instead; removed in 0.4.0"
+)]
+pub fn old_thing() {}

@@ -1,0 +1,2 @@
+#[deprecated(since = "0.2.0", note = "use shiny::new_thing instead")]
+pub fn old_thing() {}

@@ -1,0 +1,5 @@
+pub fn render(count: u64, label: &str) -> String {
+    // Plain placeholders, width-only specs, and escaped braces are all
+    // fine — only precision/exponent specs fork the float byte format.
+    format!("{label:>12} {count} {{:.3}}")
+}

@@ -1,0 +1,3 @@
+pub fn render(mean: f64, err: f64) -> String {
+    format!("{mean:.3} ± {err:.2e}")
+}

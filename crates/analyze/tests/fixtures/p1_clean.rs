@@ -1,0 +1,20 @@
+pub fn handle(line: &str) -> Result<u64, String> {
+    line.trim().parse().map_err(|e| format!("bad frame: {e}"))
+}
+
+// `expect` as a field or free identifier is not the panicking method.
+pub struct Frame {
+    pub expect: u64,
+}
+
+pub fn expected(f: &Frame) -> u64 {
+    f.expect
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::handle("7").unwrap(), 7);
+    }
+}

@@ -1,0 +1,11 @@
+pub fn handle(line: &str) -> u64 {
+    let parsed: Result<u64, _> = line.trim().parse();
+    parsed.unwrap()
+}
+
+pub fn dispatch(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        panic!("empty batch");
+    }
+    *v.first().expect("checked above")
+}

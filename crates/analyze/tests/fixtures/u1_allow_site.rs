@@ -1,0 +1,10 @@
+// An allow(unsafe_code) site: even with a proper SAFETY comment, the
+// site itself must be registered in analyze.allow (count-pinned).
+pub fn peek(v: &[u32], i: usize) -> u32 {
+    assert!(i < v.len());
+    // SAFETY: the assert above establishes i < v.len().
+    #[allow(unsafe_code)]
+    unsafe {
+        *v.get_unchecked(i)
+    }
+}

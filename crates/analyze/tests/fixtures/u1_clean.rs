@@ -1,0 +1,15 @@
+pub fn peek(v: &[u32], i: usize) -> u32 {
+    assert!(i < v.len());
+    // SAFETY: the assert above establishes i < v.len().
+    unsafe { *v.get_unchecked(i) }
+}
+
+pub fn peek_attr(v: &[u32], i: usize) -> u32 {
+    assert!(i < v.len());
+    // SAFETY: the assert above establishes i < v.len();
+    // the comment may span lines and sit above an attribute.
+    #[cfg(not(miri))]
+    unsafe {
+        *v.get_unchecked(i)
+    }
+}

@@ -1,0 +1,5 @@
+// A bare unsafe block with no SAFETY argument anywhere near it.
+pub fn peek(v: &[u32], i: usize) -> u32 {
+    let x = 1 + 1;
+    unsafe { *v.get_unchecked(i + x) }
+}

@@ -1,0 +1,5 @@
+//! A crate root with the lint in place.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

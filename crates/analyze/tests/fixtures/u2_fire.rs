@@ -1,0 +1,3 @@
+//! A crate root that forgot to close the unsafe door.
+
+pub fn noop() {}

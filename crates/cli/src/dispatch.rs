@@ -311,7 +311,11 @@ impl<'a> Dispatcher<'a> {
                 .min_by_key(|(_, c)| (c.wave, c.range.start))
                 .map(|(i, _)| i);
             let Some(i) = best else { break };
-            let chunk = self.pending.remove(i).expect("index from enumerate");
+            // The index comes from enumerate() above, but a failed remove
+            // must not panic the dispatcher mid-run (rule P1).
+            let Some(chunk) = self.pending.remove(i) else {
+                break;
+            };
             if let Err(e) = self.spawn(chunk.clone()) {
                 self.chunk_failed(chunk, e)?;
             }

@@ -250,7 +250,12 @@ fn drive_fixed(
     };
     if gaps.is_empty() {
         // A checkpoint that was already complete: nothing to dispatch.
-        return Ok(Ok(prior.expect("complete coverage implies a report")));
+        // Empty gaps with no prior means cap == 0, which Budget rejects
+        // upstream; surface it as an error instead of panicking (rule P1).
+        return match prior {
+            Some(r) => Ok(Ok(r)),
+            None => Err("internal: empty trial range with no saved report".into()),
+        };
     }
     let chunks: Vec<Range<usize>> = if fresh && opts.chunk.is_none() {
         // A fresh run plans like `--shards` always did (default: four
@@ -417,7 +422,11 @@ fn drive_adaptive(
             finished = vec![None; labels.len()];
             active = Some((0..labels.len()).collect());
         }
-        let ids = active.as_mut().expect("initialized above");
+        // `active` was seeded just above on the first wave; a None here
+        // would be a fold-state bug, reported rather than panicked (P1).
+        let Some(ids) = active.as_mut() else {
+            return Err("internal: wave fold reached with no active group set".into());
+        };
         for &gi in ids.iter() {
             let group = &wave_report.groups[gi];
             acc[gi].0 += group.trials;
@@ -466,6 +475,15 @@ fn drive_adaptive(
             });
         }
     }
+    // Every slot was filled either by the retire loop or the cap
+    // finalizer above; a hole is a fold bug, reported not panicked (P1).
+    let mut groups = Vec::with_capacity(finished.len());
+    for slot in finished {
+        match slot {
+            Some(group) => groups.push(group),
+            None => return Err("internal: unfinalized group after wave fold".into()),
+        }
+    }
     Ok(Ok(Report {
         graph: GraphInfo {
             name: g.name().to_string(),
@@ -474,10 +492,7 @@ fn drive_adaptive(
         query: spec.query.clone(),
         budget: spec.budget.clone(),
         coverage: Coverage::full(cap as u64),
-        groups: finished
-            .into_iter()
-            .map(|g| g.expect("every group finalized"))
-            .collect(),
+        groups,
     }))
 }
 

@@ -54,6 +54,11 @@
 //! budgets included, whose sequential stopping rule the driver replays
 //! wave by wave across the worker pool (see `fanout.rs`).
 
+// Unsafe may enter this crate only through a scoped, analyze.allow-listed
+// `#[allow]` (rule U2); today that is solely the signal-FFI module in
+// `serve.rs`.
+#![deny(unsafe_code)]
+
 use std::process::ExitCode;
 
 use mrw_core::experiments::{

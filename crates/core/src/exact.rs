@@ -91,7 +91,9 @@ pub fn exact_kwalk_cover_time(g: &Graph, start: u32, k: usize) -> f64 {
             e[mask as usize] = vec![f64::NAN; n_tuples];
             continue;
         }
-        let index_of: std::collections::HashMap<usize, usize> =
+        // BTreeMap, not HashMap: lookup-only here, but the deterministic
+        // crates ban hash collections outright (analyzer rule D1).
+        let index_of: std::collections::BTreeMap<usize, usize> =
             tuples_in.iter().enumerate().map(|(i, &t)| (t, i)).collect();
         let dim = tuples_in.len();
         // (I − Q) x = 1 + r, where Q couples tuples staying in `mask` and

@@ -15,15 +15,19 @@
 //!   exact path on sizes where both are available to validate the MC one.
 //!
 //! Since the query-layer redesign, execution lives in
-//! [`Session`] ([`Query::Hitting`](crate::query::Query)
-//! / [`Query::HMax`](crate::query::Query)); the free functions here are
-//! deprecated shims that reproduce their historical samples bit-for-bit.
+//! [`Session`](crate::query::Session) ([`Query::Hitting`](crate::query::Query)
+//! / [`Query::HMax`](crate::query::Query)); this module keeps the typed
+//! result views ([`HitEstimate`], [`HmaxEstimate`]) and the deterministic
+//! planning helpers ([`hmax_candidates`], [`hmax_mc_cap`]) those queries
+//! share. The pre-redesign free-function shims were removed in 0.3.0 —
+//! build a [`Budget`](crate::query::Budget) and call
+//! [`Session::hitting`](crate::query::Session::hitting) /
+//! [`Session::hmax`](crate::query::Session::hmax).
 
-use mrw_graph::{algo, Graph, GraphBackend};
-use mrw_stats::precision::Trials;
+use mrw_graph::{algo, GraphBackend};
 use mrw_stats::Summary;
 
-use crate::query::{Budget, Report, Session};
+use crate::query::Report;
 
 /// Monte-Carlo estimate of `h(u,v)` from independent walks.
 ///
@@ -77,60 +81,6 @@ fn hmax_label_pair(label: &str) -> (u32, u32) {
     (u.parse().expect("vertex"), v.parse().expect("vertex"))
 }
 
-/// The budget the historical `(trials, seed, threads)` signatures
-/// describe.
-fn shim_budget(trials: Trials, seed: u64, threads: usize) -> Budget {
-    let (fixed, precision) = match trials {
-        Trials::Fixed(n) => (n, None),
-        Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
-    };
-    Budget {
-        trials: fixed,
-        seed,
-        threads,
-        precision,
-        ..Budget::default()
-    }
-}
-
-/// Estimates `h(from, to)` by simulation.
-///
-/// `trials` accepts a plain count ([`Trials::Fixed`]) or a sequential
-/// [`Precision`](mrw_stats::Precision) rule ([`Trials::Adaptive`]) that
-/// stops the fan-out once the CI over *un-capped* walks is tight enough.
-/// Trial `t`'s RNG stream depends only on `(seed, t)`, so both budgets are
-/// bit-for-bit deterministic across thread counts — including the adaptive
-/// consumed-trial count, which is checked only at wave boundaries.
-///
-/// ```
-/// #![allow(deprecated)]
-/// use mrw_core::hitting_mc::hitting_time_mc;
-/// use mrw_core::Precision;
-/// use mrw_graph::generators;
-///
-/// // h(0, 2) on the 4-cycle is d(n−d) = 2·2 = 4 exactly (antipodal pair).
-/// let g = generators::cycle(4);
-/// let rule = Precision::relative(0.2).with_min_trials(16).with_max_trials(512);
-/// let est = hitting_time_mc(&g, 0, 2, rule, 1_000_000, 7, 2);
-/// assert_eq!(est.capped, 0);
-/// assert!((est.steps.count() as usize) < 512); // easy instance stops early
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "run Query::Hitting through query::Session (or Session::hitting) instead"
-)]
-pub fn hitting_time_mc(
-    g: &Graph,
-    from: u32,
-    to: u32,
-    trials: impl Into<Trials>,
-    cap: u64,
-    seed: u64,
-    threads: usize,
-) -> HitEstimate {
-    Session::new(shim_budget(trials.into(), seed, threads)).hitting(g, from, to, cap)
-}
-
 /// Result of an `h_max` search.
 #[derive(Debug, Clone)]
 pub struct HmaxEstimate {
@@ -143,8 +93,8 @@ pub struct HmaxEstimate {
     pub exact: bool,
 }
 
-/// Vertex-count threshold below which [`Session::hmax`] (and the
-/// deprecated [`hmax_estimate`] shim) uses the exact `O(n³)`
+/// Vertex-count threshold below which
+/// [`Session::hmax`](crate::query::Session::hmax) uses the exact `O(n³)`
 /// fundamental-matrix solver.
 pub const EXACT_HMAX_LIMIT: usize = 800;
 
@@ -191,37 +141,27 @@ pub fn hmax_mc_cap<G: GraphBackend>(g: &G) -> u64 {
         .max(1_000_000)
 }
 
-/// Estimates `h_max(G)` (and the attaining pair).
-///
-/// Exact below [`EXACT_HMAX_LIMIT`]; otherwise Monte-Carlo over
-/// diametral and sampled candidate pairs as described in the module docs,
-/// with `trials` (fixed or adaptive) spent per candidate pair.
-#[deprecated(
-    since = "0.2.0",
-    note = "use query::Session::hmax (exact shortcut + Query::HMax) instead"
-)]
-pub fn hmax_estimate(
-    g: &Graph,
-    trials: impl Into<Trials>,
-    seed: u64,
-    threads: usize,
-) -> HmaxEstimate {
-    Session::new(shim_budget(trials.into(), seed, threads)).hmax(g)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the shims double as the equivalence suite here
 mod tests {
     use super::*;
-    use crate::query::Query;
+    use crate::query::{Budget, Query, Session};
     use mrw_graph::generators;
+
+    fn session(trials: usize, seed: u64, threads: usize) -> Session {
+        Session::new(Budget {
+            trials,
+            seed,
+            threads,
+            ..Budget::default()
+        })
+    }
 
     #[test]
     fn mc_matches_exact_on_cycle() {
         let n = 16;
         let g = generators::cycle(n);
         // h(0, 8) = 8 · 8 = 64 exactly.
-        let est = hitting_time_mc(&g, 0, 8, 3000, 10_000_000, 77, 4);
+        let est = session(3000, 77, 4).hitting(&g, 0, 8, 10_000_000);
         assert_eq!(est.capped, 0);
         let mean = est.steps.mean();
         assert!((mean - 64.0).abs() < 4.0, "mean {mean}");
@@ -230,7 +170,7 @@ mod tests {
     #[test]
     fn small_graph_hmax_is_exact() {
         let g = generators::path(10);
-        let e = hmax_estimate(&g, 10, 1, 2);
+        let e = session(10, 1, 2).hmax(&g);
         assert!(e.exact);
         assert!((e.hmax - 81.0).abs() < 1e-6); // (n−1)² = 81
     }
@@ -238,7 +178,7 @@ mod tests {
     #[test]
     fn capped_trials_reported() {
         let g = generators::cycle(64);
-        let est = hitting_time_mc(&g, 0, 32, 50, 3, 5, 2);
+        let est = session(50, 5, 2).hitting(&g, 0, 32, 3);
         assert_eq!(est.capped, 50);
         assert_eq!(est.steps.count(), 0);
     }
@@ -246,8 +186,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = generators::torus_2d(5);
-        let a = hitting_time_mc(&g, 0, 12, 64, 1_000_000, 9, 1);
-        let b = hitting_time_mc(&g, 0, 12, 64, 1_000_000, 9, 4);
+        let a = session(64, 9, 1).hitting(&g, 0, 12, 1_000_000);
+        let b = session(64, 9, 4).hitting(&g, 0, 12, 1_000_000);
         assert_eq!(a.steps.mean(), b.steps.mean());
     }
 
@@ -256,7 +196,7 @@ mod tests {
         // Cycle of 1024 > EXACT_HMAX_LIMIT; hmax = (n/2)² = 262144; the
         // diametral candidates find exactly the antipodal pair.
         let g = generators::cycle(1024);
-        let e = hmax_estimate(&g, 12, 3, 8);
+        let e = session(12, 3, 8).hmax(&g);
         assert!(!e.exact);
         let expect = 512.0 * 512.0;
         assert!(
@@ -267,10 +207,10 @@ mod tests {
     }
 
     #[test]
-    fn shim_equals_session_view() {
+    fn convenience_equals_session_run_view() {
         let g = generators::torus_2d(5);
-        let shim = hitting_time_mc(&g, 0, 12, 48, 1_000_000, 9, 2);
-        let report = Session::new(shim_budget(Trials::Fixed(48), 9, 2)).run(
+        let convenience = session(48, 9, 2).hitting(&g, 0, 12, 1_000_000);
+        let report = session(48, 9, 2).run(
             &g,
             &Query::Hitting {
                 from: 0,
@@ -279,8 +219,8 @@ mod tests {
             },
         );
         let direct = HitEstimate::from_report(&report, 0);
-        assert_eq!(shim.steps, direct.steps);
-        assert_eq!(shim.capped, direct.capped);
+        assert_eq!(convenience.steps, direct.steps);
+        assert_eq!(convenience.capped, direct.capped);
         assert_eq!((direct.from, direct.to), (0, 12));
     }
 

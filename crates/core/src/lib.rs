@@ -80,12 +80,8 @@ pub use estimator::{CoverEstimate, CoverTimeEstimator, EstimatorConfig};
 pub use kwalk::{
     kwalk_cover_rounds, kwalk_cover_rounds_same_start, kwalk_covers_within, KWalkMode,
 };
-#[allow(deprecated)] // the shims survive one release at their old paths
-pub use meeting::mean_catch_time;
 pub use meeting::{meeting_rounds, pursuit_rounds, CatchEstimate, PreyStrategy};
 pub use mrw_stats::precision::{Precision, Trials};
-#[allow(deprecated)] // the shims survive one release at their old paths
-pub use partial::partial_cover_profile;
 pub use partial::{fraction_target, kwalk_partial_cover_rounds, PartialCoverPoint};
 pub use process::{cover_time_process, kwalk_cover_rounds_process, WalkProcess};
 pub use query::{

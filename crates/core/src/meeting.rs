@@ -30,19 +30,20 @@
 //!
 //! Monte-Carlo *estimation* of these games lives in the query layer
 //! ([`Query::Meeting`](crate::query::Query) /
-//! [`Query::Pursuit`](crate::query::Query)); [`mean_catch_time`] survives
-//! as a deprecated shim over it. These two single-game functions are the
-//! primitives the [`Session`] executor itself
-//! plays, and are not deprecated.
+//! [`Query::Pursuit`](crate::query::Query)) — build a
+//! [`Budget`](crate::query::Budget) and call
+//! [`Session::pursuit`](crate::query::Session::pursuit). The two
+//! single-game functions here are the primitives the
+//! [`Session`](crate::query::Session) executor itself plays.
 
-use mrw_graph::{Graph, GraphBackend};
+use mrw_graph::GraphBackend;
 use mrw_stats::ci::{normal_ci, ConfidenceInterval};
 use mrw_stats::Summary;
 use rand::Rng;
 
 use crate::engine::{CompiledProcess, Engine, Meeting, Pursuit, SimpleStep};
 use crate::process::WalkProcess;
-use crate::query::{Budget, Group, Report, Session};
+use crate::query::{Group, Report};
 
 pub use crate::engine::PreyMove;
 
@@ -205,56 +206,18 @@ impl CatchEstimate {
     }
 }
 
-/// Monte-Carlo mean catch time for `k` hunters all starting at
-/// `hunter_start`. `trials` accepts a plain game count or an adaptive
-/// [`Precision`](mrw_stats::Precision) rule that stops once the CI over
-/// catch times is tight enough. `None`-censored games are counted at
-/// `cap` (so the mean is a lower bound if any game was censored; the
-/// `censored` count is reported alongside). Game `t`'s RNG stream depends
-/// only on `(seed, k, t)`, so the consumed-game count of an adaptive run
-/// is reproducible.
-///
-/// # Panics
-/// If the trial budget is empty or `k == 0`.
-#[deprecated(
-    since = "0.2.0",
-    note = "run Query::Pursuit through query::Session (or Session::pursuit) instead"
-)]
-#[allow(clippy::too_many_arguments)] // public signature predates the engine refactor
-pub fn mean_catch_time(
-    g: &Graph,
-    hunter_start: u32,
-    prey: u32,
-    k: usize,
-    strategy: PreyStrategy,
-    cap: u64,
-    trials: impl Into<mrw_stats::Trials>,
-    seed: u64,
-) -> CatchEstimate {
-    let trials = trials.into();
-    let (fixed, precision) = match trials {
-        mrw_stats::Trials::Fixed(n) => (n, None),
-        mrw_stats::Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
-    };
-    let budget = Budget {
-        trials: fixed,
-        seed,
-        precision,
-        ..Budget::default()
-    };
-    Session::new(budget).pursuit(g, hunter_start, prey, k, strategy, cap)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::{Budget, Session};
     use crate::walk::walk_rng;
     use mrw_graph::generators;
 
-    /// The supported (non-deprecated) way to play `trials` pursuit games.
-    #[allow(clippy::too_many_arguments)] // mirrors the shim it exercises
+    /// Plays `trials` pursuit games through the query layer with the
+    /// historical `(trials, seed)` shape these tests were written against.
+    #[allow(clippy::too_many_arguments)] // mirrors the historical signature
     fn catch(
-        g: &Graph,
+        g: &mrw_graph::Graph,
         hunter_start: u32,
         prey: u32,
         k: usize,
@@ -263,8 +226,17 @@ mod tests {
         trials: impl Into<mrw_stats::Trials>,
         seed: u64,
     ) -> CatchEstimate {
-        #[allow(deprecated)] // exercises the shim so it stays equivalent
-        mean_catch_time(g, hunter_start, prey, k, strategy, cap, trials, seed)
+        let (fixed, precision) = match trials.into() {
+            mrw_stats::Trials::Fixed(n) => (n, None),
+            mrw_stats::Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
+        };
+        let budget = Budget {
+            trials: fixed,
+            seed,
+            precision,
+            ..Budget::default()
+        };
+        Session::new(budget).pursuit(g, hunter_start, prey, k, strategy, cap)
     }
 
     #[test]

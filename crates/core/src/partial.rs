@@ -13,7 +13,7 @@
 //! constant fraction `k` times faster (each token sweeps its own arc) even
 //! though full cover only improves by `Θ(log k)`.
 
-use mrw_graph::{Graph, GraphBackend};
+use mrw_graph::GraphBackend;
 use rand::Rng;
 
 use crate::engine::{Engine, PartialCover, SimpleStep};
@@ -80,46 +80,6 @@ pub struct PartialCoverPoint {
     /// Trials consumed for this fraction: the fixed count, or wherever
     /// the adaptive rule stopped.
     pub trials: usize,
-}
-
-/// Monte-Carlo mean partial cover times for `k` walks from `start` at each
-/// fraction in `gammas`, seeded deterministically from `seed`. `trials`
-/// accepts a plain per-fraction count or an adaptive
-/// [`Precision`](mrw_stats::Precision) rule evaluated per fraction (easy
-/// fractions stop early, the coupon-collector tail runs longer).
-///
-/// Fractions are measured on *independent* runs (not one run observed at
-/// several thresholds), so the returned means are unbiased per-γ even
-/// though that costs extra simulation. Trial `t` of fraction `gi` draws a
-/// stream depending only on `(seed, gi, t)`, so consumed counts are
-/// reproducible.
-///
-/// # Panics
-/// As [`kwalk_partial_cover_rounds`]; also if the trial budget is empty.
-#[deprecated(
-    since = "0.2.0",
-    note = "run Query::PartialCover through query::Session (or Session::partial_profile) instead"
-)]
-pub fn partial_cover_profile(
-    g: &Graph,
-    start: u32,
-    k: usize,
-    gammas: &[f64],
-    trials: impl Into<mrw_stats::Trials>,
-    seed: u64,
-) -> Vec<PartialCoverPoint> {
-    let trials = trials.into();
-    let (fixed, precision) = match trials {
-        mrw_stats::Trials::Fixed(n) => (n, None),
-        mrw_stats::Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
-    };
-    let budget = crate::query::Budget {
-        trials: fixed,
-        seed,
-        precision,
-        ..crate::query::Budget::default()
-    };
-    crate::query::Session::new(budget).partial_profile(g, start, k, gammas)
 }
 
 #[cfg(test)]
@@ -211,17 +171,27 @@ mod tests {
         fraction_target(10, 0.0);
     }
 
-    /// The supported (non-deprecated) way to compute a profile.
+    /// Profile through the query layer with the historical
+    /// `(trials, seed)` shape these tests were written against.
     fn profile(
-        g: &Graph,
+        g: &mrw_graph::Graph,
         start: u32,
         k: usize,
         gammas: &[f64],
         trials: impl Into<mrw_stats::Trials>,
         seed: u64,
     ) -> Vec<PartialCoverPoint> {
-        #[allow(deprecated)] // exercises the shim so it stays equivalent
-        partial_cover_profile(g, start, k, gammas, trials, seed)
+        let (fixed, precision) = match trials.into() {
+            mrw_stats::Trials::Fixed(n) => (n, None),
+            mrw_stats::Trials::Adaptive(rule) => (rule.max_trials, Some(rule)),
+        };
+        let budget = crate::query::Budget {
+            trials: fixed,
+            seed,
+            precision,
+            ..crate::query::Budget::default()
+        };
+        crate::query::Session::new(budget).partial_profile(g, start, k, gammas)
     }
 
     #[test]

@@ -498,7 +498,7 @@ impl GraphSpec {
         if self.jumps.is_empty() {
             return Err("circulant needs at least one jump".into());
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &s in &self.jumps {
             if s == 0 || s >= n {
                 return Err(format!("jump {s} out of range 1..{n}"));

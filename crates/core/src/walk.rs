@@ -119,11 +119,11 @@ mod tests {
         let g = generators::cycle(32);
         let steps = cover_time_single(&g, 0, &mut walk_rng(7));
         let trace = walk_trace(&g, 0, steps as usize, &mut walk_rng(7));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         seen.extend(trace.iter().copied());
         assert_eq!(seen.len(), 32, "cover time returned before covering");
         // Minimality: the prefix of length steps-1 must miss some vertex.
-        let mut prefix = std::collections::HashSet::new();
+        let mut prefix = std::collections::BTreeSet::new();
         prefix.extend(trace[..steps as usize].iter().copied());
         assert_eq!(prefix.len(), 31, "cover time not minimal");
     }
@@ -191,7 +191,7 @@ mod tests {
         // one-step distribution is uniform-ish over 4 neighbors.
         let g = generators::torus_2d(5);
         let mut rng = walk_rng(5);
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..40_000 {
             let nxt = step(&g, 0, &mut rng);
             *counts.entry(nxt).or_insert(0u32) += 1;

@@ -9,8 +9,8 @@
 //!   across thread counts.
 //! * Sharded adaptive budgets certify their achieved half-width after the
 //!   merge.
-//! * The deprecated typed entry points are bit-for-bit equivalent to the
-//!   `Session` runs they now delegate to.
+//! * The typed `Session` convenience entry points are bit-for-bit
+//!   equivalent to the `Session::run` reports they view.
 
 use mrw_core::query::{Budget, Query, Report, Session, Shard};
 use mrw_core::{CoverTimeEstimator, EstimatorConfig, Precision, PreyStrategy};
@@ -307,45 +307,58 @@ fn speedup_sweep_equals_ladder_report() {
     assert_eq!(report.groups[2].label, "k=4");
 }
 
-/// The deprecated pursuit shim delegates to `Session::pursuit` — same
-/// stream, same statistics, including the censored tally.
+/// `Session::pursuit` is a typed view over `Session::run` with
+/// `Query::Pursuit` — same stream, same statistics, same censored tally.
 #[test]
-#[allow(deprecated)]
-fn mean_catch_time_shim_equals_session_pursuit() {
+fn pursuit_convenience_equals_session_run() {
     let g = generators::torus_2d(6);
     let prey = (g.n() - 1) as u32;
-    let shim = mrw_core::mean_catch_time(&g, 0, prey, 2, PreyStrategy::Hide, 100_000, 40, 21);
-    let session = Session::new(Budget {
+    let budget = Budget {
         trials: 40,
         seed: 21,
         ..Budget::default()
-    });
-    let direct = session.pursuit(&g, 0, prey, 2, PreyStrategy::Hide, 100_000);
-    assert_eq!(shim.rounds(), direct.rounds());
-    assert_eq!(shim.censored(), direct.censored());
-    assert_eq!(shim.consumed_trials(), direct.consumed_trials());
+    };
+    let direct = Session::new(budget.clone()).pursuit(&g, 0, prey, 2, PreyStrategy::Hide, 100_000);
+    let report = Session::new(budget).run(
+        &g,
+        &Query::Pursuit {
+            ks: vec![2],
+            hunters: 0,
+            prey,
+            strategy: PreyStrategy::Hide,
+            cap: 100_000,
+        },
+    );
+    let view = mrw_core::CatchEstimate::from_report(&report, 0);
+    assert_eq!(view.rounds(), direct.rounds());
+    assert_eq!(view.censored(), direct.censored());
+    assert_eq!(view.consumed_trials(), direct.consumed_trials());
 }
 
-/// The deprecated partial-profile shim delegates to
-/// `Session::partial_profile` — same per-γ means and consumed counts.
+/// `Session::partial_profile` is a typed view over `Session::run` with
+/// `Query::PartialCover` — same per-γ means and consumed counts.
 #[test]
-#[allow(deprecated)]
-fn partial_profile_shim_equals_session_profile() {
+fn partial_profile_convenience_equals_session_run() {
     let g = generators::torus_2d(5);
     let gammas = [0.25, 0.75, 1.0];
-    let shim = mrw_core::partial_cover_profile(&g, 0, 2, &gammas, 32usize, 9);
-    let session = Session::new(Budget {
+    let budget = Budget {
         trials: 32,
         seed: 9,
         ..Budget::default()
-    });
-    let direct = session.partial_profile(&g, 0, 2, &gammas);
-    assert_eq!(shim.len(), direct.len());
-    for (a, b) in shim.iter().zip(&direct) {
-        assert_eq!(a.gamma, b.gamma);
-        assert_eq!(a.target, b.target);
-        assert_eq!(a.mean_rounds, b.mean_rounds);
-        assert_eq!(a.trials, b.trials);
+    };
+    let direct = Session::new(budget.clone()).partial_profile(&g, 0, 2, &gammas);
+    let report = Session::new(budget).run(
+        &g,
+        &Query::PartialCover {
+            start: 0,
+            k: 2,
+            gammas: gammas.to_vec(),
+        },
+    );
+    assert_eq!(report.groups.len(), direct.len());
+    for (a, b) in direct.iter().zip(&report.groups) {
+        assert_eq!(a.mean_rounds, b.mean());
+        assert_eq!(a.trials as u64, b.trials);
     }
 }
 

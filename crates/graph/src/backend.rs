@@ -261,7 +261,7 @@ impl ImplicitGraph {
         assert!(n >= 3, "circulant needs n ≥ 3, got {n}");
         assert!(n <= u32::MAX as usize, "too many vertices for u32 ids");
         assert!(!jumps.is_empty(), "circulant needs at least one jump");
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut degree = 0usize;
         for &s in jumps {
             assert!(s >= 1 && s < n, "jump {s} out of range 1..{n}");

@@ -20,7 +20,7 @@ use crate::csr::Graph;
 pub fn circulant(n: usize, jumps: &[usize]) -> Graph {
     assert!(n >= 3, "circulant needs n ≥ 3, got {n}");
     assert!(!jumps.is_empty(), "circulant needs at least one jump");
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for &s in jumps {
         assert!(s >= 1 && s < n, "jump {s} out of range 1..{n}");
         let canon = s.min(n - s);

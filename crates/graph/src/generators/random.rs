@@ -133,7 +133,9 @@ pub fn random_regular<R: Rng + ?Sized>(
             let j = rng.gen_range(0..=i);
             pool.swap(i, j);
         }
-        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        // Membership-only, but hash collections are banned in this crate
+        // (analyzer rule D1); the tree set costs nothing measurable here.
+        let mut seen = std::collections::BTreeSet::new();
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
         while let Some(u) = pool.pop() {
             let mut matched = false;

@@ -12,7 +12,7 @@
 //! experiment sweeps them alongside the paper's families.
 
 use rand::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
@@ -61,14 +61,17 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     );
 
     let key = |u: u32, v: u32| if u < v { (u, v) } else { (v, u) };
-    let mut edges: HashSet<(u32, u32)> = HashSet::with_capacity(n * base_degree / 2);
+    // An ordered set (rule D1): membership tests during rewiring, then a
+    // canonical sorted drain below — the output never depended on
+    // iteration order, now the container cannot even offer a wrong one.
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
     for v in 0..n {
         for off in 1..=(base_degree / 2) {
             edges.insert(key(v as u32, ((v + off) % n) as u32));
         }
     }
-    // Rewire in the canonical order (vertex, offset) so a fixed seed gives
-    // a fixed graph regardless of HashSet iteration order.
+    // Rewire in the canonical order (vertex, offset) so a fixed seed
+    // gives a fixed graph.
     for v in 0..n {
         for off in 1..=(base_degree / 2) {
             if rng.gen::<f64>() >= beta {
@@ -100,9 +103,8 @@ pub fn watts_strogatz<R: Rng + ?Sized>(
     }
 
     let mut b = GraphBuilder::with_capacity(n, edges.len());
-    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
-    sorted.sort_unstable();
-    for (u, v) in sorted {
+    // BTreeSet iteration is already the canonical sorted edge order.
+    for (u, v) in edges {
         b.add_edge(u, v);
     }
     b.build(format!(

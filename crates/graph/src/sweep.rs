@@ -142,6 +142,9 @@ impl<'g> UniformSweep<'g> {
                 // `s + d ≤ adjacency.len()`.
                 #[allow(unsafe_code)]
                 {
+                    // SAFETY: as argued above — both pick laws give
+                    // `idx < d` and `from_csr` guarantees
+                    // `s + d ≤ adj.len()`.
                     *p = unsafe { *adj.get_unchecked(s + idx) };
                 }
             }

@@ -74,6 +74,8 @@
 //! assert!(out.stopped && out.rounds > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use mrw_graph as graph;
 pub use mrw_par as par;
 pub use mrw_spectral as spectral;
