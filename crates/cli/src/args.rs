@@ -104,6 +104,15 @@ serve / serve-ctl (resident estimate service):
                   evicted entry recomputes, never changes bytes
   --graph-cache-bytes B
                   resident-graph cache bound in bytes (default 256 MiB)
+  --persist DIR   write each report-cache entry to DIR as a canonical
+                  mrw-ledger-v1 file and warm-start the cache from DIR
+                  on boot (tampered/corrupt files are skipped with a
+                  warning, never served)
+  --delegate-trials T
+                  misses/extensions that need >= T new trials run
+                  through the fanout work-stealing dispatcher in child
+                  mrw shard processes instead of in-process (same bytes
+                  either way; default: always in-process)
 
 hunting options:
   --prey P        the moving prey's strategy: stationary | uniform
@@ -220,6 +229,11 @@ pub struct Options {
     pub cache_bytes: Option<u64>,
     /// `--graph-cache-bytes B`: the serve graph-cache LRU bound.
     pub graph_cache_bytes: Option<u64>,
+    /// `--persist DIR`: the serve daemon's warm-start ledger directory.
+    pub persist: Option<String>,
+    /// `--delegate-trials T`: misses needing at least this many new
+    /// trials are delegated to the fanout dispatcher by the daemon.
+    pub delegate_trials: Option<u64>,
     /// `--prey P` (the `hunting` verb's moving-prey strategy).
     pub prey: Option<mrw_core::PreyStrategy>,
     /// `--k-ladder KS` (the `hunting` verb's hunter counts).
@@ -267,6 +281,8 @@ impl Options {
             connect: None,
             cache_bytes: None,
             graph_cache_bytes: None,
+            persist: None,
+            delegate_trials: None,
             prey: None,
             k_ladder: None,
             files: Vec::new(),
@@ -365,6 +381,20 @@ impl Options {
                         v.parse()
                             .map_err(|_| format!("bad --graph-cache-bytes '{v}'"))?,
                     );
+                }
+                "--persist" => {
+                    let v = it.next().ok_or("--persist needs a directory")?;
+                    opts.persist = Some(v);
+                }
+                "--delegate-trials" => {
+                    let v = it.next().ok_or("--delegate-trials needs a value")?;
+                    let t: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad --delegate-trials '{v}'"))?;
+                    if t == 0 {
+                        return Err("--delegate-trials must be >= 1".into());
+                    }
+                    opts.delegate_trials = Some(t);
                 }
                 "--prey" => {
                     let v = it.next().ok_or("--prey needs a value")?;
@@ -779,6 +809,29 @@ mod tests {
         assert!(parse(&["serve", "--listen"]).is_err());
         assert!(parse(&["serve", "--cache-bytes", "lots"]).is_err());
         assert!(parse(&["serve", "--graph-cache-bytes"]).is_err());
+    }
+
+    #[test]
+    fn serve_persist_and_delegation_flags() {
+        let o = parse(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--persist",
+            "/tmp/ledgers",
+            "--delegate-trials",
+            "4096",
+        ])
+        .unwrap();
+        assert_eq!(o.persist.as_deref(), Some("/tmp/ledgers"));
+        assert_eq!(o.delegate_trials, Some(4096));
+        let o = parse(&["serve", "--listen", "127.0.0.1:0"]).unwrap();
+        assert_eq!(o.persist, None, "persistence is opt-in");
+        assert_eq!(o.delegate_trials, None, "delegation is opt-in");
+        assert!(parse(&["serve", "--persist"]).is_err());
+        assert!(parse(&["serve", "--delegate-trials"]).is_err());
+        assert!(parse(&["serve", "--delegate-trials", "0"]).is_err());
+        assert!(parse(&["serve", "--delegate-trials", "many"]).is_err());
     }
 
     #[test]

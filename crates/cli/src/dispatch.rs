@@ -284,13 +284,24 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// The deadline currently applied to in-flight chunks.
+    ///
+    /// Both arms saturate instead of trusting their arithmetic: a huge
+    /// `--deadline-ms` would overflow `Duration * u32` (a panic — rule P1
+    /// forbids that here), and an enormous EWMA would silently wrap the
+    /// `f64 → u64` cast. An effectively-infinite deadline just means the
+    /// hang policy is off, which is exactly what such a flag asks for.
     fn deadline(&self) -> Duration {
         match self.ewma_ms {
             Some(ewma) => {
-                let from_ewma = Duration::from_millis((ewma * DEADLINE_FACTOR).ceil() as u64);
+                let ms = (ewma * DEADLINE_FACTOR).ceil();
+                let from_ewma = if ms.is_finite() && ms < u64::MAX as f64 {
+                    Duration::from_millis(ms.max(0.0) as u64)
+                } else {
+                    Duration::MAX
+                };
                 from_ewma.max(self.cfg.deadline_floor)
             }
-            None => self.cfg.deadline_floor * COLD_START_FACTOR,
+            None => self.cfg.deadline_floor.saturating_mul(COLD_START_FACTOR),
         }
     }
 
@@ -493,5 +504,64 @@ impl Drop for Dispatcher<'_> {
             let _ = worker.child.wait();
             let _ = std::fs::remove_file(&worker.out_path);
         }
+    }
+}
+
+/// Folds harvested chunk reports into one. [`Report::merge`] is exact
+/// and associative over disjoint coverage, so the fold order does not
+/// matter; overlap rejection inside `merge` keeps double-dispatch a
+/// structural impossibility. Shared by `fanout` and the serve-side
+/// delegation path.
+pub(crate) fn merge_all(reports: &[Report]) -> Result<Report, String> {
+    let mut it = reports.iter();
+    let first = it.next().ok_or("no shard reports to merge")?.clone();
+    it.try_fold(first, |acc, r| Report::merge(&acc, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dispatcher_with_floor(scratch: &Scratch, floor: Duration) -> Dispatcher<'_> {
+        let cfg = DispatchConfig {
+            workers: 1,
+            retries: 0,
+            threads: None,
+            deadline_floor: floor,
+            jitter_seed: 0,
+        };
+        Dispatcher::new(scratch.path("spec.json"), scratch, cfg).unwrap()
+    }
+
+    /// `--deadline-ms u64::MAX/1000` used to panic in the cold-start arm
+    /// (`Duration * u32` overflow) before any latency sample existed.
+    #[test]
+    fn huge_deadline_floor_saturates_instead_of_panicking() {
+        let scratch = Scratch::new().unwrap();
+        let floor = Duration::from_millis(u64::MAX / 1000);
+        let mut d = dispatcher_with_floor(&scratch, floor);
+
+        // Cold start: no EWMA sample yet.
+        assert!(d.deadline() >= floor);
+
+        // Warm: an absurd EWMA must saturate, not wrap the f64 → u64 cast.
+        d.ewma_ms = Some(f64::MAX);
+        assert_eq!(d.deadline(), Duration::MAX);
+
+        // A sane EWMA still floors at the configured minimum.
+        d.ewma_ms = Some(1.0);
+        assert!(d.deadline() >= floor);
+    }
+
+    /// The normal regime is untouched by the saturating rewrite.
+    #[test]
+    fn deadline_tracks_the_latency_ewma() {
+        let scratch = Scratch::new().unwrap();
+        let mut d = dispatcher_with_floor(&scratch, Duration::from_millis(5));
+        assert_eq!(d.deadline(), Duration::from_millis(50)); // 10 × floor
+        d.ewma_ms = Some(100.0);
+        assert_eq!(d.deadline(), Duration::from_millis(800)); // 8 × ewma
+        d.ewma_ms = Some(0.25);
+        assert_eq!(d.deadline(), Duration::from_millis(5)); // floored
     }
 }

@@ -51,7 +51,7 @@ use mrw_graph::GraphBackend;
 use mrw_stats::{IntMoments, Precision};
 
 use crate::args::Options;
-use crate::dispatch::{Chunk, DispatchConfig, Dispatcher, Scratch};
+use crate::dispatch::{merge_all, Chunk, DispatchConfig, Dispatcher, Scratch};
 
 /// Default per-chunk retry budget for failed, hung, or corrupt workers.
 pub const DEFAULT_RETRIES: usize = 2;
@@ -154,15 +154,6 @@ struct DriveResult {
     outcome: Result<Report, Interrupted>,
     failures: Vec<String>,
     retries_used: usize,
-}
-
-/// Merges same-structure shard reports (coverage-overlap rejection
-/// included — a double-submitted range is an error here, never a double
-/// count).
-fn merge_all(reports: &[Report]) -> Result<Report, String> {
-    let mut it = reports.iter();
-    let first = it.next().ok_or("no shard reports to merge")?.clone();
-    it.try_fold(first, |acc, r| Report::merge(&acc, r))
 }
 
 /// Cuts a contiguous gap into chunks of at most `chunk_len` trials.

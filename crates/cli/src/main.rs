@@ -26,7 +26,8 @@
 //!   shard           run one shard of a spec's trial range (JSON report)
 //!   merge           losslessly merge shard reports
 //!   fanout          run a spec across N local worker processes and merge
-//!   serve           resident estimate daemon with an incremental report cache
+//!   serve           resident estimate daemon: incremental report cache,
+//!                   warm-start ledger persistence, fanout delegation
 //!   serve-ctl       line client for mrw serve (run | stats | ping | shutdown)
 //!   all             every experiment above, in order
 //! ```

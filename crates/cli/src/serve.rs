@@ -40,29 +40,68 @@
 //! Graphs are cached separately under `GraphSpec::cache_key` (family,
 //! size, jumps, resolved backend). Both caches are LRU-bounded
 //! (`--cache-bytes` / `--graph-cache-bytes`) with deterministic
-//! per-entry cost accounting; an evicted entry is recomputed on the next
-//! request — slower, never different bytes.
+//! per-entry cost accounting; the entry just served is pinned during the
+//! eviction pass (a cache sized for one entry holds it), and an evicted
+//! entry is recomputed on the next request — slower, never different
+//! bytes.
 //!
-//! Requests are served under one state lock, so concurrent identical
-//! queries serialize into one computation plus cache hits — which is
-//! what makes the `stats` counters (including `trials_executed`)
-//! deterministic enough for the e2e harness to assert exact values.
+//! ## Persistence (`--persist DIR`)
+//!
+//! With `--persist`, every entry whose ledger grew is rewritten to
+//! `DIR/ledger-<fnv1a(report_key)>.json` as a canonical
+//! [`mrw-ledger-v1`](mrw_core::query::ledger) document (tmp-file +
+//! rename, so a crash mid-write leaves the previous generation intact),
+//! and boot loads every such file back before printing the ready line.
+//! The document embeds the spec template and is fingerprinted over its
+//! whole payload, so a tampered, truncated, or version-skewed file is
+//! *skipped with a warning on stderr* — never served, never a panic
+//! (rule P1). A warm-started entry answers its budget with zero new
+//! trials and the exact bytes a cold `mrw run` would print.
+//!
+//! ## Locking
+//!
+//! The global state lock covers only bookkeeping (cache maps, counters,
+//! tick). Computation happens under a *per-key in-flight gate*: one
+//! request per `report_key` computes at a time — identical concurrent
+//! queries still produce exactly one miss plus hits — while requests for
+//! distinct keys compute concurrently. Per-key stats transitions stay
+//! deterministic (which is what lets the e2e harness assert exact
+//! counter values); only the interleaving *across* keys is scheduled by
+//! the OS. Entry updates stay transactional (remove → mutate →
+//! reinsert), so a panic mid-compute costs a cache entry, never corrupts
+//! one.
+//!
+//! ## Delegation (`--delegate-trials T`)
+//!
+//! A miss or extension that needs `>= T` new trials for a group is
+//! executed through the fanout work-stealing dispatcher (child
+//! `mrw shard` processes with `--range`/`--groups`, deadline-killed and
+//! retried like any fanout chunk) instead of in-process, so one huge
+//! request cannot monopolize the daemon process. The merged shard
+//! reports are byte-identical to the in-process run — a trial is a pure
+//! function of `(seed, group, index)` — and `trials_executed` counts the
+//! same either way.
 
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use mrw_core::query::json::{self, Value};
-use mrw_core::query::{Budget, Coverage, GraphInfo, Group, Query, QuerySpec, Report, Session};
+use mrw_core::query::{
+    Budget, Coverage, GraphInfo, Group, Ledger, LedgerGroup, QuerySpec, Report, Session,
+};
 use mrw_core::AnyGraph;
 use mrw_graph::GraphBackend;
 use mrw_stats::IntMoments;
 
 use crate::args::Options;
+use crate::dispatch::{merge_all, Chunk, DispatchConfig, Dispatcher, Scratch};
+use crate::fanout::{DEFAULT_DEADLINE_MS, DEFAULT_RETRIES};
 
 /// Hard cap on one request frame — hostile input must not buffer
 /// unboundedly. Oversize frames get one error response, then the
@@ -259,12 +298,23 @@ fn read_frame(r: &mut impl BufRead) -> std::io::Result<FrameRead> {
         r.consume(consumed);
         if newline_at {
             let line = &body[line_start..];
+            // A CRLF client's blank separator arrives as "\r\n"; treat it
+            // as the terminator too, or such a client stalls until the
+            // frame cap trips.
             if line == b"\n" || line == b"\r\n" {
                 if line_start == 0 {
                     body.clear();
                     continue;
                 }
                 body.truncate(line_start);
+                // Normalize only the stored body's terminator line: its
+                // stray '\r' would otherwise ride along into the framed
+                // bytes (interior lines are the client's own content).
+                if body.ends_with(b"\r\n") {
+                    let len = body.len();
+                    body.truncate(len - 2);
+                    body.push(b'\n');
+                }
                 return Ok(FrameRead::Frame(body));
             }
             line_start = body.len();
@@ -325,24 +375,114 @@ struct GraphEntry {
     tick: u64,
 }
 
-/// One group's cumulative prefix ledger: exact statistics over trials
-/// `[0, b)` at every boundary `b` some request has served. Strictly
-/// increasing in `b`; boundaries are inserted wherever a request lands,
-/// so the ledger answers any previously-seen budget with zero trials and
-/// any new one by running only `[greatest b ≤ n, n)`.
-struct GroupLedger {
-    label: String,
-    prefixes: Vec<(u64, Group)>,
+/// How delegated misses run: the trial threshold plus the dispatcher
+/// knobs (resolved once at boot from the serve command line).
+struct Delegation {
+    /// Misses/extensions needing at least this many new trials for a
+    /// group go through the dispatcher instead of in-process.
+    threshold: u64,
+    workers: usize,
+    retries: usize,
+    threads: Option<usize>,
+    deadline_ms: u64,
 }
 
-/// One report-cache entry: the per-group ledgers plus everything needed
-/// to assemble byte-identical responses (graph identity, query, and the
-/// budget template carrying the key's seed / mode / batch).
+/// Executes one missing trial range for the cache: in-process via
+/// [`Session`] below the delegation threshold, through the fanout
+/// work-stealing dispatcher (child `mrw shard` processes) at or above
+/// it. Both paths produce identical bytes — a trial is a pure function
+/// of `(seed, group, index)` and shard merges are exact.
+struct Runner<'a> {
+    graph: &'a AnyGraph,
+    delegation: Option<&'a Delegation>,
+}
+
+impl Runner<'_> {
+    /// Runs trials `[lo, n)` of `template`'s experiment under `budget`
+    /// (trial space `n`, precision stripped), optionally restricted to
+    /// specific group indices.
+    fn run_range(
+        &self,
+        template: &QuerySpec,
+        budget: Budget,
+        lo: usize,
+        n: usize,
+        groups: Option<Vec<usize>>,
+    ) -> Result<Report, String> {
+        if let Some(d) = self.delegation {
+            if (n - lo) as u64 >= d.threshold {
+                return self.delegate(d, template, &budget, lo, n, &groups);
+            }
+        }
+        let mut session = Session::new(budget).with_range(lo..n);
+        if let Some(idxs) = groups {
+            session = session.with_groups(idxs);
+        }
+        Ok(session.run(self.graph, &template.query))
+    }
+
+    /// The dispatcher path: write the resolved child spec to a scratch
+    /// dir, cut `[lo, n)` into chunks, run the work-stealing pool with
+    /// its usual deadline/retry policy, merge, and validate the merged
+    /// coverage. Any failure is an error frame for this one request —
+    /// the daemon and the cache entry's prior state survive.
+    fn delegate(
+        &self,
+        d: &Delegation,
+        template: &QuerySpec,
+        budget: &Budget,
+        lo: usize,
+        n: usize,
+        groups: &Option<Vec<usize>>,
+    ) -> Result<Report, String> {
+        let child_spec = QuerySpec {
+            graph: template.graph.clone(),
+            query: template.query.clone(),
+            budget: budget.clone(),
+        };
+        let scratch = Scratch::new()?;
+        let spec_path = scratch.path("spec.json");
+        std::fs::write(&spec_path, child_spec.to_json())
+            .map_err(|e| format!("{}: {e}", spec_path.display()))?;
+        let cfg = DispatchConfig {
+            workers: d.workers,
+            retries: d.retries,
+            threads: d.threads,
+            deadline_floor: Duration::from_millis(d.deadline_ms),
+            jitter_seed: budget.seed,
+        };
+        let mut dispatcher = Dispatcher::new(spec_path, &scratch, cfg)?;
+        let len = n - lo;
+        let chunk_len = len.div_ceil((d.workers * 4).min(len).max(1));
+        let mut start = lo;
+        while start < n {
+            let end = (start + chunk_len).min(n);
+            dispatcher.enqueue(Chunk::new(0, start..end, groups.clone()));
+            start = end;
+        }
+        dispatcher.run_until_wave_done(0)?;
+        let parts = dispatcher.take_completed(0);
+        let merged = merge_all(&parts)?;
+        if merged.coverage.ranges() != [(lo as u64, n as u64)] {
+            return Err(format!(
+                "delegated workers covered {:?}, expected [({lo}, {n})]",
+                merged.coverage.ranges()
+            ));
+        }
+        Ok(merged)
+    }
+}
+
+/// One report-cache entry: the per-group prefix ledgers
+/// ([`LedgerGroup`] — the exact shape `mrw-ledger-v1` persists) plus
+/// everything needed to assemble byte-identical responses and to
+/// serialize the entry (the graph identity reports carry, and the spec
+/// template whose budget holds the key's seed / mode / batch with the
+/// precision rule stripped).
 struct ReportEntry {
     graph: GraphInfo,
-    query: Query,
-    budget: Budget,
-    groups: Vec<GroupLedger>,
+    spec: QuerySpec,
+    groups: Vec<LedgerGroup>,
     tick: u64,
 }
 
@@ -353,13 +493,51 @@ impl ReportEntry {
                 name: g.name().to_string(),
                 n: g.n(),
             },
-            query: spec.query.clone(),
-            budget: Budget {
-                precision: None,
-                ..spec.budget.clone()
+            spec: QuerySpec {
+                graph: spec.graph.clone(),
+                query: spec.query.clone(),
+                budget: Budget {
+                    precision: None,
+                    ..spec.budget.clone()
+                },
             },
             groups: Vec::new(),
             tick: 0,
+        }
+    }
+
+    /// Rehydrates a warm-start entry from a validated on-disk ledger.
+    fn from_ledger(ledger: Ledger, tick: u64) -> ReportEntry {
+        ReportEntry {
+            graph: ledger.graph,
+            spec: ledger.spec,
+            groups: ledger.groups,
+            tick,
+        }
+    }
+
+    /// The persistable view of this entry. The embedded spec's trial
+    /// count is restated to the largest materialized boundary, so the
+    /// document is self-consistent without carrying extra state.
+    fn to_ledger(&self) -> Ledger {
+        let max_hi = self
+            .groups
+            .iter()
+            .filter_map(|g| g.prefixes.last())
+            .map(|p| p.0)
+            .max()
+            .unwrap_or(0);
+        Ledger {
+            spec: QuerySpec {
+                budget: Budget {
+                    trials: max_hi as usize,
+                    ..self.spec.budget.clone()
+                },
+                graph: self.spec.graph.clone(),
+                query: self.spec.query.clone(),
+            },
+            graph: self.graph.clone(),
+            groups: self.groups.clone(),
         }
     }
 
@@ -378,24 +556,24 @@ impl ReportEntry {
     /// group structure (labels can depend on the graph — `hmax` derives
     /// its candidate pairs from it) and seed every ledger with the
     /// boundary. Returns the trial count dispatched.
-    fn initialize(&mut self, g: &AnyGraph, n: usize) -> u64 {
+    fn initialize(&mut self, runner: &Runner<'_>, n: usize) -> Result<u64, String> {
         let budget = Budget {
             trials: n,
-            ..self.budget.clone()
+            ..self.spec.budget.clone()
         };
-        let report = Session::new(budget).run(g, &self.query);
+        let report = runner.run_range(&self.spec, budget, 0, n, None)?;
         self.groups = report
             .groups
             .into_iter()
             .map(|grp| {
                 let label = grp.label.clone();
-                GroupLedger {
+                LedgerGroup {
                     label,
                     prefixes: vec![(n as u64, grp)],
                 }
             })
             .collect();
-        (n * self.groups.len()) as u64
+        Ok((n * self.groups.len()) as u64)
     }
 
     /// Cumulative statistics of group `idx` over trials `[0, n)`,
@@ -404,7 +582,7 @@ impl ReportEntry {
     /// The result is inserted as a new boundary, so the ledger grows
     /// wherever requests actually land. Returns the group and the trial
     /// count dispatched.
-    fn prefix(&mut self, g: &AnyGraph, idx: usize, n: u64) -> (Group, u64) {
+    fn prefix(&mut self, runner: &Runner<'_>, idx: usize, n: u64) -> Result<(Group, u64), String> {
         let empty = |label: String| Group {
             label,
             trials: 0,
@@ -412,10 +590,10 @@ impl ReportEntry {
             censored: 0,
         };
         if n == 0 {
-            return (empty(self.groups[idx].label.clone()), 0);
+            return Ok((empty(self.groups[idx].label.clone()), 0));
         }
         match self.groups[idx].prefixes.binary_search_by_key(&n, |p| p.0) {
-            Ok(pos) => (self.groups[idx].prefixes[pos].1.clone(), 0),
+            Ok(pos) => Ok((self.groups[idx].prefixes[pos].1.clone(), 0)),
             Err(pos) => {
                 let (lo, base) = if pos == 0 {
                     (0, empty(self.groups[idx].label.clone()))
@@ -425,17 +603,22 @@ impl ReportEntry {
                 };
                 let budget = Budget {
                     trials: n as usize,
-                    ..self.budget.clone()
+                    ..self.spec.budget.clone()
                 };
-                let delta = Session::new(budget)
-                    .with_range(lo as usize..n as usize)
-                    .with_groups(vec![idx])
-                    .run(g, &self.query)
-                    .groups
-                    .swap_remove(idx);
+                let mut delta_groups = runner
+                    .run_range(&self.spec, budget, lo as usize, n as usize, Some(vec![idx]))?
+                    .groups;
+                if idx >= delta_groups.len() {
+                    return Err(format!(
+                        "range run returned {} group(s), expected at least {}",
+                        delta_groups.len(),
+                        idx + 1
+                    ));
+                }
+                let delta = delta_groups.swap_remove(idx);
                 let cum = base.merge(&delta);
                 self.groups[idx].prefixes.insert(pos, (n, cum.clone()));
-                (cum, n - lo)
+                Ok((cum, n - lo))
             }
         }
     }
@@ -445,6 +628,12 @@ impl ReportEntry {
 struct Inner {
     graphs: HashMap<String, GraphEntry>,
     reports: HashMap<String, ReportEntry>,
+    /// Per-`report_key` compute gates: requests for the same key
+    /// serialize on the gate (one miss, the rest hits); distinct keys
+    /// compute concurrently. Gates are created and cloned only under the
+    /// global lock and removed when their last concurrent holder
+    /// finishes, so the table stays as small as the in-flight set.
+    inflight: HashMap<String, Arc<Mutex<()>>>,
     tick: u64,
     stats: Stats,
 }
@@ -473,17 +662,22 @@ impl Inner {
                 tick,
             },
         );
-        self.evict_graphs(bound);
+        self.evict_graphs(bound, Some(key));
         Ok(g)
     }
 
-    fn evict_graphs(&mut self, bound: u64) {
+    /// LRU pass over the graph cache. `pin` names the entry being served
+    /// right now — it is never the victim, so a bound sized for one graph
+    /// actually holds that graph instead of evicting what it just built.
+    fn evict_graphs(&mut self, bound: u64, pin: Option<&str>) {
         while self.graphs.values().map(|e| e.bytes as u64).sum::<u64>() > bound {
-            // min_by_key is None only on an empty map, whose byte sum is 0
-            // ≤ bound; break rather than panic the daemon (rule P1).
+            // min_by_key is None when every remaining entry is pinned (or
+            // the map is empty); break rather than panic the daemon
+            // (rule P1).
             let Some(victim) = self
                 .graphs
                 .iter()
+                .filter(|(k, _)| pin != Some(k.as_str()))
                 .min_by_key(|(_, e)| e.tick)
                 .map(|(k, _)| k.clone())
             else {
@@ -494,11 +688,15 @@ impl Inner {
         }
     }
 
-    fn evict_reports(&mut self, bound: u64) {
+    /// LRU pass over the report cache, with the same pinning rule as
+    /// [`Inner::evict_graphs`]: the just-inserted/just-updated key
+    /// survives its own eviction pass.
+    fn evict_reports(&mut self, bound: u64, pin: Option<&str>) {
         while self.reports.values().map(|e| e.bytes() as u64).sum::<u64>() > bound {
             let Some(victim) = self
                 .reports
                 .iter()
+                .filter(|(k, _)| pin != Some(k.as_str()))
                 .min_by_key(|(_, e)| e.tick)
                 .map(|(k, _)| k.clone())
             else {
@@ -514,6 +712,11 @@ struct Server {
     inner: Mutex<Inner>,
     cache_bytes: u64,
     graph_cache_bytes: u64,
+    /// `--persist DIR`, resolved; `None` keeps the cache memory-only.
+    persist: Option<PathBuf>,
+    /// `--delegate-trials` plus the dispatcher knobs; `None` computes
+    /// everything in-process.
+    delegation: Option<Delegation>,
 }
 
 impl Server {
@@ -529,46 +732,34 @@ impl Server {
 // ---------------------------------------------------------------------------
 // Request handling.
 
-/// Serves one `run` request from the caches, dispatching only trial
-/// ranges the ledgers cannot answer. Returns the report plus how many
-/// trials actually ran (the `stats` verb's `trials_executed` currency).
-fn serve_run(server: &Server, spec: &QuerySpec) -> Result<Report, String> {
-    let cap = spec.budget.trials_budget().cap();
-    if cap < 1 {
-        return Err("budget needs at least one trial".into());
-    }
-    let graph_key = spec.graph.cache_key();
-    let report_key = spec.report_key();
-    let mut inner = server.lock();
-    inner.tick += 1;
-    let tick = inner.tick;
-    let graph = inner.graph_for(spec, &graph_key, tick, server.graph_cache_bytes)?;
-    spec.query.validate(graph.as_ref())?;
-    let existed = inner.reports.contains_key(&report_key);
-    // Transactional update: the entry leaves the map while it mutates and
-    // is only reinserted on success, so a panic mid-compute costs a cache
-    // entry, never corrupts one.
-    let mut entry = inner
-        .reports
-        .remove(&report_key)
-        .unwrap_or_else(|| ReportEntry::new(spec, graph.as_ref()));
+/// Computes one request's report against a checked-out cache entry,
+/// dispatching only trial ranges the ledgers cannot answer. Returns the
+/// report plus how many trials actually ran (the `stats` verb's
+/// `trials_executed` currency). Runs *outside* the global lock — the
+/// caller holds only this key's in-flight gate.
+fn compute_run(
+    entry: &mut ReportEntry,
+    runner: &Runner<'_>,
+    spec: &QuerySpec,
+    cap: usize,
+) -> Result<(Report, u64), String> {
     let mut ran = 0u64;
     let mut groups = Vec::new();
     match spec.budget.precision {
         None => {
             let n = spec.budget.trials;
             if entry.groups.is_empty() {
-                ran += entry.initialize(graph.as_ref(), n);
+                ran += entry.initialize(runner, n)?;
             }
             for idx in 0..entry.groups.len() {
-                let (cum, r) = entry.prefix(graph.as_ref(), idx, n as u64);
+                let (cum, r) = entry.prefix(runner, idx, n as u64)?;
                 ran += r;
                 groups.push(cum);
             }
         }
         Some(rule) => {
             if entry.groups.is_empty() {
-                ran += entry.initialize(graph.as_ref(), rule.next_wave(0));
+                ran += entry.initialize(runner, rule.next_wave(0))?;
             }
             // Per group, replay the exact sequential wave schedule
             // `Session::run` executes: evaluate the rule on the sample so
@@ -578,7 +769,7 @@ fn serve_run(server: &Server, spec: &QuerySpec) -> Result<Report, String> {
             for idx in 0..entry.groups.len() {
                 let mut consumed = 0usize;
                 let cum = loop {
-                    let (cum, r) = entry.prefix(graph.as_ref(), idx, consumed as u64);
+                    let (cum, r) = entry.prefix(runner, idx, consumed as u64)?;
                     ran += r;
                     let wave = if rule.satisfied_by(&cum.moments.summary()) {
                         0
@@ -601,18 +792,119 @@ fn serve_run(server: &Server, spec: &QuerySpec) -> Result<Report, String> {
         coverage: Coverage::full(cap as u64),
         groups,
     };
-    entry.tick = tick;
-    inner.reports.insert(report_key, entry);
-    inner.evict_reports(server.cache_bytes);
-    inner.stats.trials_executed += ran;
-    if !existed {
-        inner.stats.misses += 1;
-    } else if ran == 0 {
-        inner.stats.hits += 1;
-    } else {
-        inner.stats.extensions += 1;
+    Ok((report, ran))
+}
+
+/// Serves one `run` request. Locking discipline (see the module docs):
+/// the global lock covers only map bookkeeping; the computation runs
+/// under this key's in-flight gate, so identical concurrent queries
+/// serialize into one miss plus hits while distinct keys compute
+/// concurrently.
+fn serve_run(server: &Server, spec: &QuerySpec) -> Result<Report, String> {
+    let cap = spec.budget.trials_budget().cap();
+    if cap < 1 {
+        return Err("budget needs at least one trial".into());
     }
-    Ok(report)
+    let graph_key = spec.graph.cache_key();
+    let report_key = spec.report_key();
+    // Bookkeeping pass: stamp the tick, resolve (and cache) the graph,
+    // and fetch-or-create this key's gate.
+    let (graph, gate, tick) = {
+        let mut inner = server.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let graph = inner.graph_for(spec, &graph_key, tick, server.graph_cache_bytes)?;
+        let gate = Arc::clone(inner.inflight.entry(report_key.clone()).or_default());
+        (graph, gate, tick)
+    };
+    if let Err(e) = spec.query.validate(graph.as_ref()) {
+        let mut inner = server.lock();
+        if Arc::strong_count(&gate) == 2 {
+            inner.inflight.remove(&report_key);
+        }
+        return Err(e);
+    }
+    // The per-key gate: at most one request computes this entry at a
+    // time. Poison recovery is safe for the same reason as the global
+    // lock — a panicked holder left the entry checked out, not corrupt.
+    let guard = gate.lock().unwrap_or_else(PoisonError::into_inner);
+    // Transactional checkout: the entry leaves the map while it mutates
+    // and is only reinserted on success, so a panic mid-compute costs a
+    // cache entry, never corrupts one.
+    let (existed, mut entry) = {
+        let mut inner = server.lock();
+        match inner.reports.remove(&report_key) {
+            Some(entry) => (true, entry),
+            None => (false, ReportEntry::new(spec, graph.as_ref())),
+        }
+    };
+    let runner = Runner {
+        graph: graph.as_ref(),
+        delegation: server.delegation.as_ref(),
+    };
+    let outcome = compute_run(&mut entry, &runner, spec, cap);
+    // Check-in pass. On a compute/delegation error the entry is
+    // reinserted if it pre-existed — every boundary it holds is still
+    // exact — and dropped if this was its first contact, so the next
+    // request classifies as a miss again.
+    let persist_doc = {
+        let mut inner = server.lock();
+        let persist_doc = match &outcome {
+            Ok((_, ran)) => {
+                entry.tick = tick;
+                let doc = match (&server.persist, *ran > 0) {
+                    (Some(dir), true) => {
+                        let ledger = entry.to_ledger();
+                        Some((dir.join(ledger.file_name()), ledger.to_json()))
+                    }
+                    _ => None,
+                };
+                inner.reports.insert(report_key.clone(), entry);
+                inner.evict_reports(server.cache_bytes, Some(&report_key));
+                inner.stats.trials_executed += ran;
+                if !existed {
+                    inner.stats.misses += 1;
+                } else if *ran == 0 {
+                    inner.stats.hits += 1;
+                } else {
+                    inner.stats.extensions += 1;
+                }
+                doc
+            }
+            Err(_) => {
+                if existed {
+                    inner.reports.insert(report_key.clone(), entry);
+                }
+                None
+            }
+        };
+        // Drop the gate once no other request holds it (clones are only
+        // taken under the global lock, which we hold, so the count is
+        // stable): 2 = the map's reference plus ours.
+        if Arc::strong_count(&gate) == 2 {
+            inner.inflight.remove(&report_key);
+        }
+        persist_doc
+    };
+    // Write the ledger outside the global lock but still under the gate,
+    // so per-key files are written in cache-update order. A write failure
+    // costs durability, never the response.
+    if let Some((path, text)) = persist_doc {
+        persist_write(&path, &text);
+    }
+    drop(guard);
+    outcome.map(|(report, _)| report)
+}
+
+/// Atomic-enough ledger write: same-directory tmp file + rename, so a
+/// crash mid-write leaves the previous generation readable and boot
+/// never sees a half-written document.
+fn persist_write(path: &Path, text: &str) {
+    let tmp = path.with_extension("tmp");
+    let res = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
+    if let Err(e) = res {
+        eprintln!("mrw serve: failed to persist {}: {e}", path.display());
+    }
 }
 
 fn stats_frame(inner: &Inner) -> String {
@@ -741,18 +1033,83 @@ fn handle_conn(conn: Conn, server: Arc<Server>) {
     }
 }
 
-/// `mrw serve --listen <addr|unix-path>`: bind, print the ready line,
-/// and serve until SIGTERM/SIGINT or a `shutdown` request.
+/// Loads every `ledger-*.json` under `dir` into the report cache.
+/// Anything that fails validation — tampered payload, truncation,
+/// schema skew, unreadable file — is skipped with a warning on stderr;
+/// the daemon always boots. Files load in sorted name order with one
+/// tick each, so boot-time LRU state is deterministic.
+fn warm_start(server: &Server, dir: &Path) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("mrw serve: cannot read --persist {}: {e}", dir.display());
+            return;
+        }
+    };
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("ledger-") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut loaded = 0usize;
+    let mut inner = server.lock();
+    for name in names {
+        let path = dir.join(&name);
+        let ledger = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Ledger::from_json(&text));
+        match ledger {
+            Ok(ledger) => {
+                inner.tick += 1;
+                let tick = inner.tick;
+                let key = ledger.report_key();
+                inner
+                    .reports
+                    .insert(key, ReportEntry::from_ledger(ledger, tick));
+                loaded += 1;
+            }
+            Err(e) => eprintln!("mrw serve: skipping ledger {}: {e}", path.display()),
+        }
+    }
+    inner.evict_reports(server.cache_bytes, None);
+    if loaded > 0 {
+        eprintln!(
+            "mrw serve: warm-started {loaded} ledger(s) from {}",
+            dir.display()
+        );
+    }
+}
+
+/// `mrw serve --listen <addr|unix-path>`: bind, warm-start from
+/// `--persist` if given, print the ready line, and serve until
+/// SIGTERM/SIGINT or a `shutdown` request.
 pub fn run_serve(opts: &Options) -> Result<(), String> {
     let addr = opts
         .listen
         .as_deref()
         .ok_or("mrw serve needs --listen <host:port | unix-path>")?;
+    let persist = opts.persist.as_ref().map(PathBuf::from);
+    if let Some(dir) = &persist {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--persist {}: {e}", dir.display()))?;
+    }
+    let delegation = opts.delegate_trials.map(|threshold| Delegation {
+        threshold,
+        workers: opts.workers.unwrap_or_else(mrw_par::available_threads),
+        retries: opts.retries.unwrap_or(DEFAULT_RETRIES),
+        threads: opts.threads,
+        deadline_ms: opts.deadline_ms.unwrap_or(DEFAULT_DEADLINE_MS),
+    });
     let server = Arc::new(Server {
         inner: Mutex::new(Inner::default()),
         cache_bytes: opts.cache_bytes.unwrap_or(DEFAULT_CACHE_BYTES),
         graph_cache_bytes: opts.graph_cache_bytes.unwrap_or(DEFAULT_GRAPH_CACHE_BYTES),
+        persist,
+        delegation,
     });
+    if let Some(dir) = server.persist.clone() {
+        warm_start(&server, &dir);
+    }
     let (listener, local) = Listener::bind(addr)?;
     listener
         .set_nonblocking()

@@ -482,18 +482,36 @@ fn tiny_cache_bytes_forces_recompute_but_never_wrong_bytes() {
     assert_eq!(counter(&s, &["report_cache", "entries"]), 1);
     ctl(&addr, &["shutdown"]);
 
-    // Degenerate bound: nothing is ever resident, every request is a
-    // miss + immediate eviction, and the bytes still never change.
+    // Degenerate bound: the just-served entry is pinned during its own
+    // eviction pass, so even --cache-bytes 0 behaves as a cache of the
+    // single most recent entry (it used to evict what it just inserted,
+    // forcing a recompute on every repeat) — and the bytes never change.
     let (_daemon, addr) = start_daemon(&["--cache-bytes", "0"]);
     assert_eq!(ctl(&addr, &["run", a_arg]), oracle_a);
-    assert_eq!(ctl(&addr, &["run", a_arg]), oracle_a);
+    assert_eq!(
+        ctl(&addr, &["run", a_arg]),
+        oracle_a,
+        "repeat of the pinned entry changed bytes"
+    );
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["misses"]), 1);
+    assert_eq!(
+        counter(&s, &["hits"]),
+        1,
+        "the pinned entry survived its own insertion and served the repeat"
+    );
+    assert_eq!(counter(&s, &["report_cache", "evictions"]), 0);
+    assert_eq!(counter(&s, &["report_cache", "entries"]), 1);
+    // A different key takes the slot: the old entry is evictable (only
+    // the entry being served is pinned), the new one survives.
+    assert_eq!(ctl(&addr, &["run", b_arg]), oracle_b);
     let s = stats(&addr);
     assert_eq!(counter(&s, &["misses"]), 2);
-    assert_eq!(counter(&s, &["report_cache", "evictions"]), 2);
-    assert_eq!(counter(&s, &["report_cache", "entries"]), 0);
+    assert_eq!(counter(&s, &["report_cache", "evictions"]), 1);
+    assert_eq!(counter(&s, &["report_cache", "entries"]), 1);
     assert_eq!(
         counter(&s, &["graph_cache", "hits"]),
-        1,
+        2,
         "the graph cache is bounded separately and kept serving"
     );
 }
@@ -548,4 +566,243 @@ fn serve_ctl_reports_daemon_errors_and_connection_failures() {
         .assert()
         .failure()
         .stderr(assert_cmd::predicates::str::contains("--listen"));
+}
+
+// ---------------------------------------------------------------------------
+// CRLF framing: a client whose lines end in "\r\n" (telnet, Windows
+// netcat, most HTTP tooling) must get the same bytes as a "\n" client.
+
+/// Sends one frame with every line terminated by CRLF.
+fn send_frame_crlf(w: &mut TcpStream, body: &str) {
+    let mut wire = body.replace('\n', "\r\n");
+    if !wire.ends_with("\r\n") {
+        wire.push_str("\r\n");
+    }
+    wire.push_str("\r\n");
+    w.write_all(wire.as_bytes()).expect("send CRLF frame");
+    w.flush().expect("send CRLF frame");
+}
+
+#[test]
+fn crlf_terminated_frames_serve_identical_bytes_on_one_persistent_connection() {
+    let tmp = TempDir::new("crlf");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let (_daemon, addr) = start_daemon(&[]);
+    let oracle = mrw_stdout(&["run", spec.to_str().unwrap(), "--json"]);
+    let valid = format!("{{\"verb\": \"run\", \"spec\": {FIXED_SPEC}}}");
+
+    // One persistent connection, every request CRLF-framed: ping, two
+    // runs (miss then hit), ping again. The blank separator arrives as
+    // "\r\n" and the body's own terminator line carries a stray '\r';
+    // before the fix the daemon stalled waiting for a bare "\n" and the
+    // connection wedged until the frame cap tripped.
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+
+    send_frame_crlf(&mut writer, r#"{"verb": "ping"}"#);
+    let pong = read_frame(&mut reader).expect("pong over CRLF");
+    assert!(pong.contains("pong"), "unexpected ping response: {pong}");
+
+    send_frame_crlf(&mut writer, &valid);
+    let first = read_frame(&mut reader).expect("run over CRLF");
+    assert_eq!(first, oracle, "CRLF framing changed the response bytes");
+    send_frame_crlf(&mut writer, &valid);
+    let second = read_frame(&mut reader).expect("repeat run over CRLF");
+    assert_eq!(second, oracle, "CRLF repeat changed the response bytes");
+
+    send_frame_crlf(&mut writer, r#"{"verb": "ping"}"#);
+    read_frame(&mut reader).expect("connection survived the CRLF session");
+
+    // The CRLF miss and hit were classified exactly like a "\n" client's.
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["misses"]), 1);
+    assert_eq!(counter(&s, &["hits"]), 1);
+    assert_eq!(counter(&s, &["errors"]), 0, "no CRLF frame errored");
+}
+
+// ---------------------------------------------------------------------------
+// Persistent warm-start ledgers (--persist DIR).
+
+/// The `ledger-*.json` files currently in `dir`, sorted by name.
+fn ledger_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("read persist dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ledger-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn warm_start_serves_cached_bytes_across_a_restart_without_rerunning_trials() {
+    let tmp = TempDir::new("persist");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let spec_arg = spec.to_str().unwrap();
+    let persist = tmp.path("ledgers");
+    let persist_arg = persist.to_str().unwrap().to_string();
+    let oracle = mrw_stdout(&["run", spec_arg, "--json"]);
+
+    // Populate: one miss writes one ledger, then SIGTERM (the adversarial
+    // shutdown path — no flush hook, the ledger must already be durable).
+    let (mut daemon, addr) = start_daemon(&["--persist", &persist_arg]);
+    assert_eq!(ctl(&addr, &["run", spec_arg]), oracle);
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["misses"]), 1);
+    assert_eq!(counter(&s, &["trials_executed"]), 192);
+    assert_eq!(ledger_files(&persist).len(), 1, "miss persisted one ledger");
+    daemon.terminate().expect("SIGTERM");
+    let status = daemon.wait_with_timeout(READY).expect("daemon exits");
+    assert!(status.success(), "SIGTERM must exit 0, got {status}");
+
+    // Reboot on the same directory: the very first request is a warm
+    // hit — byte-identical to the cold oracle with zero trials executed.
+    let (_daemon, addr) = start_daemon(&["--persist", &persist_arg]);
+    assert_eq!(
+        ctl(&addr, &["run", spec_arg]),
+        oracle,
+        "warm-started response bytes differ from the cold oracle"
+    );
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["misses"]), 0, "warm start must not miss");
+    assert_eq!(counter(&s, &["hits"]), 1);
+    assert_eq!(
+        counter(&s, &["trials_executed"]),
+        0,
+        "a warm hit re-ran trials"
+    );
+
+    // A range extension on the warm entry runs only the missing trials
+    // and re-persists, so a second reboot warm-starts the extended entry.
+    let more = FIXED_SPEC.replace("\"trials\": 96", "\"trials\": 128");
+    let spec_more = tmp.file("more.json", &more);
+    let more_arg = spec_more.to_str().unwrap();
+    let oracle_more = mrw_stdout(&["run", more_arg, "--json"]);
+    assert_eq!(ctl(&addr, &["run", more_arg]), oracle_more);
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["extensions"]), 1);
+    assert_eq!(
+        counter(&s, &["trials_executed"]),
+        64,
+        "the extension must run exactly the missing 2x32 trials"
+    );
+    ctl(&addr, &["shutdown"]);
+    let (_daemon, addr) = start_daemon(&["--persist", &persist_arg]);
+    assert_eq!(ctl(&addr, &["run", more_arg]), oracle_more);
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["hits"]), 1);
+    assert_eq!(counter(&s, &["trials_executed"]), 0);
+}
+
+#[test]
+fn corrupt_truncated_and_tampered_ledgers_are_skipped_not_trusted() {
+    let tmp = TempDir::new("tamper");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let spec_arg = spec.to_str().unwrap();
+    let persist = tmp.path("ledgers");
+    let persist_arg = persist.to_str().unwrap().to_string();
+    let oracle = mrw_stdout(&["run", spec_arg, "--json"]);
+
+    // Write one genuine ledger to mutate.
+    let (_daemon, addr) = start_daemon(&["--persist", &persist_arg]);
+    assert_eq!(ctl(&addr, &["run", spec_arg]), oracle);
+    ctl(&addr, &["shutdown"]);
+    let genuine_path = ledger_files(&persist)[0].clone();
+    let genuine = std::fs::read_to_string(&genuine_path).expect("read ledger");
+
+    // Three adversarial mutations of the on-disk state:
+    //  - a garbage file that is not JSON at all,
+    //  - the genuine ledger truncated mid-document,
+    //  - the genuine ledger with one moment digit flipped (the hash
+    //    over the canonical payload catches silent data edits, not just
+    //    framing damage).
+    std::fs::write(persist.join("ledger-0000000000000000.json"), "not json")
+        .expect("write garbage ledger");
+    std::fs::write(
+        persist.join("ledger-1111111111111111.json"),
+        &genuine[..genuine.len() / 2],
+    )
+    .expect("write truncated ledger");
+    let at = genuine.find("\"sum\": ").expect("ledger has a sum field") + "\"sum\": ".len();
+    let mut tampered = genuine.into_bytes();
+    assert!(tampered[at].is_ascii_digit());
+    tampered[at] = if tampered[at] == b'9' {
+        b'1'
+    } else {
+        tampered[at] + 1
+    };
+    std::fs::write(&genuine_path, &tampered).expect("write tampered ledger");
+
+    // Boot on the hostile directory: every file is skipped with a logged
+    // warning, the daemon comes up empty, and the first request is a
+    // clean miss whose bytes are still the oracle's.
+    let (_daemon, addr) = start_daemon(&["--persist", &persist_arg]);
+    assert_eq!(
+        ctl(&addr, &["run", spec_arg]),
+        oracle,
+        "a tampered ledger leaked into the response"
+    );
+    let s = stats(&addr);
+    assert_eq!(
+        counter(&s, &["misses"]),
+        1,
+        "tampered ledgers must not warm-start"
+    );
+    assert_eq!(counter(&s, &["hits"]), 0);
+    assert_eq!(counter(&s, &["trials_executed"]), 192);
+    // The recovery miss re-persisted a genuine ledger over the tampered
+    // one, so the *next* boot warm-starts again.
+    ctl(&addr, &["shutdown"]);
+    let (_daemon, addr) = start_daemon(&["--persist", &persist_arg]);
+    assert_eq!(ctl(&addr, &["run", spec_arg]), oracle);
+    assert_eq!(counter(&stats(&addr), &["trials_executed"]), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Delegation (--delegate-trials): big misses fan out to child shard
+// processes through the work-stealing dispatcher.
+
+#[test]
+fn delegated_misses_are_byte_identical_to_in_process_computation() {
+    let tmp = TempDir::new("delegate");
+    let spec = tmp.file("spec.json", FIXED_SPEC);
+    let spec_arg = spec.to_str().unwrap();
+    let oracle = mrw_stdout(&["run", spec_arg, "--json"]);
+
+    // Threshold 1: every miss delegates. The merged child reports must
+    // reproduce the cold oracle bit-for-bit, and the cache layer on top
+    // behaves exactly as if the trials had run in-process.
+    let (_daemon, addr) = start_daemon(&["--delegate-trials", "1", "--workers", "2"]);
+    assert_eq!(
+        ctl(&addr, &["run", spec_arg]),
+        oracle,
+        "delegated computation changed the response bytes"
+    );
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["misses"]), 1);
+    assert_eq!(counter(&s, &["trials_executed"]), 192);
+    assert_eq!(counter(&s, &["errors"]), 0);
+    // The entry the children produced is a first-class cache entry.
+    assert_eq!(ctl(&addr, &["run", spec_arg]), oracle);
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["hits"]), 1);
+    assert_eq!(counter(&s, &["trials_executed"]), 192, "hit ran no trials");
+
+    // An extension also delegates (64 missing trials >= threshold) and
+    // still merges into byte-identical output.
+    let more = FIXED_SPEC.replace("\"trials\": 96", "\"trials\": 128");
+    let spec_more = tmp.file("more.json", &more);
+    let more_arg = spec_more.to_str().unwrap();
+    let oracle_more = mrw_stdout(&["run", more_arg, "--json"]);
+    assert_eq!(ctl(&addr, &["run", more_arg]), oracle_more);
+    let s = stats(&addr);
+    assert_eq!(counter(&s, &["extensions"]), 1);
+    assert_eq!(counter(&s, &["trials_executed"]), 256);
+    assert_eq!(counter(&s, &["errors"]), 0);
 }

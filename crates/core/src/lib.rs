@@ -85,8 +85,8 @@ pub use mrw_stats::precision::{Precision, Trials};
 pub use partial::{fraction_target, kwalk_partial_cover_rounds, PartialCoverPoint};
 pub use process::{cover_time_process, kwalk_cover_rounds_process, WalkProcess};
 pub use query::{
-    AnyGraph, BackendChoice, Budget, Checkpoint, GraphSpec, Group, Query, QuerySpec, Report,
-    Session, Shard,
+    AnyGraph, BackendChoice, Budget, Checkpoint, GraphSpec, Group, Ledger, LedgerGroup, Query,
+    QuerySpec, Report, Session, Shard,
 };
 pub use speedup::{speedup_sweep, SpeedupPoint, SpeedupSweep};
 pub use visits::{kwalk_multicover_rounds, kwalk_visit_counts, VisitCounts};

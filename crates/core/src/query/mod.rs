@@ -67,8 +67,10 @@
 
 pub mod checkpoint;
 pub mod json;
+pub mod ledger;
 
 pub use checkpoint::{spec_hash, Checkpoint};
+pub use ledger::{Ledger, LedgerGroup};
 
 use std::ops::Range;
 
